@@ -1,0 +1,97 @@
+"""Ablation A7: Trident operator fusion on a chain-heavy topology.
+
+Trident fuses consecutive operators into one processing element
+(§III-A) to avoid repartitioning.  In the execution model this is a
+real trade-off:
+
+* fusion removes per-operator batch-coordination overhead and network
+  hops — it wins when batches are small and coordination-bound;
+* fusion collapses pipeline stages — with per-operator batch
+  serialization, an unfused chain keeps one batch in flight per stage,
+  so fusion loses when the pipeline is compute-bound.
+
+This two-sided behaviour is exactly the framework opacity the paper
+complains about: "automatic operator fusion of Trident further
+obfuscates the impact of any single parameter" (§III-B).
+"""
+
+from repro.experiments.report import render_table
+from repro.storm.analytic import AnalyticPerformanceModel
+from repro.storm.cluster import paper_cluster
+from repro.storm.config import TopologyConfig
+from repro.storm.topology import TopologyBuilder
+from repro.storm.trident import fuse_linear_chains
+
+
+def chain_heavy_topology():
+    """Two long preprocessing chains joining into a short tail."""
+    builder = TopologyBuilder("chains")
+    builder.spout("src", cost=1.0)
+    prev = "src"
+    for i in range(6):
+        name = f"pre{i}"
+        builder.bolt(name, inputs=[prev], cost=3.0)
+        prev = name
+    builder.bolt("branch", inputs=[prev], cost=2.0)
+    builder.bolt("left0", inputs=["branch"], cost=3.0)
+    builder.bolt("left1", inputs=["left0"], cost=3.0)
+    builder.bolt("right0", inputs=["branch"], cost=3.0)
+    builder.bolt("join", inputs=["left1", "right0"], cost=2.0)
+    return builder.build()
+
+
+def throughput(
+    topology, total_tasks: int, batch_size: int, batch_parallelism: int
+) -> float:
+    """Throughput at a fixed executor budget (fair comparison)."""
+    cluster = paper_cluster()
+    model = AnalyticPerformanceModel(topology, cluster)
+    hint = max(1, round(total_tasks / len(topology)))
+    config = TopologyConfig(
+        parallelism_hints={n: hint for n in topology},
+        batch_size=batch_size,
+        batch_parallelism=batch_parallelism,
+        num_workers=80,
+    )
+    return model.evaluate_noise_free(config).throughput_tps
+
+
+def test_ablation_fusion(benchmark):
+    def run():
+        raw = chain_heavy_topology()
+        fused = fuse_linear_chains(raw).topology
+        return raw, fused
+
+    raw, fused = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    total_tasks = 96
+    cases = (
+        # Few batches in flight: end-to-end latency (dominated by
+        # per-operator coordination) limits the batch rate.
+        (20, 2, "latency-bound (B=20, P=2)"),
+        # Deep pipeline full of work: stage throughput limits the rate.
+        (2000, 16, "compute-bound (B=2000, P=16)"),
+    )
+    for batch_size, bp, regime in cases:
+        t_raw = throughput(raw, total_tasks, batch_size, bp)
+        t_fused = throughput(fused, total_tasks, batch_size, bp)
+        rows.append(
+            {
+                "regime": regime,
+                "unfused t/s": round(t_raw, 1),
+                "fused t/s": round(t_fused, 1),
+                "fusion gain": round(t_fused / t_raw, 2),
+            }
+        )
+    print()
+    print(
+        f"== Ablation A7: Trident fusion "
+        f"({len(raw)} -> {len(fused)} operators, {total_tasks} executors) =="
+    )
+    print(render_table(rows))
+    assert len(fused) < len(raw)
+    gains = [float(row["fusion gain"]) for row in rows]
+    # Fusion shortens the pipeline, so it wins when latency binds...
+    assert gains[0] > 1.2
+    # ...and costs pipeline parallelism when stage compute binds.
+    assert gains[1] < 1.0

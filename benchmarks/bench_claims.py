@@ -1,0 +1,31 @@
+"""The capstone bench: every encoded paper claim against the studies.
+
+Prints the full claims checklist (DESIGN.md §3) and asserts the robust
+core holds at the scaled budget.  Claims marked fragile at scaled
+budgets (noise-dependent orderings) are reported but not asserted.
+"""
+
+from repro.experiments.claims import evaluate_claims, render_claims
+
+
+#: Claims asserted at the scaled benchmark budget.  The remaining
+#: claims are budget- or noise-sensitive and only reported.
+ROBUST_CLAIMS = {"F4.1a", "F4.3", "F4.4", "F7", "F8.1", "F8.2", "F8.4"}
+
+
+def test_paper_claims(benchmark, synthetic_study, sundog_study):
+    results = benchmark.pedantic(
+        evaluate_claims,
+        args=(synthetic_study, sundog_study),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_claims(results))
+    failures = [
+        r for r in results if r.claim_id in ROBUST_CLAIMS and not r.holds
+    ]
+    assert not failures, [f"{r.claim_id}: {r.evidence}" for r in failures]
+    # The overall reproduction rate should be high even for the fragile set.
+    passed = sum(1 for r in results if r.holds)
+    assert passed >= len(results) - 2

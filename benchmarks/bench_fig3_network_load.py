@@ -1,0 +1,22 @@
+"""Regenerate Figure 3: average network load in MB/s per worker.
+
+The paper's point: no topology comes close to the 125 MB/s NIC limit,
+so selectivity effects can be folded into time complexity (§IV-B3).
+"""
+
+from repro.experiments.figures import figure3_network_load
+from repro.experiments.report import render_bars, render_figure
+
+
+def test_fig3_network_load(benchmark):
+    data = benchmark.pedantic(figure3_network_load, rounds=1, iterations=1)
+    print()
+    print(render_figure(data))
+    print(
+        render_bars(
+            data.rows, value_key="MB/s per worker", label_keys=["Topology"]
+        )
+    )
+    loads = {r["Topology"]: float(r["MB/s per worker"]) for r in data.rows}
+    assert all(0 < v < 125.0 for v in loads.values())
+    assert loads["sundog"] == max(loads.values())

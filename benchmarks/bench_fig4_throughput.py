@@ -1,0 +1,57 @@
+"""Regenerate Figure 4: throughput of tuned configurations.
+
+Grid: {0%, 25%} resource contention x {0%, 100%} time-complexity
+imbalance x {small, medium, large} x {pla, bo, ipla, ibo, bo180}.
+
+Qualitative shape to reproduce (paper §V-A):
+  * homogeneous / no contention: ipla dominates medium and large; all
+    strategies comparable on small;
+  * time imbalance: informed strategies win; bo partially compensates
+    for missing topology information (bo > pla on medium/large);
+  * contention: absolute throughput collapses to the contentious
+    operators' fixed service rate;
+  * bo180 improves on bo.
+"""
+
+from repro.experiments.figures import figure4_throughput
+from repro.experiments.report import render_figure
+from repro.topology_gen.suite import CONDITIONS
+
+
+def test_fig4_throughput(benchmark, synthetic_study):
+    data = benchmark.pedantic(
+        figure4_throughput, args=(synthetic_study,), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure(data))
+
+    def mean(condition, size, strategy):
+        for row in data.rows:
+            if (
+                row["Condition"] == condition.label
+                and row["Size"] == size
+                and row["Strategy"] == strategy
+            ):
+                return float(row["tuples/s"])
+        raise KeyError((condition.label, size, strategy))
+
+    homogeneous = CONDITIONS[0]
+    imbalance = next(
+        c for c in CONDITIONS if c.time_imbalance == 1.0 and c.contentious_share == 0.0
+    )
+    contention = next(
+        c for c in CONDITIONS if c.time_imbalance == 0.0 and c.contentious_share > 0.0
+    )
+
+    # F4.1: informed linear ascent dominates medium/large when balanced.
+    for size in ("medium", "large"):
+        assert mean(homogeneous, size, "ipla") > 1.2 * mean(homogeneous, size, "pla")
+    # F4.1: small is roughly strategy-insensitive.
+    assert mean(homogeneous, "small", "ipla") < 1.6 * mean(homogeneous, "small", "pla")
+    # F4.2: bo partially compensates for missing information under
+    # imbalance (beats pla, stays below the informed strategies).
+    assert mean(imbalance, "large", "bo") > mean(imbalance, "large", "pla")
+    assert mean(imbalance, "large", "bo") < mean(imbalance, "large", "ipla")
+    # F4.3: contention collapses throughput for every strategy.
+    for size in ("small", "medium", "large"):
+        assert mean(contention, size, "pla") < 0.3 * mean(homogeneous, size, "pla")

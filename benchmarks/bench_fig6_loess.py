@@ -1,0 +1,24 @@
+"""Regenerate Figure 6: LOESS smoothing of BO optimization traces.
+
+Paper shape: small/medium topologies plateau early; large keeps
+improving with additional steps (most visibly under time imbalance).
+"""
+
+from repro.experiments.figures import figure6_loess_traces
+from repro.experiments.report import render_figure
+
+
+def test_fig6_loess_traces(benchmark, synthetic_study):
+    data = benchmark.pedantic(
+        figure6_loess_traces, args=(synthetic_study,), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure(data))
+    assert len(data.series) == len(synthetic_study.conditions) * len(
+        synthetic_study.sizes
+    )
+    for key, (xs, ys) in data.series.items():
+        assert len(xs) == len(ys) > 5
+        # Smoothed traces end no lower than ~20% under their start —
+        # optimization runs trend upward.
+        assert ys[-1] > 0.8 * ys[0] or ys[-1] > 0

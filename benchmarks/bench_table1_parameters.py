@@ -1,0 +1,11 @@
+"""Regenerate Table I: the tuned configuration parameters."""
+
+from repro.experiments.figures import table1_parameters
+from repro.experiments.report import render_figure
+
+
+def test_table1_parameters(benchmark):
+    data = benchmark.pedantic(table1_parameters, rounds=1, iterations=1)
+    print()
+    print(render_figure(data))
+    assert len(data.rows) == 6

@@ -1,0 +1,18 @@
+"""Regenerate Table II: generated synthetic topology statistics.
+
+Paper values: small 10/17/4/0.40/3/3/1.70, medium 50/88/5/0.08/17/17/1.76,
+large 100/170/10/0.04/29/27/1.65.
+"""
+
+from repro.experiments.figures import table2_topologies
+from repro.experiments.report import render_figure
+
+
+def test_table2_topologies(benchmark):
+    data = benchmark.pedantic(table2_topologies, rounds=1, iterations=1)
+    print()
+    print(render_figure(data))
+    rows = {r["Name"]: r for r in data.rows}
+    assert rows["small"]["E"] == 17
+    assert rows["medium"]["E"] == 88
+    assert 160 <= rows["large"]["E"] <= 175

@@ -1,0 +1,12 @@
+"""Regenerate Table III: operator counts of topologies in the literature."""
+
+from repro.experiments.figures import table3_literature
+from repro.experiments.report import render_figure
+
+
+def test_table3_literature(benchmark):
+    data = benchmark.pedantic(table3_literature, rounds=1, iterations=1)
+    print()
+    print(render_figure(data))
+    counts = [r["# of Ops"] for r in data.rows[:4]]
+    assert counts == [40, 60, 7, 3]  # the paper's quoted values

@@ -1,0 +1,33 @@
+"""Shared session fixtures for the benchmark suite.
+
+The Figure 4–7 benchmarks all derive from one synthetic study and the
+Figure 8 benchmarks from one Sundog study, exactly as the paper's
+figures derive from one set of cluster runs.  The studies execute once
+per session at the scaled default budget (set ``REPRO_FULL=1`` for the
+paper-scale 60/180-step, 2-pass, 30-re-run budgets).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.presets import default_budget
+from repro.experiments.runner import SundogStudy, SyntheticStudy
+
+
+def _jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+@pytest.fixture(scope="session")
+def synthetic_study() -> SyntheticStudy:
+    study = SyntheticStudy(default_budget(), seed=0, n_jobs=_jobs())
+    return study.run()
+
+
+@pytest.fixture(scope="session")
+def sundog_study() -> SundogStudy:
+    study = SundogStudy(default_budget(), seed=0, n_jobs=_jobs())
+    return study.run()

@@ -1,0 +1,77 @@
+"""The paper's contribution: Bayesian Optimization for configuration tuning.
+
+A from-scratch Spearmint-style optimizer (paper §III-C):
+
+* :mod:`repro.core.parameters` — typed parameter spaces mapped to the
+  unit hypercube,
+* :mod:`repro.core.kernels` / :mod:`repro.core.gp` — Gaussian-process
+  surrogate with Matérn-5/2 or RBF kernels and ML-II hyperparameter
+  fitting,
+* :mod:`repro.core.acquisition` — Expected Improvement (the paper's
+  choice), Probability of Improvement, and GP-UCB,
+* :mod:`repro.core.optimizer` — the ask/tell loop with Latin-hypercube
+  initialization and JSON state serialization (Spearmint's
+  pause/resume feature, §III-C),
+* :mod:`repro.core.baselines` — the parallel linear ascent baseline
+  with the paper's three-consecutive-zeros stop rule, plus random
+  search for ablations,
+* :mod:`repro.core.informed` — "informed" variants built on base
+  parallelism weights (§V-A),
+* :mod:`repro.core.loop` — the experiment driver measuring per-step
+  wall time and re-running best configurations.
+"""
+
+from repro.core.acquisition import (
+    AcquisitionOptimizer,
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.core.baselines import (
+    GridAscentOptimizer,
+    Optimizer,
+    ParallelLinearAscent,
+    RandomSearchOptimizer,
+)
+from repro.core.gp import GaussianProcess
+from repro.core.history import Observation, TuningResult
+from repro.core.informed import (
+    InformedParallelismCodec,
+    base_parallelism_weights,
+)
+from repro.core.kernels import RBF, Kernel, Matern52
+from repro.core.loop import TuningLoop
+from repro.core.optimizer import BayesianOptimizer
+from repro.core.parameters import (
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+    ParameterSpace,
+)
+
+__all__ = [
+    "AcquisitionOptimizer",
+    "BayesianOptimizer",
+    "CategoricalParameter",
+    "FloatParameter",
+    "GaussianProcess",
+    "GridAscentOptimizer",
+    "InformedParallelismCodec",
+    "IntParameter",
+    "Kernel",
+    "Matern52",
+    "Observation",
+    "Optimizer",
+    "ParallelLinearAscent",
+    "Parameter",
+    "ParameterSpace",
+    "RBF",
+    "RandomSearchOptimizer",
+    "TuningLoop",
+    "TuningResult",
+    "base_parallelism_weights",
+    "expected_improvement",
+    "probability_of_improvement",
+    "upper_confidence_bound",
+]

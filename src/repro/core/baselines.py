@@ -1,0 +1,141 @@
+"""Baseline optimizers: parallel linear ascent and random search.
+
+The paper's baseline (§V-A) is a *naive parallel-linear ascent* (pla):
+set the same parallelism hint on every operator and raise it step by
+step, stopping early "after measuring zero performance in three
+consecutive runs".  Its informed variant (ipla) ascends a multiplier on
+structural base weights instead.  Both are instances of
+:class:`GridAscentOptimizer`; random search is included for ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+
+
+class Optimizer(abc.ABC):
+    """The ask/tell protocol every strategy implements."""
+
+    @abc.abstractmethod
+    def ask(self) -> dict[str, object]:
+        """Propose the next configuration to measure."""
+
+    @abc.abstractmethod
+    def tell(self, config: Mapping[str, object], value: float) -> None:
+        """Report the measured objective for a proposed configuration."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True when the strategy has nothing more to propose."""
+
+    @abc.abstractmethod
+    def best(self) -> tuple[dict[str, object], float]:
+        """Best (config, value) observed so far."""
+
+
+class GridAscentOptimizer(Optimizer):
+    """Walk a fixed sequence of configurations in order.
+
+    Implements the paper's early-stop rule: after ``stop_after_zeros``
+    consecutive zero measurements the ascent gives up (a zero means the
+    deployment failed — raising parallelism further cannot help).
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[Mapping[str, object]],
+        *,
+        stop_after_zeros: int = 3,
+    ) -> None:
+        self.configs: list[dict[str, object]] = [dict(c) for c in configs]
+        if not self.configs:
+            raise ValueError("configs must be non-empty")
+        if stop_after_zeros < 1:
+            raise ValueError("stop_after_zeros must be >= 1")
+        self.stop_after_zeros = stop_after_zeros
+        self._cursor = 0
+        self._consecutive_zeros = 0
+        self._stopped = False
+        self.history: list[tuple[dict[str, object], float]] = []
+
+    def ask(self) -> dict[str, object]:
+        if self.done:
+            raise RuntimeError("optimizer is exhausted")
+        return dict(self.configs[self._cursor])
+
+    def tell(self, config: Mapping[str, object], value: float) -> None:
+        self.history.append((dict(config), float(value)))
+        self._cursor += 1
+        if value <= 0.0:
+            self._consecutive_zeros += 1
+            if self._consecutive_zeros >= self.stop_after_zeros:
+                self._stopped = True
+        else:
+            self._consecutive_zeros = 0
+
+    @property
+    def done(self) -> bool:
+        return self._stopped or self._cursor >= len(self.configs)
+
+    def best(self) -> tuple[dict[str, object], float]:
+        if not self.history:
+            raise RuntimeError("no observations yet")
+        return max(self.history, key=lambda item: item[1])
+
+
+class ParallelLinearAscent(GridAscentOptimizer):
+    """The paper's pla/ipla baseline as a single-knob ascending grid.
+
+    ``param_name`` is the knob the strategy raises — ``"uniform_hint"``
+    for plain pla (the same hint on every operator) or ``"multiplier"``
+    for the informed variant — and ``values`` the ascending schedule.
+    """
+
+    def __init__(
+        self,
+        param_name: str,
+        values: Sequence[object],
+        *,
+        stop_after_zeros: int = 3,
+        extra: Mapping[str, object] | None = None,
+    ) -> None:
+        if not values:
+            raise ValueError("values must be non-empty")
+        extra = dict(extra or {})
+        configs = [{param_name: v, **extra} for v in values]
+        super().__init__(configs, stop_after_zeros=stop_after_zeros)
+        self.param_name = param_name
+
+
+class RandomSearchOptimizer(Optimizer):
+    """Uniform random sampling of a parameter space (ablation baseline)."""
+
+    def __init__(self, space: ParameterSpace, seed: int | None = None) -> None:
+        self.space = space
+        self._rng = np.random.default_rng(seed)
+        self.history: list[tuple[dict[str, object], float]] = []
+        self._pending: dict[str, object] | None = None
+
+    def ask(self) -> dict[str, object]:
+        if self._pending is None:
+            self._pending = self.space.sample(self._rng)
+        return dict(self._pending)
+
+    def tell(self, config: Mapping[str, object], value: float) -> None:
+        self.history.append((dict(config), float(value)))
+        self._pending = None
+
+    @property
+    def done(self) -> bool:
+        return False
+
+    def best(self) -> tuple[dict[str, object], float]:
+        if not self.history:
+            raise RuntimeError("no observations yet")
+        return max(self.history, key=lambda item: item[1])

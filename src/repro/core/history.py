@@ -1,0 +1,162 @@
+"""Observation records and tuning-run results."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One optimization step: a configuration and its measured value."""
+
+    step: int
+    config: Mapping[str, object]
+    value: float
+    suggest_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("step must be >= 0")
+        object.__setattr__(self, "config", dict(self.config))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "step": self.step,
+            "config": dict(self.config),
+            "value": self.value,
+            "suggest_seconds": self.suggest_seconds,
+            "evaluate_seconds": self.evaluate_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Observation":
+        return cls(
+            step=int(data["step"]),  # type: ignore[arg-type]
+            config=dict(data["config"]),  # type: ignore[arg-type]
+            value=float(data["value"]),  # type: ignore[arg-type]
+            suggest_seconds=float(data.get("suggest_seconds", 0.0)),  # type: ignore[arg-type]
+            evaluate_seconds=float(data.get("evaluate_seconds", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class TuningResult:
+    """The outcome of one tuning run (one optimizer on one objective).
+
+    ``best_rerun_values`` holds the repeated measurements of the best
+    configuration (the paper re-runs each winner 30 times and reports
+    mean with min/max error bars).
+    """
+
+    strategy: str
+    observations: list[Observation] = field(default_factory=list)
+    best_rerun_values: list[float] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self.observations)
+
+    def values(self) -> list[float]:
+        return [o.value for o in self.observations]
+
+    def best_observation(self) -> Observation:
+        """The first observation achieving the maximum value."""
+        if not self.observations:
+            raise ValueError("no observations recorded")
+        best = max(o.value for o in self.observations)
+        for obs in self.observations:
+            if obs.value >= best:
+                return obs
+        raise AssertionError("unreachable")
+
+    @property
+    def best_value(self) -> float:
+        return self.best_observation().value
+
+    @property
+    def best_config(self) -> dict[str, object]:
+        return dict(self.best_observation().config)
+
+    @property
+    def best_step(self) -> int:
+        """1-based step at which the best value was first measured.
+
+        This is Figure 5's "convergence speed" metric.
+        """
+        return self.best_observation().step + 1
+
+    def best_so_far(self) -> list[float]:
+        """Running maximum of observed values (convergence trace)."""
+        trace: list[float] = []
+        best = -math.inf
+        for obs in self.observations:
+            best = max(best, obs.value)
+            trace.append(best)
+        return trace
+
+    def mean_suggest_seconds(self) -> float:
+        if not self.observations:
+            return 0.0
+        return sum(o.suggest_seconds for o in self.observations) / len(
+            self.observations
+        )
+
+    def rerun_summary(self) -> tuple[float, float, float]:
+        """(mean, min, max) of the best-config re-run measurements."""
+        values = self.best_rerun_values or [self.best_value]
+        return (sum(values) / len(values), min(values), max(values))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "observations": [o.as_dict() for o in self.observations],
+            "best_rerun_values": list(self.best_rerun_values),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TuningResult":
+        return cls(
+            strategy=str(data["strategy"]),
+            observations=[
+                Observation.from_dict(o) for o in data["observations"]  # type: ignore[union-attr]
+            ],
+            best_rerun_values=[float(v) for v in data.get("best_rerun_values", [])],  # type: ignore[union-attr]
+            metadata=dict(data.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def best_of(results: Iterable[TuningResult]) -> TuningResult:
+    """The run with the highest best value (the paper graphs the better
+    of its two optimization passes, §V-A)."""
+    results = list(results)
+    if not results:
+        raise ValueError("no results given")
+    return max(results, key=lambda r: r.best_value)
+
+
+def convergence_spread(results: Sequence[TuningResult]) -> tuple[float, float, float]:
+    """(min, avg, max) of best-step across repeated runs (Figure 5)."""
+    if not results:
+        raise ValueError("no results given")
+    steps = [r.best_step for r in results]
+    return (min(steps), sum(steps) / len(steps), max(steps))

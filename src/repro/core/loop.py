@@ -1,0 +1,136 @@
+"""The tuning loop: drive an optimizer against a black-box objective.
+
+Mirrors the paper's experimental procedure (§V-A): up to ``max_steps``
+evaluation runs per pass (60, or 180 for the bo180 runs); per-step
+optimizer wall time recorded (Figure 7); the best configuration
+re-measured ``repeat_best`` times at the end (30 in the paper) to give
+the mean/min/max bars of Figures 4 and 8.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+from repro.core.baselines import Optimizer
+from repro.core.history import Observation, TuningResult
+
+Objective = Callable[[Mapping[str, object]], float]
+
+
+class TuningLoop:
+    """Run one optimizer against one objective for a step budget.
+
+    ``patience`` optionally stops the loop once the best observed value
+    has not improved by more than ``min_improvement`` (relative) for
+    that many consecutive steps — a convergence cut-off for production
+    use.  The paper's experiments always spend the full budget
+    (``patience=None``), which Figure 5 then analyses post hoc.
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        optimizer: Optimizer,
+        *,
+        max_steps: int = 60,
+        repeat_best: int = 0,
+        strategy_name: str | None = None,
+        patience: int | None = None,
+        min_improvement: float = 0.01,
+    ) -> None:
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if repeat_best < 0:
+            raise ValueError("repeat_best must be >= 0")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_improvement < 0:
+            raise ValueError("min_improvement must be >= 0")
+        self.objective = objective
+        self.optimizer = optimizer
+        self.max_steps = max_steps
+        self.repeat_best = repeat_best
+        self.strategy_name = strategy_name or type(optimizer).__name__
+        self.patience = patience
+        self.min_improvement = min_improvement
+
+    def run(self) -> TuningResult:
+        result = TuningResult(strategy=self.strategy_name)
+        best_seen = float("-inf")
+        stale_steps = 0
+        for step in range(self.max_steps):
+            if self.optimizer.done:
+                break
+            if self.patience is not None and stale_steps >= self.patience:
+                break
+            t0 = time.perf_counter()
+            config = self.optimizer.ask()
+            suggest_seconds = time.perf_counter() - t0
+
+            t1 = time.perf_counter()
+            value = float(self.objective(config))
+            evaluate_seconds = time.perf_counter() - t1
+
+            self.optimizer.tell(config, value)
+            result.observations.append(
+                Observation(
+                    step=step,
+                    config=config,
+                    value=value,
+                    suggest_seconds=suggest_seconds,
+                    evaluate_seconds=evaluate_seconds,
+                )
+            )
+            improved = best_seen == float("-inf") or value > (
+                best_seen + abs(best_seen) * self.min_improvement
+            )
+            if improved:
+                best_seen = value
+                stale_steps = 0
+            else:
+                stale_steps += 1
+        if not result.observations:
+            raise RuntimeError("optimizer produced no observations")
+        if self.repeat_best > 0:
+            best_config = result.best_config
+            result.best_rerun_values = [
+                float(self.objective(best_config)) for _ in range(self.repeat_best)
+            ]
+        result.metadata.update(
+            {
+                "max_steps": self.max_steps,
+                "steps_run": result.n_steps,
+                "repeat_best": self.repeat_best,
+                "stopped_early": result.n_steps < self.max_steps,
+            }
+        )
+        return result
+
+
+def run_passes(
+    make_optimizer: Callable[[int], Optimizer],
+    objective: Objective,
+    *,
+    passes: int = 2,
+    max_steps: int = 60,
+    repeat_best: int = 30,
+    strategy_name: str | None = None,
+    base_seed: int = 0,
+) -> list[TuningResult]:
+    """Run several independent optimization passes (the paper runs two
+    and graphs the better one; Figure 5 reports spread over both)."""
+    if passes < 1:
+        raise ValueError("passes must be >= 1")
+    results = []
+    for i in range(passes):
+        optimizer = make_optimizer(base_seed + i)
+        loop = TuningLoop(
+            objective,
+            optimizer,
+            max_steps=max_steps,
+            repeat_best=repeat_best,
+            strategy_name=strategy_name,
+        )
+        results.append(loop.run())
+    return results

@@ -1,0 +1,316 @@
+"""The Bayesian optimizer: Spearmint's loop, from scratch.
+
+An *ask/tell* interface: :meth:`BayesianOptimizer.ask` proposes the next
+configuration (initial design first, then acquisition maximization over
+the GP posterior), :meth:`~BayesianOptimizer.tell` feeds back the
+measured objective.  State serializes to JSON so an optimization can be
+paused and resumed across processes — the Spearmint feature the paper
+calls out as important for its cluster-scale evaluations (§III-C).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.acquisition import AcquisitionOptimizer
+from repro.core.baselines import Optimizer
+from repro.core.gp import GaussianProcess
+from repro.core.parameters import ParameterSpace
+
+
+class BayesianOptimizer(Optimizer):
+    """GP + acquisition-function optimizer over a :class:`ParameterSpace`.
+
+    Parameters
+    ----------
+    space:
+        The search space.
+    acquisition:
+        'ei' (the paper's choice), 'pi', or 'ucb'.
+    kernel:
+        'matern52' (Spearmint's default), 'matern32', or 'rbf'.
+    ard:
+        Per-dimension lengthscales.  Defaults to isotropic for spaces
+        above ``ard_max_dim`` dimensions, where 60 samples cannot
+        identify 100 lengthscales.
+    init_points:
+        Size of the Latin-hypercube initial design.  Defaults to
+        ``max(4, min(dim + 1, 10))``.
+    initial_configs:
+        Known configurations evaluated before the random design (e.g.
+        the deployment's current defaults) — standard practice when
+        tuning a production system from a known-good starting point.
+    refit_every:
+        Hyperparameters are re-optimized every this many steps (the GP
+        posterior itself is refreshed on every ``tell``).
+    maximize:
+        True for throughput-style objectives.
+    hyper_inference:
+        ``"ml2"`` (default): point-estimate hyperparameters by marginal
+        likelihood.  ``"mcmc"``: slice-sample the hyperparameter
+        posterior and average the acquisition over ``mcmc_samples``
+        draws — Spearmint's integrated acquisition (§III-C's toolkit).
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        acquisition: str = "ei",
+        kernel: str = "matern52",
+        ard: bool | None = None,
+        ard_max_dim: int = 25,
+        init_points: int | None = None,
+        initial_configs: list[Mapping[str, object]] | None = None,
+        refit_every: int = 1,
+        n_restarts: int = 2,
+        maximize: bool = True,
+        seed: int | None = None,
+        acq_candidates: int = 1024,
+        hyper_inference: str = "ml2",
+        mcmc_samples: int = 5,
+        mcmc_burn_in: int = 10,
+    ) -> None:
+        self.space = space
+        if ard is None:
+            ard = space.dim <= ard_max_dim
+        self._kernel_name = kernel
+        self._ard = ard
+        self.gp = GaussianProcess(kernel, space.dim, ard=ard)
+        if hyper_inference not in ("ml2", "mcmc"):
+            raise ValueError(
+                f"unknown hyper_inference {hyper_inference!r}; use 'ml2' or 'mcmc'"
+            )
+        self.hyper_inference = hyper_inference
+        self.mcmc_samples = mcmc_samples
+        self.mcmc_burn_in = mcmc_burn_in
+        if hyper_inference == "mcmc":
+            from repro.core.mcmc import IntegratedAcquisitionOptimizer
+
+            self.acq: AcquisitionOptimizer = IntegratedAcquisitionOptimizer(
+                acquisition=acquisition, n_candidates=acq_candidates
+            )
+        else:
+            self.acq = AcquisitionOptimizer(
+                acquisition=acquisition, n_candidates=acq_candidates
+            )
+        self.init_points = (
+            init_points
+            if init_points is not None
+            else max(4, min(space.dim + 1, 10))
+        )
+        if self.init_points < 1:
+            raise ValueError("init_points must be >= 1")
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+        self.refit_every = refit_every
+        self.n_restarts = n_restarts
+        self.maximize = maximize
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.X: list[np.ndarray] = []
+        self.y: list[float] = []
+        self._initial_configs: list[np.ndarray] = []
+        for config in initial_configs or []:
+            space.validate(config)
+            self._initial_configs.append(space.encode(config))
+        self._init_design: list[np.ndarray] = []
+        self._pending: np.ndarray | None = None
+        self._steps_since_refit = 0
+
+    # ------------------------------------------------------------------
+    # Ask / tell
+    # ------------------------------------------------------------------
+    @property
+    def n_observed(self) -> int:
+        return len(self.y)
+
+    def ask(self) -> dict[str, object]:
+        """Propose the next configuration (idempotent until ``tell``).
+
+        Order: seeded ``initial_configs``, then the Latin-hypercube
+        design, then acquisition maximization over the GP posterior.
+        """
+        if self._pending is not None:
+            return self.space.decode(self._pending)
+        n_seeded = len(self._initial_configs)
+        if len(self.X) < n_seeded:
+            x = self._initial_configs[len(self.X)]
+        elif len(self.X) < n_seeded + self.init_points:
+            if not self._init_design:
+                design = self.space.latin_hypercube(self.init_points, self._rng)
+                self._init_design = [row for row in design]
+            x = self._init_design[len(self.X) - n_seeded]
+        else:
+            x = self._propose()
+        self._pending = np.asarray(x, dtype=float)
+        return self.space.decode(self._pending)
+
+    def tell(self, config: Mapping[str, object], value: float) -> None:
+        """Record a measurement and refresh (periodically refit) the GP."""
+        self.space.validate(config)
+        x = self.space.encode(config)
+        self.X.append(x)
+        self.y.append(float(value))
+        self._pending = None
+        if len(self.X) >= 2:
+            self._steps_since_refit += 1
+            refit = (
+                self._steps_since_refit >= self.refit_every
+                or self.gp.n_observations == 0
+            )
+            if refit:
+                self._steps_since_refit = 0
+            self._fit_gp(optimize_hyperparams=refit)
+
+    @property
+    def done(self) -> bool:
+        return False  # BO never exhausts its space
+
+    def best(self) -> tuple[dict[str, object], float]:
+        if not self.y:
+            raise RuntimeError("no observations yet")
+        idx = int(np.argmax(self.y) if self.maximize else np.argmin(self.y))
+        return self.space.decode(self.X[idx]), self.y[idx]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _signed_y(self) -> np.ndarray:
+        y = np.asarray(self.y, dtype=float)
+        return y if self.maximize else -y
+
+    def _fit_gp(self, *, optimize_hyperparams: bool) -> None:
+        X = np.vstack(self.X)
+        self.gp.fit(
+            X,
+            self._signed_y(),
+            optimize_hyperparams=optimize_hyperparams,
+            n_restarts=self.n_restarts,
+            rng=self._rng,
+        )
+        if self.hyper_inference == "mcmc" and optimize_hyperparams:
+            from repro.core.mcmc import (
+                IntegratedAcquisitionOptimizer,
+                sample_gp_hyperparameters,
+            )
+
+            assert isinstance(self.acq, IntegratedAcquisitionOptimizer)
+            post = self.gp._posterior
+            if post is not None and len(post.y) >= 3:
+                thetas = sample_gp_hyperparameters(
+                    self.gp,
+                    post.X,
+                    post.y,
+                    self.mcmc_samples,
+                    burn_in=self.mcmc_burn_in,
+                    rng=self._rng,
+                )
+                self.acq.set_theta_samples(thetas)
+
+    def _propose(self) -> np.ndarray:
+        y = self._signed_y()
+        best_idx = int(np.argmax(y))
+        proposal = self.acq.propose(
+            self.gp,
+            self.space,
+            best_x=self.X[best_idx],
+            best_y=float(y[best_idx]),
+            rng=self._rng,
+        )
+        x = proposal.x
+        # Avoid re-sampling an already-measured grid point exactly:
+        # perturb one coordinate if the proposal duplicates history.
+        if any(np.allclose(x, seen) for seen in self.X):
+            for _ in range(16):
+                jittered = np.clip(
+                    x + self._rng.normal(0.0, 0.1, size=self.space.dim), 0.0, 1.0
+                )
+                jittered = self.space.round_trip(jittered)
+                if not any(np.allclose(jittered, seen) for seen in self.X):
+                    return jittered
+            return self.space.round_trip(self._rng.random(self.space.dim))
+        return x
+
+    # ------------------------------------------------------------------
+    # Pause / resume (Spearmint feature, §III-C)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Full serializable optimizer state (see ``from_state_dict``)."""
+        return {
+            "space": self.space.as_dict(),
+            "acquisition": self.acq.acquisition,
+            "kernel": self._kernel_name,
+            "ard": self._ard,
+            "init_points": self.init_points,
+            "refit_every": self.refit_every,
+            "n_restarts": self.n_restarts,
+            "maximize": self.maximize,
+            "seed": self._seed,
+            "acq_candidates": self.acq.n_candidates,
+            "hyper_inference": self.hyper_inference,
+            "mcmc_samples": self.mcmc_samples,
+            "mcmc_burn_in": self.mcmc_burn_in,
+            "X": [list(map(float, x)) for x in self.X],
+            "y": list(map(float, self.y)),
+            "initial_configs": [list(map(float, x)) for x in self._initial_configs],
+            "init_design": [list(map(float, x)) for x in self._init_design],
+            "rng_state": self._rng.bit_generator.state,
+            "kernel_theta": list(map(float, self.gp.kernel.theta)),
+            "log_noise": self.gp._log_noise,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Mapping[str, object]) -> "BayesianOptimizer":
+        space = ParameterSpace.from_dict(state["space"])  # type: ignore[arg-type]
+        optimizer = cls(
+            space,
+            acquisition=str(state["acquisition"]),
+            kernel=str(state["kernel"]),
+            ard=bool(state["ard"]),
+            init_points=int(state["init_points"]),  # type: ignore[arg-type]
+            refit_every=int(state["refit_every"]),  # type: ignore[arg-type]
+            n_restarts=int(state["n_restarts"]),  # type: ignore[arg-type]
+            maximize=bool(state["maximize"]),
+            seed=state["seed"],  # type: ignore[arg-type]
+            acq_candidates=int(state["acq_candidates"]),  # type: ignore[arg-type]
+            hyper_inference=str(state.get("hyper_inference", "ml2")),
+            mcmc_samples=int(state.get("mcmc_samples", 5)),  # type: ignore[arg-type]
+            mcmc_burn_in=int(state.get("mcmc_burn_in", 10)),  # type: ignore[arg-type]
+        )
+        optimizer.X = [np.asarray(x, dtype=float) for x in state["X"]]  # type: ignore[union-attr]
+        optimizer.y = [float(v) for v in state["y"]]  # type: ignore[union-attr]
+        optimizer._initial_configs = [
+            np.asarray(x, dtype=float) for x in state.get("initial_configs", [])  # type: ignore[union-attr]
+        ]
+        optimizer._init_design = [
+            np.asarray(x, dtype=float) for x in state["init_design"]  # type: ignore[union-attr]
+        ]
+        optimizer._rng.bit_generator.state = state["rng_state"]
+        optimizer.gp.kernel.theta = np.asarray(state["kernel_theta"], dtype=float)
+        optimizer.gp._log_noise = float(state["log_noise"])  # type: ignore[arg-type]
+        if optimizer.X:
+            optimizer._fit_gp(optimize_hyperparams=False)
+        return optimizer
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.state_dict(), default=_json_default))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BayesianOptimizer":
+        return cls.from_state_dict(json.loads(Path(path).read_text()))
+
+
+def _json_default(obj: object) -> object:
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")

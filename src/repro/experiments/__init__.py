@@ -1,0 +1,22 @@
+"""Experiment pipeline: regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.presets` — paper constants and step budgets,
+* :mod:`repro.experiments.runner` — the synthetic (Figure 4–7) and
+  Sundog (Figure 8) studies,
+* :mod:`repro.experiments.figures` — data builders per table/figure,
+* :mod:`repro.experiments.report` — ASCII rendering.
+
+The mapping from paper table/figure to builder and benchmark lives in
+DESIGN.md §3; measured-vs-paper numbers in EXPERIMENTS.md.
+"""
+
+from repro.experiments.presets import Budget, default_budget, full_budget
+from repro.experiments.runner import SundogStudy, SyntheticStudy
+
+__all__ = [
+    "Budget",
+    "SundogStudy",
+    "SyntheticStudy",
+    "default_budget",
+    "full_budget",
+]

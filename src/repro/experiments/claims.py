@@ -1,0 +1,288 @@
+"""The paper's qualitative claims as executable checks.
+
+DESIGN.md §3 lists the findings the reproduction must preserve; this
+module encodes each as a predicate over the study results so the
+claim-by-claim outcome is a program output, not prose.  Used by the
+``repro-experiments claims`` command and asserted (for the robust
+subset) in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.history import best_of
+from repro.experiments.runner import SundogStudy, SyntheticStudy
+from repro.topology_gen.suite import TopologyCondition
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim_id: str
+    description: str
+    holds: bool
+    evidence: str
+
+
+def _mean(study: SyntheticStudy, condition: TopologyCondition, size: str, strategy: str) -> float:
+    return study.best_pass(condition, size, strategy).rerun_summary()[0]
+
+
+def _condition(study: SyntheticStudy, tiim: float, cont: float) -> TopologyCondition:
+    for condition in study.conditions:
+        if (
+            condition.time_imbalance == tiim
+            and condition.contentious_share == cont
+        ):
+            return condition
+    raise KeyError(f"study lacks condition TiIm={tiim}, contention={cont}")
+
+
+SyntheticCheck = Callable[[SyntheticStudy], tuple[bool, str]]
+SundogCheck = Callable[[SundogStudy], tuple[bool, str]]
+
+
+# ----------------------------------------------------------------------
+# Synthetic-study claims (Figures 4-7)
+# ----------------------------------------------------------------------
+def claim_f41_ipla_dominates_balanced(study: SyntheticStudy) -> tuple[bool, str]:
+    cond = _condition(study, 0.0, 0.0)
+    ratios = {
+        size: _mean(study, cond, size, "ipla") / _mean(study, cond, size, "pla")
+        for size in ("medium", "large")
+        if size in study.sizes
+    }
+    holds = all(r > 1.15 for r in ratios.values())
+    return holds, f"ipla/pla ratios { {k: round(v, 2) for k, v in ratios.items()} }"
+
+
+def claim_f41_small_parity(study: SyntheticStudy) -> tuple[bool, str]:
+    cond = _condition(study, 0.0, 0.0)
+    values = [
+        _mean(study, cond, "small", s)
+        for s in ("pla", "bo", "ipla", "ibo")
+        if s in study.strategies
+    ]
+    spread = max(values) / min(values)
+    return spread < 1.6, f"small-topology spread {spread:.2f}x"
+
+
+def claim_f42_bo_partially_compensates(study: SyntheticStudy) -> tuple[bool, str]:
+    cond = _condition(study, 1.0, 0.0)
+    wins = []
+    for size in ("small", "medium", "large"):
+        if size not in study.sizes:
+            continue
+        bo = max(
+            _mean(study, cond, size, s)
+            for s in ("bo", "bo180")
+            if s in study.strategies
+        )
+        pla = _mean(study, cond, size, "pla")
+        ipla = _mean(study, cond, size, "ipla")
+        wins.append((size, bo > pla, bo < 1.1 * ipla))
+    above_pla = sum(1 for _, w, _ in wins if w)
+    below_informed = all(b for _, _, b in wins)
+    return (
+        above_pla >= 2 and below_informed,
+        f"bo>pla on {above_pla}/{len(wins)} sizes, bo below informed: "
+        f"{below_informed}",
+    )
+
+
+def claim_f43_contention_collapses_throughput(
+    study: SyntheticStudy,
+) -> tuple[bool, str]:
+    balanced = _condition(study, 0.0, 0.0)
+    contended = _condition(study, 0.0, 0.25)
+    ratios = {
+        size: _mean(study, contended, size, "pla")
+        / _mean(study, balanced, size, "pla")
+        for size in study.sizes
+    }
+    holds = all(r < 0.35 for r in ratios.values())
+    return holds, f"contended/balanced pla ratios { {k: round(v, 2) for k, v in ratios.items()} }"
+
+
+def claim_f44_collapse_to_unit_hints(study: SyntheticStudy) -> tuple[bool, str]:
+    cond = _condition(study, 1.0, 0.25)
+    sizes = [s for s in ("medium", "large") if s in study.sizes]
+    hints = []
+    for size in sizes:
+        best = study.best_pass(cond, size, "pla").best_config
+        hints.append(int(best["uniform_hint"]))  # type: ignore[arg-type]
+    holds = all(h <= 4 for h in hints)
+    return holds, f"pla best uniform hints under both stressors: {hints}"
+
+
+def claim_f5_informed_converges_faster(study: SyntheticStudy) -> tuple[bool, str]:
+    import numpy as np
+
+    bo_steps, ibo_steps = [], []
+    for condition in study.conditions:
+        for size in study.sizes:
+            for strategy, bucket in (("bo", bo_steps), ("ibo", ibo_steps)):
+                if strategy in study.strategies:
+                    for result in study.passes(condition, size, strategy):
+                        bucket.append(result.best_step)
+    if not bo_steps or not ibo_steps:
+        return False, "missing strategies"
+    holds = float(np.mean(ibo_steps)) < float(np.mean(bo_steps))
+    return holds, (
+        f"mean best step: ibo {np.mean(ibo_steps):.1f} vs bo "
+        f"{np.mean(bo_steps):.1f}"
+    )
+
+
+def claim_f7_step_time_grows_with_dimension(
+    study: SyntheticStudy,
+) -> tuple[bool, str]:
+    import numpy as np
+
+    def mean_suggest(size: str) -> float:
+        times = []
+        for condition in study.conditions:
+            for result in study.passes(condition, size, "bo"):
+                times.extend(o.suggest_seconds for o in result.observations)
+        return float(np.mean(times))
+
+    small = mean_suggest("small")
+    large = mean_suggest("large") if "large" in study.sizes else small
+    holds = large > small
+    return holds, f"bo mean step: small {small * 1e3:.1f} ms, large {large * 1e3:.1f} ms"
+
+
+# ----------------------------------------------------------------------
+# Sundog claims (Figure 8)
+# ----------------------------------------------------------------------
+def claim_f8_hint_only_plateau(study: SundogStudy) -> tuple[bool, str]:
+    values = [
+        best_of(study.passes(s, "h")).rerun_summary()[0]
+        for s in ("pla", "bo", "bo180")
+        if (s, "h") in study.results
+    ]
+    spread = max(values) / min(values)
+    return spread < 1.8, f"hint-only spread {spread:.2f}x across strategies"
+
+
+def claim_f8_batch_tuning_step_change(study: SundogStudy) -> tuple[bool, str]:
+    from repro.experiments.figures import speedup_over_pla
+
+    speedup = speedup_over_pla(study)
+    return 1.7 < speedup < 4.0, f"speedup {speedup:.2f}x (paper: 2.8x)"
+
+
+def claim_f8_fixed_hints_equivalent(study: SundogStudy) -> tuple[bool, str]:
+    full = max(
+        best_of(study.passes(s, "h bs bp")).rerun_summary()[0]
+        for s in ("bo", "bo180")
+        if (s, "h bs bp") in study.results
+    )
+    fixed = max(
+        best_of(study.passes(s, "bs bp cc")).rerun_summary()[0]
+        for s in ("bo", "bo180")
+        if (s, "bs bp cc") in study.results
+    )
+    ratio = fixed / full
+    return 0.8 < ratio < 1.25, f"bs+bp+cc / h+bs+bp = {ratio:.2f}"
+
+
+def claim_f8_bo_raises_batch_parameters(study: SundogStudy) -> tuple[bool, str]:
+    best = best_of(study.passes("bo", "h bs bp")).best_config
+    bs = int(best["batch_size"])  # type: ignore[arg-type]
+    bp = int(best["batch_parallelism"])  # type: ignore[arg-type]
+    holds = bs > 100_000 and bp >= 10
+    return holds, f"bo chose batch_size={bs}, batch_parallelism={bp} (paper: 265312, 16)"
+
+
+SYNTHETIC_CLAIMS: tuple[tuple[str, str, SyntheticCheck], ...] = (
+    (
+        "F4.1a",
+        "balanced: informed linear ascent dominates medium/large",
+        claim_f41_ipla_dominates_balanced,
+    ),
+    (
+        "F4.1b",
+        "balanced: all strategies comparable on the small topology",
+        claim_f41_small_parity,
+    ),
+    (
+        "F4.2",
+        "imbalance: BO partially compensates for missing topology info",
+        claim_f42_bo_partially_compensates,
+    ),
+    (
+        "F4.3",
+        "contention collapses throughput for uniform scaling",
+        claim_f43_contention_collapses_throughput,
+    ),
+    (
+        "F4.4",
+        "imbalance+contention: optima collapse towards hint 1",
+        claim_f44_collapse_to_unit_hints,
+    ),
+    (
+        "F5",
+        "informed optimizer converges in fewer steps than uninformed",
+        claim_f5_informed_converges_faster,
+    ),
+    (
+        "F7",
+        "optimizer step time grows with the number of parameters",
+        claim_f7_step_time_grows_with_dimension,
+    ),
+)
+
+SUNDOG_CLAIMS: tuple[tuple[str, str, SundogCheck], ...] = (
+    ("F8.1", "hint-only tuning plateaus across strategies", claim_f8_hint_only_plateau),
+    (
+        "F8.2",
+        "batch tuning is a ~2.8x step change over pla hints-only",
+        claim_f8_batch_tuning_step_change,
+    ),
+    (
+        "F8.3",
+        "fixed hints + bs/bp/cc reaches the full space's level",
+        claim_f8_fixed_hints_equivalent,
+    ),
+    (
+        "F8.4",
+        "BO raises batch size and batch parallelism far beyond defaults",
+        claim_f8_bo_raises_batch_parameters,
+    ),
+)
+
+
+def evaluate_claims(
+    synthetic: SyntheticStudy | None = None,
+    sundog: SundogStudy | None = None,
+) -> list[ClaimResult]:
+    """Evaluate every applicable claim against the given studies."""
+    results: list[ClaimResult] = []
+    if synthetic is not None:
+        for claim_id, description, check in SYNTHETIC_CLAIMS:
+            try:
+                holds, evidence = check(synthetic)
+            except KeyError as exc:
+                holds, evidence = False, f"not evaluable: {exc}"
+            results.append(ClaimResult(claim_id, description, holds, evidence))
+    if sundog is not None:
+        for claim_id, description, check in SUNDOG_CLAIMS:
+            try:
+                holds, evidence = check(sundog)
+            except KeyError as exc:
+                holds, evidence = False, f"not evaluable: {exc}"
+            results.append(ClaimResult(claim_id, description, holds, evidence))
+    return results
+
+
+def render_claims(results: list[ClaimResult]) -> str:
+    lines = ["== Paper claims checklist =="]
+    for r in results:
+        mark = "PASS" if r.holds else "MISS"
+        lines.append(f"[{mark}] {r.claim_id}: {r.description}")
+        lines.append(f"       {r.evidence}")
+    passed = sum(1 for r in results if r.holds)
+    lines.append(f"{passed}/{len(results)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""ASCII rendering and CSV export of figure/table data."""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.experiments.figures import FigureData
+
+
+def render_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_bars(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    value_key: str,
+    label_keys: Sequence[str],
+    width: int = 40,
+) -> str:
+    """Render rows as labelled ASCII bars scaled to the maximum value."""
+    if not rows:
+        return "(no rows)"
+    values = [float(row[value_key]) for row in rows]  # type: ignore[arg-type]
+    peak = max(values) or 1.0
+    labels = [" ".join(str(row[k]) for k in label_keys) for row in rows]
+    label_width = max(len(lbl) for lbl in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, tuple[list[float], list[float]]],
+    *,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render line series as a coarse ASCII chart (one glyph per series)."""
+    if not series:
+        return "(no series)"
+    glyphs = "ox+*#@%&"
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    legend = [
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(series)
+    ]
+    lines.extend(legend)
+    lines.append(
+        f"x: [{x_lo:g}, {x_hi:g}]   y: [{y_lo:g}, {y_hi:g}]"
+    )
+    return "\n".join(lines)
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def write_csv(data: FigureData, directory: str | Path) -> list[Path]:
+    """Export an exhibit's rows (and series) as CSV files.
+
+    Returns the paths written: ``<exhibit>.csv`` for tabular rows and
+    ``<exhibit>_series.csv`` (long format: series, x, y) for line data.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    base = _slug(data.exhibit)
+    if data.rows:
+        path = directory / f"{base}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(data.rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(data.rows)
+        written.append(path)
+    if data.series:
+        path = directory / f"{base}_series.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["series", "x", "y"])
+            for name, (xs, ys) in data.series.items():
+                for x, y in zip(xs, ys):
+                    writer.writerow([name, x, y])
+        written.append(path)
+    return written
+
+
+def render_figure(data: FigureData) -> str:
+    """Full rendering: title, rows, series, notes."""
+    parts = [f"== {data.exhibit}: {data.title} =="]
+    if data.rows:
+        parts.append(render_table(data.rows))
+    if data.series:
+        parts.append(render_series(data.series))
+    for note in data.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)

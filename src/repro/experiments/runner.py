@@ -1,0 +1,403 @@
+"""Studies: orchestrate tuning runs over the paper's experiment grids.
+
+:class:`SyntheticStudy` runs the Figure 4–7 grid — four workload
+conditions × three topology sizes × five strategies (pla, bo, ipla,
+ibo, bo180) — with the paper's procedure: several independent passes,
+best pass graphed, winner re-measured.  :class:`SundogStudy` runs the
+Figure 8 arms over the Sundog topology.  Both cache their
+:class:`~repro.core.history.TuningResult` lists so every dependent
+figure derives from one set of runs, and support process-parallel
+execution of independent cells.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.baselines import Optimizer, ParallelLinearAscent
+from repro.core.history import TuningResult, best_of
+from repro.core.loop import TuningLoop
+from repro.core.optimizer import BayesianOptimizer
+from repro.experiments.presets import (
+    MEASUREMENT_NOISE_SIGMA,
+    SIZES,
+    SYNTHETIC_BASE_CONFIG,
+    SYNTHETIC_STRATEGIES,
+    Budget,
+    default_budget,
+    default_cluster,
+)
+from repro.storm.cluster import ClusterSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.noise import GaussianNoise
+from repro.storm.objective import StormObjective
+from repro.storm.spaces import (
+    HINT_PREFIX,
+    ConfigCodec,
+    InformedMultiplierCodec,
+    ParallelismCodec,
+    SundogParameterCodec,
+    UniformHintCodec,
+)
+from repro.storm.topology import Topology
+from repro.sundog import sundog_default_config, sundog_topology
+from repro.topology_gen.suite import CONDITIONS, TopologyCondition, make_topology
+
+#: Sundog parameter sets of Figure 8 (paper labels).
+SUNDOG_PARAM_SETS: tuple[str, ...] = ("h", "h bs bp", "bs bp cc")
+SUNDOG_STRATEGIES: tuple[str, ...] = ("pla", "bo", "bo180")
+
+#: The hint the paper fixes for the "bs bp cc" arm: the best value the
+#: parallel linear ascent found for Sundog (§V-D).
+SUNDOG_PLA_BEST_HINT = 11
+
+
+def _default_hint_config(codec: ParallelismCodec) -> dict[str, object]:
+    """The all-ones starting point a production deployment begins from."""
+    params: dict[str, object] = {
+        f"{HINT_PREFIX}{name}": 1
+        for name in codec.topology.topological_order()
+    }
+    if codec.include_max_tasks:
+        params["max_tasks"] = codec.space["max_tasks"].high
+    return params
+
+
+def make_synthetic_optimizer(
+    strategy: str,
+    topology: Topology,
+    cluster: ClusterSpec,
+    base_config: TopologyConfig,
+    steps: int,
+    seed: int,
+) -> tuple[Optimizer, ConfigCodec]:
+    """Optimizer + codec pair for one synthetic strategy."""
+    if strategy == "pla":
+        codec = UniformHintCodec(topology, cluster, base_config)
+        return (
+            ParallelLinearAscent("uniform_hint", codec.ascent_values(steps)),
+            codec,
+        )
+    if strategy == "ipla":
+        codec = InformedMultiplierCodec(topology, cluster, base_config)
+        return (
+            ParallelLinearAscent("multiplier", codec.ascent_values(steps)),
+            codec,
+        )
+    if strategy in ("bo", "bo180"):
+        codec = ParallelismCodec(topology, cluster, base_config)
+        optimizer = BayesianOptimizer(
+            codec.space,
+            seed=seed,
+            initial_configs=[_default_hint_config(codec)],
+        )
+        return optimizer, codec
+    if strategy == "ibo":
+        codec = InformedMultiplierCodec(topology, cluster, base_config)
+        optimizer = BayesianOptimizer(codec.space, seed=seed)
+        return optimizer, codec
+    if strategy == "rs":
+        # Random-search control (not in the paper's Figure 4; used by
+        # the ablation benches and available for what-if studies).
+        from repro.core.baselines import RandomSearchOptimizer
+
+        codec = ParallelismCodec(topology, cluster, base_config)
+        return RandomSearchOptimizer(codec.space, seed=seed), codec
+    raise ValueError(f"unknown synthetic strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class SyntheticCellSpec:
+    """One (size, condition, strategy) cell of the synthetic grid."""
+
+    size: str
+    condition: TopologyCondition
+    strategy: str
+    budget: Budget
+    seed: int = 0
+    fidelity: str = "analytic"
+
+
+def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
+    """Run all passes of one cell (module-level for process pools)."""
+    topology = make_topology(spec.size, spec.condition)
+    cluster = default_cluster()
+    if spec.strategy == "bo180":
+        steps = spec.budget.steps_extended
+    elif spec.strategy in ("pla", "ipla"):
+        steps = spec.budget.baseline_steps
+    else:
+        steps = spec.budget.steps
+    results: list[TuningResult] = []
+    for pass_idx in range(spec.budget.passes):
+        pass_seed = spec.seed * 10_007 + pass_idx
+        optimizer, codec = make_synthetic_optimizer(
+            spec.strategy, topology, cluster, SYNTHETIC_BASE_CONFIG, steps, pass_seed
+        )
+        objective = StormObjective(
+            topology,
+            cluster,
+            codec,
+            fidelity=spec.fidelity,  # type: ignore[arg-type]
+            noise=GaussianNoise(MEASUREMENT_NOISE_SIGMA),
+            seed=pass_seed + 777,
+        )
+        loop = TuningLoop(
+            objective,
+            optimizer,
+            max_steps=steps,
+            repeat_best=spec.budget.repeat_best,
+            strategy_name=spec.strategy,
+        )
+        result = loop.run()
+        result.metadata.update(
+            {
+                "size": spec.size,
+                "condition": spec.condition.label,
+                "pass": pass_idx,
+            }
+        )
+        results.append(result)
+    return results
+
+
+class SyntheticStudy:
+    """The Figure 4–7 grid over synthetic topologies."""
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        *,
+        conditions: Sequence[TopologyCondition] = CONDITIONS,
+        sizes: Sequence[str] = SIZES,
+        strategies: Sequence[str] = SYNTHETIC_STRATEGIES,
+        seed: int = 0,
+        fidelity: str = "analytic",
+        n_jobs: int = 1,
+    ) -> None:
+        self.budget = budget or default_budget()
+        self.conditions = tuple(conditions)
+        self.sizes = tuple(sizes)
+        self.strategies = tuple(strategies)
+        self.seed = seed
+        self.fidelity = fidelity
+        self.n_jobs = max(1, n_jobs)
+        self.results: dict[
+            tuple[TopologyCondition, str, str], list[TuningResult]
+        ] = {}
+
+    def specs(self) -> list[SyntheticCellSpec]:
+        return [
+            SyntheticCellSpec(
+                size=size,
+                condition=condition,
+                strategy=strategy,
+                budget=self.budget,
+                seed=self.seed,
+                fidelity=self.fidelity,
+            )
+            for condition in self.conditions
+            for size in self.sizes
+            for strategy in self.strategies
+        ]
+
+    def run(self) -> "SyntheticStudy":
+        specs = self.specs()
+        if self.n_jobs > 1:
+            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
+                outcomes = list(pool.map(run_synthetic_cell, specs))
+        else:
+            outcomes = [run_synthetic_cell(spec) for spec in specs]
+        for spec, results in zip(specs, outcomes):
+            self.results[(spec.condition, spec.size, spec.strategy)] = results
+        return self
+
+    # ------------------------------------------------------------------
+    def passes(
+        self, condition: TopologyCondition, size: str, strategy: str
+    ) -> list[TuningResult]:
+        return self.results[(condition, size, strategy)]
+
+    def best_pass(
+        self, condition: TopologyCondition, size: str, strategy: str
+    ) -> TuningResult:
+        """The better of the passes (the paper graphs this one)."""
+        return best_of(self.passes(condition, size, strategy))
+
+
+@dataclass(frozen=True)
+class SundogArmSpec:
+    """One Figure 8 arm: a strategy on a parameter set."""
+
+    strategy: str  # 'pla', 'bo', 'bo180'
+    param_set: str  # 'h', 'h bs bp', 'bs bp cc'
+    budget: Budget
+    seed: int = 0
+    fidelity: str = "analytic"
+
+    @property
+    def label(self) -> str:
+        return f"{self.strategy}.{self.param_set}"
+
+
+def _sundog_codec(
+    param_set: str,
+    topology: Topology,
+    cluster: ClusterSpec,
+    base_config: TopologyConfig,
+) -> SundogParameterCodec:
+    include = {
+        "h": ("h",),
+        "h bs bp": ("h", "bs", "bp"),
+        "bs bp cc": ("bs", "bp", "cc"),
+    }[param_set]
+    fixed_hint = SUNDOG_PLA_BEST_HINT if "h" not in include else None
+    return SundogParameterCodec(
+        topology,
+        cluster,
+        base_config,
+        include=include,
+        fixed_hint=fixed_hint,
+    )
+
+
+def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
+    """Run all passes of one Figure 8 arm."""
+    topology = sundog_topology()
+    cluster = default_cluster()
+    base_config = sundog_default_config(cluster.total_workers)
+    if spec.strategy == "bo180":
+        steps = spec.budget.steps_extended
+    elif spec.strategy == "pla":
+        steps = spec.budget.baseline_steps
+    else:
+        steps = spec.budget.steps
+    results: list[TuningResult] = []
+    for pass_idx in range(spec.budget.passes):
+        pass_seed = spec.seed * 10_007 + pass_idx
+        if spec.strategy == "pla":
+            if spec.param_set != "h":
+                raise ValueError(
+                    "the parallel linear ascent only searches parallelism hints"
+                )
+            ucodec = UniformHintCodec(topology, cluster, base_config)
+            codec: ConfigCodec = ucodec
+            optimizer: Optimizer = ParallelLinearAscent(
+                "uniform_hint", ucodec.ascent_values(steps)
+            )
+        else:
+            scodec = _sundog_codec(spec.param_set, topology, cluster, base_config)
+            codec = scodec
+            initial = _sundog_default_params(scodec, base_config)
+            optimizer = BayesianOptimizer(
+                scodec.space, seed=pass_seed, initial_configs=[initial]
+            )
+        objective = StormObjective(
+            topology,
+            cluster,
+            codec,
+            fidelity=spec.fidelity,  # type: ignore[arg-type]
+            noise=GaussianNoise(MEASUREMENT_NOISE_SIGMA),
+            seed=pass_seed + 131,
+        )
+        loop = TuningLoop(
+            objective,
+            optimizer,
+            max_steps=steps,
+            repeat_best=spec.budget.repeat_best,
+            strategy_name=spec.label,
+        )
+        result = loop.run()
+        result.metadata.update(
+            {
+                "param_set": spec.param_set,
+                "strategy": spec.strategy,
+                "pass": pass_idx,
+            }
+        )
+        results.append(result)
+    return results
+
+
+def _sundog_default_params(
+    codec: SundogParameterCodec, base_config: TopologyConfig
+) -> dict[str, object]:
+    """Encode the developers' manual configuration as a starting point."""
+    params: dict[str, object] = {}
+    if "h" in codec.include:
+        for name in codec.topology.topological_order():
+            params[f"{HINT_PREFIX}{name}"] = 1
+        params["max_tasks"] = codec.space["max_tasks"].high
+    if "bs" in codec.include:
+        params["batch_size"] = base_config.batch_size
+    if "bp" in codec.include:
+        params["batch_parallelism"] = base_config.batch_parallelism
+    if "cc" in codec.include:
+        params["worker_threads"] = base_config.worker_threads
+        params["receiver_threads"] = base_config.receiver_threads
+        params["ackers"] = base_config.effective_ackers()
+    return params
+
+
+#: The Figure 8 arms: pla searches hints only; the Bayesian optimizer
+#: additionally tunes the batch and concurrency parameter sets.
+SUNDOG_ARMS: tuple[tuple[str, str], ...] = (
+    ("pla", "h"),
+    ("bo", "h"),
+    ("bo180", "h"),
+    ("bo", "h bs bp"),
+    ("bo180", "h bs bp"),
+    ("bo", "bs bp cc"),
+    ("bo180", "bs bp cc"),
+)
+
+
+class SundogStudy:
+    """The Figure 8 arms over the Sundog topology."""
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        *,
+        arms: Iterable[tuple[str, str]] = SUNDOG_ARMS,
+        seed: int = 0,
+        fidelity: str = "analytic",
+        n_jobs: int = 1,
+    ) -> None:
+        self.budget = budget or default_budget()
+        self.arms = tuple(arms)
+        self.seed = seed
+        self.fidelity = fidelity
+        self.n_jobs = max(1, n_jobs)
+        self.results: dict[tuple[str, str], list[TuningResult]] = {}
+
+    def specs(self) -> list[SundogArmSpec]:
+        return [
+            SundogArmSpec(
+                strategy=strategy,
+                param_set=param_set,
+                budget=self.budget,
+                seed=self.seed,
+                fidelity=self.fidelity,
+            )
+            for strategy, param_set in self.arms
+        ]
+
+    def run(self) -> "SundogStudy":
+        specs = self.specs()
+        if self.n_jobs > 1:
+            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
+                outcomes = list(pool.map(run_sundog_arm, specs))
+        else:
+            outcomes = [run_sundog_arm(spec) for spec in specs]
+        for spec, results in zip(specs, outcomes):
+            self.results[(spec.strategy, spec.param_set)] = results
+        return self
+
+    def passes(self, strategy: str, param_set: str) -> list[TuningResult]:
+        return self.results[(strategy, param_set)]
+
+    def best_pass(self, strategy: str, param_set: str) -> TuningResult:
+        return best_of(self.passes(strategy, param_set))

@@ -1,0 +1,251 @@
+"""Dependency-free SVG rendering of figure data.
+
+The benchmark harness prints ASCII; this module writes the same
+exhibits as standalone SVG files (no matplotlib required offline) so
+the regenerated figures can be compared with the paper's visually.
+Bar charts serve the throughput/convergence exhibits, line charts the
+trace exhibits.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.experiments.figures import FigureData
+from repro.experiments.report import _slug
+
+#: A small colour-blind-safe palette.
+PALETTE = (
+    "#4477aa",
+    "#ee6677",
+    "#228833",
+    "#ccbb44",
+    "#66ccee",
+    "#aa3377",
+    "#bbbbbb",
+)
+
+_MARGIN = 60
+_WIDTH = 860
+_HEIGHT = 420
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _svg_header(title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="14">{_esc(title)}</text>',
+    ]
+
+
+def _y_scale(max_value: float) -> float:
+    return (_HEIGHT - 2 * _MARGIN) / max_value if max_value > 0 else 1.0
+
+
+def _y_axis(lines: list[str], max_value: float, y_label: str) -> None:
+    x0 = _MARGIN
+    y0 = _HEIGHT - _MARGIN
+    y1 = _MARGIN
+    lines.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>'
+    )
+    for i in range(5):
+        value = max_value * i / 4
+        y = y0 - (y0 - y1) * i / 4
+        lines.append(
+            f'<text x="{x0 - 6}" y="{y + 4}" text-anchor="end">'
+            f"{value:.3g}</text>"
+        )
+        lines.append(
+            f'<line x1="{x0 - 3}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/>'
+        )
+    lines.append(
+        f'<text x="14" y="{(y0 + y1) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(y0 + y1) / 2})">{_esc(y_label)}</text>'
+    )
+
+
+def svg_bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    value_key: str,
+    label_keys: Sequence[str],
+    color_key: str | None = None,
+    title: str = "",
+    y_label: str | None = None,
+    error_keys: tuple[str, str] | None = None,
+) -> str:
+    """Grouped bar chart with optional min/max error bars."""
+    if not rows:
+        raise ValueError("rows must be non-empty")
+    values = [float(row[value_key]) for row in rows]  # type: ignore[arg-type]
+    max_value = max(values) or 1.0
+    scale = _y_scale(max_value)
+    lines = _svg_header(title)
+    _y_axis(lines, max_value, y_label or value_key)
+
+    colors: dict[str, str] = {}
+    plot_width = _WIDTH - 2 * _MARGIN
+    slot = plot_width / len(rows)
+    bar_width = max(4.0, slot * 0.7)
+    y0 = _HEIGHT - _MARGIN
+    for i, (row, value) in enumerate(zip(rows, values)):
+        x = _MARGIN + slot * i + (slot - bar_width) / 2
+        key = str(row[color_key]) if color_key else "default"
+        color = colors.setdefault(key, PALETTE[len(colors) % len(PALETTE)])
+        height = value * scale
+        lines.append(
+            f'<rect x="{x:.1f}" y="{y0 - height:.1f}" width="{bar_width:.1f}" '
+            f'height="{height:.1f}" fill="{color}"/>'
+        )
+        if error_keys is not None:
+            lo = float(row[error_keys[0]]) * scale  # type: ignore[arg-type]
+            hi = float(row[error_keys[1]]) * scale  # type: ignore[arg-type]
+            cx = x + bar_width / 2
+            lines.append(
+                f'<line x1="{cx:.1f}" y1="{y0 - lo:.1f}" x2="{cx:.1f}" '
+                f'y2="{y0 - hi:.1f}" stroke="black"/>'
+            )
+        label = " ".join(str(row[k]) for k in label_keys)
+        lines.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{y0 + 12}" '
+            f'text-anchor="end" transform="rotate(-35 '
+            f'{x + bar_width / 2:.1f} {y0 + 12})">{_esc(label)}</text>'
+        )
+    if color_key:
+        for j, (key, color) in enumerate(colors.items()):
+            lx = _WIDTH - _MARGIN - 130
+            ly = _MARGIN + 16 * j
+            lines.append(
+                f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            lines.append(f'<text x="{lx + 14}" y="{ly}">{_esc(key)}</text>')
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def svg_line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    x_label: str = "step",
+    y_label: str = "value",
+) -> str:
+    """Multi-series line chart (optimization traces, LOESS curves)."""
+    if not series:
+        raise ValueError("series must be non-empty")
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    if not xs_all:
+        raise ValueError("series must contain points")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_hi = max(ys_all) or 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    scale_y = _y_scale(y_hi)
+    plot_width = _WIDTH - 2 * _MARGIN
+    y0 = _HEIGHT - _MARGIN
+
+    lines = _svg_header(title)
+    _y_axis(lines, y_hi, y_label)
+    lines.append(
+        f'<line x1="{_MARGIN}" y1="{y0}" x2="{_WIDTH - _MARGIN}" y2="{y0}" '
+        f'stroke="black"/>'
+    )
+    lines.append(
+        f'<text x="{_WIDTH / 2}" y="{_HEIGHT - 14}" text-anchor="middle">'
+        f"{_esc(x_label)}</text>"
+    )
+    for i in range(5):
+        x_val = x_lo + (x_hi - x_lo) * i / 4
+        x = _MARGIN + plot_width * i / 4
+        lines.append(
+            f'<text x="{x:.1f}" y="{y0 + 14}" text-anchor="middle">'
+            f"{x_val:.3g}</text>"
+        )
+
+    for j, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[j % len(PALETTE)]
+        points = " ".join(
+            f"{_MARGIN + (x - x_lo) / (x_hi - x_lo) * plot_width:.1f},"
+            f"{y0 - y * scale_y:.1f}"
+            for x, y in zip(xs, ys)
+        )
+        lines.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+        lx = _WIDTH - _MARGIN - 170
+        ly = _MARGIN + 16 * j
+        lines.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 12}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        lines.append(f'<text x="{lx + 16}" y="{ly}">{_esc(name)}</text>')
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+#: Per-exhibit hints: which column carries the value and which carry
+#: labels/groups/error bars.
+_BAR_HINTS: dict[str, dict[str, object]] = {
+    "Figure 3": {
+        "value_key": "MB/s per worker",
+        "label_keys": ["Topology"],
+    },
+    "Figure 4": {
+        "value_key": "tuples/s",
+        "label_keys": ["Size", "Strategy"],
+        "color_key": "Strategy",
+        "error_keys": ("min", "max"),
+    },
+    "Figure 5": {
+        "value_key": "steps(avg)",
+        "label_keys": ["Size", "Strategy"],
+        "color_key": "Strategy",
+        "error_keys": ("min", "max"),
+    },
+    "Figure 7": {
+        "value_key": "seconds(avg)",
+        "label_keys": ["Size", "Strategy"],
+        "color_key": "Strategy",
+        "error_keys": ("min", "max"),
+    },
+    "Figure 8a": {
+        "value_key": "mil tuples/s",
+        "label_keys": ["Strategy", "Params"],
+        "color_key": "Params",
+        "error_keys": ("min", "max"),
+    },
+}
+
+
+def save_figure_svg(data: FigureData, directory: str | Path) -> list[Path]:
+    """Write an exhibit's SVG rendering(s); returns the paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    base = _slug(data.exhibit)
+    hints = _BAR_HINTS.get(data.exhibit)
+    if data.rows and hints is not None:
+        svg = svg_bar_chart(data.rows, title=f"{data.exhibit}: {data.title}", **hints)  # type: ignore[arg-type]
+        path = directory / f"{base}.svg"
+        path.write_text(svg)
+        written.append(path)
+    if data.series:
+        svg = svg_line_chart(
+            data.series, title=f"{data.exhibit}: {data.title}"
+        )
+        path = directory / f"{base}_series.svg"
+        path.write_text(svg)
+        written.append(path)
+    return written

@@ -1,0 +1,23 @@
+"""Statistical analyses the paper applies to its measurements.
+
+* :mod:`repro.stats.loess` — LOESS regression smoothing with span 0.75
+  (Figure 6's trend lines),
+* :mod:`repro.stats.ttest` — two-sided t-tests at p = 0.05 (Figure 8's
+  significance statements),
+* :mod:`repro.stats.summarize` — mean/min/max summaries behind the
+  error bars of Figures 4, 5 and 8.
+"""
+
+from repro.stats.loess import loess, loess_at
+from repro.stats.summarize import Summary, summarize
+from repro.stats.ttest import TTestResult, two_sided_t_test, welch_t_test
+
+__all__ = [
+    "Summary",
+    "TTestResult",
+    "loess",
+    "loess_at",
+    "summarize",
+    "two_sided_t_test",
+    "welch_t_test",
+]

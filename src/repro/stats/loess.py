@@ -1,0 +1,83 @@
+"""LOESS (locally weighted regression) smoothing.
+
+Figure 6 of the paper plots "LOESS regression smoothing with span 0.75"
+of the Bayesian optimizer's throughput traces.  This is Cleveland's
+classic locally weighted linear regression: for each evaluation point,
+the nearest ``span * n`` observations are fit with a weighted linear
+model under tricube weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _tricube(u: np.ndarray) -> np.ndarray:
+    """Tricube kernel on |u| <= 1."""
+    out = np.clip(1.0 - np.abs(u) ** 3, 0.0, None) ** 3
+    return out
+
+
+def loess_at(
+    x: np.ndarray,
+    y: np.ndarray,
+    x0: float,
+    *,
+    span: float = 0.75,
+) -> float:
+    """LOESS estimate at a single point ``x0``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    n = len(x)
+    if n == 0:
+        raise ValueError("need at least one observation")
+    if not 0.0 < span <= 1.0:
+        raise ValueError("span must be in (0, 1]")
+    k = max(2, int(np.ceil(span * n)))
+    k = min(k, n)
+    dists = np.abs(x - x0)
+    idx = np.argpartition(dists, k - 1)[:k]
+    d_max = dists[idx].max()
+    if d_max == 0:
+        return float(np.mean(y[idx]))
+    w = _tricube(dists[idx] / d_max)
+    xw = x[idx]
+    yw = y[idx]
+    # Weighted linear least squares: minimize sum w (y - a - b(x - x0))^2.
+    sw = w.sum()
+    if sw <= 0:
+        return float(np.mean(yw))
+    dx = xw - x0
+    swx = float(np.sum(w * dx))
+    swxx = float(np.sum(w * dx * dx))
+    swy = float(np.sum(w * yw))
+    swxy = float(np.sum(w * dx * yw))
+    denom = sw * swxx - swx * swx
+    if abs(denom) < 1e-12:
+        return swy / sw
+    a = (swxx * swy - swx * swxy) / denom
+    return float(a)
+
+
+def loess(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    span: float = 0.75,
+    x_eval: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """LOESS curve over the data (or over ``x_eval`` when given).
+
+    Returns ``(x_eval, smoothed)`` sorted by x.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x_eval is None:
+        x_eval = np.unique(x)
+    else:
+        x_eval = np.asarray(x_eval, dtype=float)
+    smoothed = np.array([loess_at(x, y, float(x0), span=span) for x0 in x_eval])
+    order = np.argsort(x_eval)
+    return x_eval[order], smoothed[order]

@@ -1,0 +1,77 @@
+"""Summaries behind the paper's error bars."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with min/max error-bar bounds plus dispersion."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+    n: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+            "n": self.n,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean/min/max/std of repeated measurements (Figures 4, 5, 8)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("values must be non-empty")
+    arr = np.asarray(values)
+    return Summary(
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        std=float(arr.std(ddof=1)) if len(values) > 1 else 0.0,
+        n=len(values),
+    )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    values = np.asarray([float(v) for v in values])
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, values.size, size=(n_resamples, values.size))
+    means = values[idx].mean(axis=1)
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, lo)),
+        float(np.quantile(means, 1.0 - lo)),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for speedup aggregation across topologies)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("values must be non-empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))

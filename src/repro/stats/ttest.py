@@ -1,0 +1,98 @@
+"""Two-sided t-tests for throughput comparisons.
+
+The paper tests whether strategy throughputs differ significantly
+("A two-sided t-test deemed these differences statistically
+insignificant (p=0.05)", §V-D).  Implemented from scratch (Welch's
+unequal-variance form plus the pooled-variance Student form); tests
+cross-check against :func:`scipy.stats.ttest_ind`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _sstats
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a two-sample t-test."""
+
+    statistic: float
+    df: float
+    p_value: float
+    alpha: float = 0.05
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < self.alpha
+
+    def verdict(self) -> str:
+        word = "significant" if self.significant else "insignificant"
+        return (
+            f"t={self.statistic:.3f}, df={self.df:.1f}, p={self.p_value:.4f} "
+            f"-> statistically {word} (alpha={self.alpha})"
+        )
+
+
+def _moments(sample: Sequence[float]) -> tuple[int, float, float]:
+    n = len(sample)
+    if n < 2:
+        raise ValueError("each sample needs at least two observations")
+    mean = sum(sample) / n
+    var = sum((v - mean) ** 2 for v in sample) / (n - 1)
+    return n, mean, var
+
+
+def welch_t_test(
+    a: Sequence[float], b: Sequence[float], *, alpha: float = 0.05
+) -> TTestResult:
+    """Welch's two-sided t-test (unequal variances)."""
+    na, ma, va = _moments(a)
+    nb, mb, vb = _moments(b)
+    se2 = va / na + vb / nb
+    if se2 <= 0:
+        # Degenerate: identical constant samples are trivially equal.
+        equal = math.isclose(ma, mb)
+        return TTestResult(
+            statistic=0.0 if equal else math.inf,
+            df=float(na + nb - 2),
+            p_value=1.0 if equal else 0.0,
+            alpha=alpha,
+        )
+    t = (ma - mb) / math.sqrt(se2)
+    df = se2**2 / (
+        (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+    )
+    p = 2.0 * float(_sstats.t.sf(abs(t), df))
+    return TTestResult(statistic=t, df=df, p_value=p, alpha=alpha)
+
+
+def two_sided_t_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    alpha: float = 0.05,
+    equal_var: bool = False,
+) -> TTestResult:
+    """Two-sided two-sample t-test; Welch by default, pooled on request."""
+    if not equal_var:
+        return welch_t_test(a, b, alpha=alpha)
+    na, ma, va = _moments(a)
+    nb, mb, vb = _moments(b)
+    df = na + nb - 2
+    sp2 = ((na - 1) * va + (nb - 1) * vb) / df
+    se = math.sqrt(sp2 * (1.0 / na + 1.0 / nb))
+    if se == 0:
+        equal = math.isclose(ma, mb)
+        return TTestResult(
+            statistic=0.0 if equal else math.inf,
+            df=float(df),
+            p_value=1.0 if equal else 0.0,
+            alpha=alpha,
+        )
+    t = (ma - mb) / se
+    p = 2.0 * float(_sstats.t.sf(abs(t), df))
+    return TTestResult(statistic=t, df=float(df), p_value=p, alpha=alpha)

@@ -1,0 +1,64 @@
+"""Storm/Trident substrate: a simulated distributed stream processor.
+
+This subpackage is the reproduction's stand-in for the paper's physical
+80-machine Storm-on-YARN cluster.  It models:
+
+* the *logical* layer — topologies of spouts and bolts connected by
+  grouped streams (:mod:`repro.storm.topology`, :mod:`repro.storm.grouping`),
+* the *configuration surface* of Table I (:mod:`repro.storm.config`),
+* the *physical* layer — machines, worker slots and the even scheduler
+  (:mod:`repro.storm.cluster`, :mod:`repro.storm.scheduler`),
+* Trident mini-batch semantics and operator fusion
+  (:mod:`repro.storm.trident`),
+* two execution engines over identical mechanics: a discrete-event
+  simulator (:mod:`repro.storm.simulation`) and a fast analytic
+  bottleneck model (:mod:`repro.storm.analytic`),
+* measurement noise (:mod:`repro.storm.noise`) and run metrics
+  (:mod:`repro.storm.metrics`).
+"""
+
+from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
+from repro.storm.cluster import ClusterSpec, MachineSpec, paper_cluster
+from repro.storm.config import TopologyConfig
+from repro.storm.grouping import Grouping
+from repro.storm.local import BatchAwareBolt, LocalTopologyRunner
+from repro.storm.metrics import MeasuredRun
+from repro.storm.noise import GaussianNoise, InterferenceNoise, NoNoise
+from repro.storm.objective import StormObjective
+from repro.storm.scheduler import Assignment, EvenScheduler
+from repro.storm.sensitivity import SensitivityAnalyzer
+from repro.storm.simulation import DiscreteEventSimulator
+from repro.storm.topology import OperatorKind, OperatorSpec, Topology, TopologyBuilder
+from repro.storm.topology_io import load_topology, save_topology
+from repro.storm.trident import fuse_linear_chains
+from repro.storm.tuples import Batch, Tuple
+
+__all__ = [
+    "AnalyticPerformanceModel",
+    "Assignment",
+    "Batch",
+    "BatchAwareBolt",
+    "CalibrationParams",
+    "ClusterSpec",
+    "DiscreteEventSimulator",
+    "EvenScheduler",
+    "GaussianNoise",
+    "Grouping",
+    "InterferenceNoise",
+    "LocalTopologyRunner",
+    "MachineSpec",
+    "MeasuredRun",
+    "NoNoise",
+    "OperatorKind",
+    "OperatorSpec",
+    "SensitivityAnalyzer",
+    "StormObjective",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyConfig",
+    "Tuple",
+    "fuse_linear_chains",
+    "load_topology",
+    "paper_cluster",
+    "save_topology",
+]

@@ -1,0 +1,65 @@
+"""Acker bookkeeping model.
+
+Storm tracks tuple completion through dedicated "acker" bolts: every
+tuple emission results in an ack message that some acker task must
+process.  Too few ackers turn bookkeeping into the topology bottleneck;
+many ackers add executors (threads, memory) without benefit.  The paper
+includes the acker count in its concurrency parameter set (Table I,
+§V-D) and uses Storm's one-acker-per-worker default as baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storm.topology import Topology
+
+
+#: Compute units an acker spends per tracked emission.  Ack processing is
+#: an XOR and a hash-map update — orders of magnitude cheaper than
+#: application bolts.
+DEFAULT_ACK_COST_UNITS = 0.002
+
+
+@dataclass(frozen=True)
+class AckerModel:
+    """Capacity/demand model for the acker subsystem."""
+
+    ack_cost_units: float = DEFAULT_ACK_COST_UNITS
+
+    def __post_init__(self) -> None:
+        if self.ack_cost_units <= 0:
+            raise ValueError("ack_cost_units must be > 0")
+
+    def emissions_per_source_tuple(self, topology: Topology) -> float:
+        """Tracked emissions per ingested tuple: every operator's output."""
+        volumes = topology.volumes()
+        return sum(
+            volumes[name] * topology.operator(name).selectivity for name in topology
+        )
+
+    def demand_units_per_source_tuple(self, topology: Topology) -> float:
+        """Acker compute units consumed per ingested source tuple."""
+        return self.emissions_per_source_tuple(topology) * self.ack_cost_units
+
+    def capacity_units_per_ms(self, n_ackers: int, core_speed: float = 1.0) -> float:
+        """Aggregate acker service rate in compute units per millisecond."""
+        if n_ackers < 0:
+            raise ValueError("n_ackers must be >= 0")
+        return n_ackers * core_speed
+
+    def max_throughput_tps(
+        self, topology: Topology, n_ackers: int, core_speed: float = 1.0
+    ) -> float:
+        """Source tuples/s the acker subsystem can keep up with.
+
+        Infinite when acking is disabled (``n_ackers == 0`` — Storm then
+        skips tracking entirely, trading reliability for speed).
+        """
+        if n_ackers == 0:
+            return float("inf")
+        demand = self.demand_units_per_source_tuple(topology)
+        if demand <= 0:
+            return float("inf")
+        capacity_per_s = self.capacity_units_per_ms(n_ackers, core_speed) * 1000.0
+        return capacity_per_s / demand

@@ -1,0 +1,119 @@
+"""Physical cluster model: machines, cores, memory, network.
+
+The paper's testbed (§IV-C) is 80 student iMacs — 4 cores at 2.7 GHz,
+8 GB RAM, SSDs — on a 1 Gbps switched network (two Catalyst 4510R+E
+aggregation switches), running Storm on YARN with one worker per
+machine.  :func:`paper_cluster` reconstructs that deployment; arbitrary
+clusters can be described for what-if studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware of one cluster machine.
+
+    ``core_speed`` expresses how many compute units a core retires per
+    millisecond; 1.0 is the calibration point at which one compute unit
+    equals one millisecond of busy work (paper §IV-B1).
+    """
+
+    cores: int = 4
+    core_speed: float = 1.0
+    memory_mb: int = 8192
+    nic_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.core_speed <= 0:
+            raise ValueError("core_speed must be > 0")
+        if self.memory_mb < 1:
+            raise ValueError("memory_mb must be >= 1")
+        if self.nic_mbps <= 0:
+            raise ValueError("nic_mbps must be > 0")
+
+    @property
+    def nic_bytes_per_ms(self) -> float:
+        return self.nic_mbps * 1e6 / 8.0 / 1000.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``n_machines`` identical machines."""
+
+    n_machines: int = 80
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    workers_per_machine: int = 1
+    #: Supervisors refuse to start more executors than this per worker —
+    #: the hard limit that yields the paper's "zero performance" runs
+    #: when the parallel linear ascent overshoots.
+    max_executors_per_worker: int = 50
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1:
+            raise ValueError("n_machines must be >= 1")
+        if self.workers_per_machine < 1:
+            raise ValueError("workers_per_machine must be >= 1")
+        if self.max_executors_per_worker < 1:
+            raise ValueError("max_executors_per_worker must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_machines * self.machine.cores
+
+    @property
+    def total_workers(self) -> int:
+        return self.n_machines * self.workers_per_machine
+
+    @property
+    def total_compute_rate(self) -> float:
+        """Compute units the whole cluster retires per millisecond."""
+        return self.total_cores * self.machine.core_speed
+
+    @property
+    def max_total_executors(self) -> int:
+        return self.total_workers * self.max_executors_per_worker
+
+    def worker_slots(self) -> list["WorkerSlot"]:
+        """All worker slots in deterministic (machine, slot) order."""
+        slots = []
+        for machine_id in range(self.n_machines):
+            for slot_id in range(self.workers_per_machine):
+                slots.append(WorkerSlot(machine_id=machine_id, slot_id=slot_id))
+        return slots
+
+
+@dataclass(frozen=True, order=True)
+class WorkerSlot:
+    """One worker process slot, identified by machine and local slot id."""
+
+    machine_id: int
+    slot_id: int
+
+    @property
+    def key(self) -> str:
+        return f"m{self.machine_id}w{self.slot_id}"
+
+
+def paper_cluster() -> ClusterSpec:
+    """The paper's 80-iMac testbed (§IV-C1): 320 cores, 1 Gbps, 8 GB."""
+    return ClusterSpec(
+        n_machines=80,
+        machine=MachineSpec(cores=4, core_speed=1.0, memory_mb=8192, nic_mbps=1000.0),
+        workers_per_machine=1,
+        max_executors_per_worker=50,
+    )
+
+
+def small_test_cluster() -> ClusterSpec:
+    """A 4-machine cluster, handy for fast tests and examples."""
+    return ClusterSpec(
+        n_machines=4,
+        machine=MachineSpec(cores=4, core_speed=1.0, memory_mb=4096, nic_mbps=1000.0),
+        workers_per_machine=1,
+        max_executors_per_worker=50,
+    )

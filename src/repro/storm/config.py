@@ -1,0 +1,169 @@
+"""The Table I configuration surface of a Storm/Trident deployment.
+
+The paper tunes six kinds of parameters (Table I):
+
+==================  =====================================================
+Worker Threads      threads in each worker's executor pool
+Receiver Threads    threads each worker starts to receive messages
+Ackers              number of acker task instances (bookkeeping)
+Batch Parallelism   mini-batches processed concurrently (Trident)
+Batch Size          tuples per mini-batch (Trident)
+Parallelism Hints   task instances per operator (one value per vertex)
+==================  =====================================================
+
+:class:`TopologyConfig` bundles one concrete setting of all of them plus
+the ``max_tasks`` cap the paper lets Spearmint choose; hints are
+normalized against it exactly as described in §V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.storm.topology import Topology
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """One complete configuration of a topology deployment.
+
+    Attributes
+    ----------
+    parallelism_hints:
+        Requested task instances per operator.  Operators missing from
+        the mapping fall back to their spec's ``default_hint``.
+    max_tasks:
+        Upper bound on the *total* number of task instances Storm should
+        create.  ``None`` disables normalization.  The paper has the
+        optimizer choose this value and rescales hints so their sum does
+        not exceed it (§V-A).
+    batch_size:
+        Tuples ingested per Trident mini-batch.
+    batch_parallelism:
+        Mini-batches allowed in the processing pipeline concurrently
+        (a.k.a. pipeline parallelism, §III-B footnote).
+    worker_threads:
+        Size of the thread pool available to each worker.
+    receiver_threads:
+        Message-receive threads started per worker.
+    ackers:
+        Acker task instances for Storm's at-least-once bookkeeping.
+        ``None`` means Storm's default of one acker per worker.
+    num_workers:
+        Worker processes (one per machine in the paper's deployment).
+    """
+
+    parallelism_hints: Mapping[str, int] = field(default_factory=dict)
+    max_tasks: int | None = None
+    batch_size: int = 1000
+    batch_parallelism: int = 1
+    worker_threads: int = 8
+    receiver_threads: int = 1
+    ackers: int | None = None
+    num_workers: int = 80
+
+    def __post_init__(self) -> None:
+        for name, hint in self.parallelism_hints.items():
+            if hint < 1:
+                raise ValueError(f"hint for {name!r} must be >= 1, got {hint}")
+        if self.max_tasks is not None and self.max_tasks < 1:
+            raise ValueError("max_tasks must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_parallelism < 1:
+            raise ValueError("batch_parallelism must be >= 1")
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        if self.receiver_threads < 1:
+            raise ValueError("receiver_threads must be >= 1")
+        if self.ackers is not None and self.ackers < 0:
+            raise ValueError("ackers must be >= 0")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        # Freeze the mapping so the dataclass is safely hashable-by-value.
+        object.__setattr__(self, "parallelism_hints", dict(self.parallelism_hints))
+
+    # ------------------------------------------------------------------
+    # Hints
+    # ------------------------------------------------------------------
+    def raw_hint(self, topology: Topology, name: str) -> int:
+        hint = self.parallelism_hints.get(name)
+        if hint is None:
+            hint = topology.operator(name).default_hint
+        return int(hint)
+
+    def normalized_hints(self, topology: Topology) -> dict[str, int]:
+        """Task counts per operator after max-tasks normalization.
+
+        If the hint sum exceeds ``max_tasks``, hints are scaled down
+        proportionally, with a floor of one task per operator (Storm
+        never instantiates zero tasks for a component).
+        """
+        hints = {name: self.raw_hint(topology, name) for name in topology}
+        if self.max_tasks is None:
+            return hints
+        total = sum(hints.values())
+        if total <= self.max_tasks:
+            return hints
+        scale = self.max_tasks / total
+        return {name: max(1, round(hint * scale)) for name, hint in hints.items()}
+
+    def total_tasks(self, topology: Topology) -> int:
+        return sum(self.normalized_hints(topology).values())
+
+    def effective_ackers(self) -> int:
+        """Acker count with Storm's one-per-worker default applied."""
+        return self.num_workers if self.ackers is None else self.ackers
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, topology: Topology, hint: int, **overrides: object
+    ) -> "TopologyConfig":
+        """All operators share one hint — the parallel-linear-ascent shape."""
+        hints = {name: hint for name in topology}
+        return cls(parallelism_hints=hints, **overrides)  # type: ignore[arg-type]
+
+    def with_hints(self, hints: Mapping[str, int]) -> "TopologyConfig":
+        merged = dict(self.parallelism_hints)
+        merged.update(hints)
+        return self.replace(parallelism_hints=merged)
+
+    def replace(self, **changes: object) -> "TopologyConfig":
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "parallelism_hints": dict(self.parallelism_hints),
+            "max_tasks": self.max_tasks,
+            "batch_size": self.batch_size,
+            "batch_parallelism": self.batch_parallelism,
+            "worker_threads": self.worker_threads,
+            "receiver_threads": self.receiver_threads,
+            "ackers": self.ackers,
+            "num_workers": self.num_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TopologyConfig":
+        return cls(**data)  # type: ignore[arg-type]
+
+
+#: Human-readable catalogue of the Table I parameters, used by the
+#: Table I benchmark and the documentation.
+TABLE1_PARAMETERS: tuple[tuple[str, str], ...] = (
+    ("Worker Threads", "Number of threads per worker"),
+    ("Receiver Threads", "Number of receiver threads per worker"),
+    ("Ackers", "Number of acker tasks"),
+    ("Batch Parallelism", "Number of batches being processed in parallel"),
+    ("Batch Size", "Number of tuples in each batch"),
+    ("Parallelism Hints", "Number of task instances to create for operators"),
+)

@@ -1,0 +1,126 @@
+"""Stream grouping strategies (paper §III-A).
+
+A grouping decides which downstream task instance receives each tuple.
+For the execution engines what matters is the resulting *load split*
+across the consumer's task instances, so each strategy is reduced to a
+function returning per-task load fractions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Grouping(enum.Enum):
+    """Supported Storm stream groupings.
+
+    SHUFFLE
+        Tuples are evenly shuffled among downstream tasks (the grouping
+        used by the paper's synthetic topologies, §IV-B4).
+    FIELDS
+        Tuples sharing values in configured fields land on the same task;
+        real key distributions are skewed, so the load split follows a
+        Zipf-like profile.
+    ALL
+        Every task receives every tuple (replication).
+    GLOBAL
+        All tuples go to the single lowest-id task.
+    LOCAL_OR_SHUFFLE
+        Prefer a task in the same worker, else shuffle; the load split is
+        even, but remote traffic is reduced.
+    """
+
+    SHUFFLE = "shuffle"
+    FIELDS = "fields"
+    ALL = "all"
+    GLOBAL = "global"
+    LOCAL_OR_SHUFFLE = "local_or_shuffle"
+
+
+#: Default skew exponent for FIELDS groupings; 0 would be a perfectly
+#: uniform key distribution, 1 a classic Zipf.
+DEFAULT_FIELDS_SKEW = 0.6
+
+
+def load_fractions(
+    grouping: Grouping,
+    n_tasks: int,
+    *,
+    skew: float = DEFAULT_FIELDS_SKEW,
+) -> np.ndarray:
+    """Fraction of the consumer's input handled by each of its tasks.
+
+    The fractions sum to 1 except for :attr:`Grouping.ALL`, where every
+    task processes the full stream (each fraction is 1).
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    if grouping is Grouping.ALL:
+        return np.ones(n_tasks)
+    if grouping is Grouping.GLOBAL:
+        fractions = np.zeros(n_tasks)
+        fractions[0] = 1.0
+        return fractions
+    if grouping is Grouping.FIELDS:
+        ranks = np.arange(1, n_tasks + 1, dtype=float)
+        weights = ranks ** (-skew)
+        return weights / weights.sum()
+    # SHUFFLE and LOCAL_OR_SHUFFLE split evenly.
+    return np.full(n_tasks, 1.0 / n_tasks)
+
+
+def replication_factor(grouping: Grouping, n_tasks: int) -> float:
+    """How many copies of each tuple the grouping delivers downstream."""
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    return float(n_tasks) if grouping is Grouping.ALL else 1.0
+
+
+def effective_parallelism(
+    grouping: Grouping,
+    n_tasks: int,
+    *,
+    skew: float = DEFAULT_FIELDS_SKEW,
+) -> float:
+    """Parallelism actually achievable under the grouping's load split.
+
+    With an even split this equals ``n_tasks``; a skewed FIELDS split is
+    bottlenecked by its most loaded task, and GLOBAL pins everything to
+    one task.  Defined as ``1 / max(load fraction)`` (ALL replicates the
+    stream, so every task carries the full load and the value is 1).
+    """
+    fractions = load_fractions(grouping, n_tasks, skew=skew)
+    peak = float(fractions.max())
+    if peak <= 0:
+        raise ValueError("degenerate load split")
+    return 1.0 / peak
+
+
+def remote_fraction(
+    grouping: Grouping,
+    n_machines: int,
+    *,
+    colocated_share: float | None = None,
+) -> float:
+    """Expected fraction of tuples that cross a machine boundary.
+
+    Under shuffle-style groupings a tuple lands on a random task, so with
+    ``m`` machines roughly ``(m - 1) / m`` of traffic is remote.
+    LOCAL_OR_SHUFFLE keeps a configurable share on the local worker
+    (default: one machine's worth plus half of the remainder stays
+    pessimistic about co-location, matching Storm's behaviour when local
+    consumers exist on every worker).
+    """
+    if n_machines < 1:
+        raise ValueError("n_machines must be >= 1")
+    if n_machines == 1:
+        return 0.0
+    shuffle_remote = (n_machines - 1) / n_machines
+    if grouping is Grouping.LOCAL_OR_SHUFFLE:
+        local = colocated_share if colocated_share is not None else 0.5
+        if not 0.0 <= local <= 1.0:
+            raise ValueError("colocated_share must be in [0, 1]")
+        return shuffle_remote * (1.0 - local)
+    return shuffle_remote

@@ -1,0 +1,62 @@
+"""Run metrics reported by the execution engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Result of evaluating one configuration for a measurement window.
+
+    Attributes
+    ----------
+    throughput_tps:
+        Ingested tuples per second, the paper's objective.  Zero for
+        failed runs (the signal the parallel linear ascent's stop rule
+        watches for).
+    network_mb_per_worker_s:
+        Average network load in MB/s per worker (Figure 3's metric).
+    batch_latency_ms:
+        End-to-end latency of one mini-batch through the pipeline.
+    total_tasks:
+        Executors instantiated for the topology (after normalization).
+    failed:
+        True if the deployment could not run (e.g. executor capacity or
+        memory exhausted); throughput is zero in that case.
+    failure_reason:
+        Human-readable cause when ``failed``.
+    details:
+        Engine-specific extras (per-operator utilization, bottleneck
+        operator, cap that bound throughput, ...).
+    """
+
+    throughput_tps: float
+    network_mb_per_worker_s: float = 0.0
+    batch_latency_ms: float = 0.0
+    total_tasks: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.throughput_tps < 0:
+            raise ValueError("throughput_tps must be >= 0")
+        if self.failed and self.throughput_tps != 0:
+            raise ValueError("failed runs must report zero throughput")
+        object.__setattr__(self, "details", dict(self.details))
+
+    @classmethod
+    def failure(cls, reason: str, *, total_tasks: int = 0) -> "MeasuredRun":
+        return cls(
+            throughput_tps=0.0,
+            total_tasks=total_tasks,
+            failed=True,
+            failure_reason=reason,
+        )
+
+    def with_throughput(self, throughput_tps: float) -> "MeasuredRun":
+        from dataclasses import replace
+
+        return replace(self, throughput_tps=max(0.0, throughput_tps))

@@ -1,0 +1,87 @@
+"""The black-box objective the optimizers sample.
+
+Combines a codec (flat parameter dict → :class:`TopologyConfig`) with an
+execution engine (analytic model or discrete-event simulator) into the
+callable the paper treats as its unknown function *f*: "the actual
+system performance of our distributed stream processor, given all the
+configuration parameters chosen" (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping
+
+from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
+from repro.storm.cluster import ClusterSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.metrics import MeasuredRun
+from repro.storm.noise import NoiseModel
+from repro.storm.simulation import DiscreteEventSimulator
+from repro.storm.spaces import ConfigCodec
+from repro.storm.topology import Topology
+
+Fidelity = Literal["analytic", "des"]
+
+
+class StormObjective:
+    """Callable objective: parameter dict → throughput (tuples/s).
+
+    Parameters
+    ----------
+    topology, cluster:
+        Deployment under test.
+    codec:
+        Translates optimizer proposals into configurations.
+    fidelity:
+        ``"analytic"`` (fast closed form; experiment default) or
+        ``"des"`` (event-by-event simulation).
+    noise:
+        Observation noise model shared by both engines.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster: ClusterSpec,
+        codec: ConfigCodec,
+        *,
+        fidelity: Fidelity = "analytic",
+        calibration: CalibrationParams | None = None,
+        noise: NoiseModel | None = None,
+        seed: int | None = None,
+        des_kwargs: Mapping[str, object] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.cluster = cluster
+        self.codec = codec
+        self.fidelity = fidelity
+        if fidelity == "analytic":
+            self.engine = AnalyticPerformanceModel(
+                topology, cluster, calibration=calibration, noise=noise, seed=seed
+            )
+        elif fidelity == "des":
+            self.engine = DiscreteEventSimulator(
+                topology,
+                cluster,
+                calibration=calibration,
+                noise=noise,
+                seed=seed,
+                **dict(des_kwargs or {}),
+            )
+        else:
+            raise ValueError(f"unknown fidelity {fidelity!r}")
+        self.n_evaluations = 0
+
+    def measure(self, params: Mapping[str, object]) -> MeasuredRun:
+        """Full metrics for one proposal (throughput, network, latency)."""
+        config = self.codec.decode(params)
+        self.n_evaluations += 1
+        return self.engine.evaluate(config)
+
+    def measure_config(self, config: TopologyConfig) -> MeasuredRun:
+        """Bypass the codec and measure a concrete configuration."""
+        self.n_evaluations += 1
+        return self.engine.evaluate(config)
+
+    def __call__(self, params: Mapping[str, object]) -> float:
+        return self.measure(params).throughput_tps

@@ -1,0 +1,155 @@
+"""Task placement: Storm's even scheduler.
+
+Storm's default scheduler distributes a topology's executors round-robin
+across the available worker slots, balancing executor counts.  The
+resulting :class:`Assignment` is what both execution engines consume: it
+determines per-machine thread counts (context-switch pressure), memory
+footprints, and which traffic is machine-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.storm.cluster import ClusterSpec, WorkerSlot
+from repro.storm.config import TopologyConfig
+from repro.storm.topology import Topology
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One executor: the ``index``-th task of ``operator``."""
+
+    operator: str
+    index: int
+    slot: WorkerSlot
+
+    @property
+    def key(self) -> str:
+        return f"{self.operator}#{self.index}@{self.slot.key}"
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a configuration cannot be placed on the cluster."""
+
+
+@dataclass
+class Assignment:
+    """A complete placement of a configured topology on a cluster."""
+
+    topology: Topology
+    cluster: ClusterSpec
+    config: TopologyConfig
+    tasks: list[TaskInstance] = field(default_factory=list)
+    acker_tasks: list[TaskInstance] = field(default_factory=list)
+
+    def tasks_of(self, operator: str) -> list[TaskInstance]:
+        return [t for t in self.tasks if t.operator == operator]
+
+    def task_count(self, operator: str) -> int:
+        return sum(1 for t in self.tasks if t.operator == operator)
+
+    def machines_of(self, operator: str) -> set[int]:
+        return {t.slot.machine_id for t in self.tasks if t.operator == operator}
+
+    def executors_per_machine(self) -> dict[int, int]:
+        """Topology executors (incl. ackers) placed on each machine."""
+        counts = {m: 0 for m in range(self.cluster.n_machines)}
+        for task in self.tasks:
+            counts[task.slot.machine_id] += 1
+        for task in self.acker_tasks:
+            counts[task.slot.machine_id] += 1
+        return counts
+
+    def threads_per_machine(self) -> dict[int, float]:
+        """Runnable threads per machine: executors + per-worker system threads.
+
+        Each worker contributes its receiver threads plus a small fixed
+        set of system threads (heartbeat, metrics) — the quantities that
+        drive context-switch overhead in the execution models.
+        """
+        system_threads_per_worker = 2.0
+        per_worker = self.config.receiver_threads + system_threads_per_worker
+        counts: dict[int, float] = {}
+        executors = self.executors_per_machine()
+        for machine_id in range(self.cluster.n_machines):
+            counts[machine_id] = (
+                executors[machine_id]
+                + per_worker * self.cluster.workers_per_machine
+            )
+        return counts
+
+    def total_executors(self) -> int:
+        return len(self.tasks) + len(self.acker_tasks)
+
+    def colocation_fraction(self, src: str, dst: str) -> float:
+        """Fraction of (src task, dst task) pairs sharing a machine.
+
+        Under shuffle grouping the probability a tuple stays on-machine
+        equals the fraction of destination tasks co-located with the
+        emitting task, averaged over source tasks.
+        """
+        src_tasks = self.tasks_of(src)
+        dst_tasks = self.tasks_of(dst)
+        if not src_tasks or not dst_tasks:
+            return 0.0
+        dst_by_machine: dict[int, int] = {}
+        for t in dst_tasks:
+            dst_by_machine[t.slot.machine_id] = (
+                dst_by_machine.get(t.slot.machine_id, 0) + 1
+            )
+        total = 0.0
+        for s in src_tasks:
+            local = dst_by_machine.get(s.slot.machine_id, 0)
+            total += local / len(dst_tasks)
+        return total / len(src_tasks)
+
+
+class EvenScheduler:
+    """Round-robin placement over worker slots, like Storm's default.
+
+    Executors are placed one operator at a time (topological order, so
+    pipelines interleave across machines) onto the currently least
+    loaded slot; ties break by slot order.  Acker tasks are placed last
+    the same way.
+    """
+
+    def schedule(
+        self,
+        topology: Topology,
+        config: TopologyConfig,
+        cluster: ClusterSpec,
+    ) -> Assignment:
+        hints = config.normalized_hints(topology)
+        ackers = config.effective_ackers()
+        total_executors = sum(hints.values()) + ackers
+        if total_executors > cluster.max_total_executors:
+            raise SchedulingError(
+                f"cannot place {total_executors} executors on "
+                f"{cluster.max_total_executors} available executor slots"
+            )
+
+        slots = cluster.worker_slots()
+        load = {slot: 0 for slot in slots}
+        assignment = Assignment(topology=topology, cluster=cluster, config=config)
+
+        def place(operator: str, count: int, into: list[TaskInstance]) -> None:
+            for index in range(count):
+                slot = min(slots, key=lambda s: (load[s], s))
+                load[slot] += 1
+                into.append(TaskInstance(operator=operator, index=index, slot=slot))
+
+        for name in topology.topological_order():
+            place(name, hints[name], assignment.tasks)
+        place("__acker__", ackers, assignment.acker_tasks)
+        return assignment
+
+
+def schedulable(
+    topology: Topology, config: TopologyConfig, cluster: ClusterSpec
+) -> bool:
+    """True if the configuration fits the cluster's executor capacity."""
+    hints = config.normalized_hints(topology)
+    total = sum(hints.values()) + config.effective_ackers()
+    return total <= cluster.max_total_executors

@@ -1,0 +1,175 @@
+"""One-at-a-time parameter sensitivity analysis.
+
+The paper motivates black-box optimization by arguing that "overall
+performance is a result of the combination of all of these parameters
+working together" and that single-parameter effects are hard to predict
+(§III-B).  This module makes that claim inspectable: perturb one
+configuration parameter at a time around a base configuration, measure
+the throughput response, and quantify two-parameter interactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.storm.analytic import AnalyticPerformanceModel
+from repro.storm.cluster import ClusterSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.topology import Topology
+
+#: Parameters the sweep knows how to vary on a TopologyConfig.
+SWEEPABLE = (
+    "batch_size",
+    "batch_parallelism",
+    "worker_threads",
+    "receiver_threads",
+    "ackers",
+    "uniform_hint",
+)
+
+
+def _apply(
+    config: TopologyConfig, topology: Topology, name: str, value: int
+) -> TopologyConfig:
+    if name == "uniform_hint":
+        return config.replace(parallelism_hints={n: value for n in topology})
+    if name == "ackers":
+        return config.replace(ackers=value)
+    if name not in SWEEPABLE:
+        raise ValueError(f"unknown sweep parameter {name!r}")
+    return config.replace(**{name: value})
+
+
+def _current(config: TopologyConfig, topology: Topology, name: str) -> int:
+    if name not in SWEEPABLE:
+        raise ValueError(f"unknown sweep parameter {name!r}")
+    if name == "uniform_hint":
+        hints = config.normalized_hints(topology)
+        return round(sum(hints.values()) / len(hints))
+    if name == "ackers":
+        return config.effective_ackers()
+    return int(getattr(config, name))
+
+
+@dataclass
+class SweepPoint:
+    value: int
+    throughput_tps: float
+    failed: bool
+
+
+@dataclass
+class ParameterSweep:
+    """Throughput response of one parameter around the base config."""
+
+    parameter: str
+    base_value: int
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def best(self) -> SweepPoint:
+        return max(self.points, key=lambda p: p.throughput_tps)
+
+    def dynamic_range(self) -> float:
+        """max/min throughput over the sweep (1.0 = parameter inert)."""
+        values = [p.throughput_tps for p in self.points if not p.failed]
+        if not values or min(values) <= 0:
+            return float("inf")
+        return max(values) / min(values)
+
+
+class SensitivityAnalyzer:
+    """Sweep parameters one (or two) at a time around a base config."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster: ClusterSpec,
+        base_config: TopologyConfig,
+        *,
+        model: AnalyticPerformanceModel | None = None,
+    ) -> None:
+        self.topology = topology
+        self.cluster = cluster
+        self.base_config = base_config
+        self.model = model or AnalyticPerformanceModel(topology, cluster)
+
+    def _measure(self, config: TopologyConfig) -> tuple[float, bool]:
+        run = self.model.evaluate_noise_free(config)
+        return run.throughput_tps, run.failed
+
+    def sweep(self, parameter: str, values: Sequence[int]) -> ParameterSweep:
+        """Vary one parameter, all others fixed at the base config."""
+        result = ParameterSweep(
+            parameter=parameter,
+            base_value=_current(self.base_config, self.topology, parameter),
+        )
+        for value in values:
+            config = _apply(self.base_config, self.topology, parameter, int(value))
+            tput, failed = self._measure(config)
+            result.points.append(
+                SweepPoint(value=int(value), throughput_tps=tput, failed=failed)
+            )
+        return result
+
+    def sweep_all(
+        self, values_by_parameter: dict[str, Sequence[int]]
+    ) -> list[ParameterSweep]:
+        return [
+            self.sweep(name, values) for name, values in values_by_parameter.items()
+        ]
+
+    def interaction(
+        self,
+        parameter_a: str,
+        value_a: int,
+        parameter_b: str,
+        value_b: int,
+    ) -> float:
+        """Interaction strength of two parameter changes.
+
+        Returns ``joint / (effect_a * effect_b)`` where each effect is
+        the throughput ratio of applying one change alone.  1.0 means
+        the parameters compose independently; deviations in either
+        direction are the "hard to predict" interplay the paper calls
+        out (e.g. batch size × batch parallelism on Sundog).
+        """
+        base, base_failed = self._measure(self.base_config)
+        if base_failed or base <= 0:
+            raise ValueError("base configuration must be feasible")
+
+        def ratio(*changes: tuple[str, int]) -> float:
+            config = self.base_config
+            for name, value in changes:
+                config = _apply(config, self.topology, name, value)
+            tput, _ = self._measure(config)
+            return tput / base
+
+        effect_a = ratio((parameter_a, value_a))
+        effect_b = ratio((parameter_b, value_b))
+        joint = ratio((parameter_a, value_a), (parameter_b, value_b))
+        independent = effect_a * effect_b
+        if independent <= 0:
+            return float("inf")
+        return joint / independent
+
+    def tornado(
+        self, values_by_parameter: dict[str, Sequence[int]]
+    ) -> list[tuple[str, float]]:
+        """Parameters ranked by dynamic range (tornado-chart data)."""
+        sweeps = self.sweep_all(values_by_parameter)
+        ranked = [(s.parameter, s.dynamic_range()) for s in sweeps]
+        ranked.sort(key=lambda item: item[1], reverse=True)
+        return ranked
+
+
+def default_sweep_values(cluster: ClusterSpec) -> dict[str, list[int]]:
+    """A reasonable default grid per Table I parameter."""
+    return {
+        "uniform_hint": [1, 2, 4, 8, 16, 32],
+        "batch_size": [100, 1_000, 10_000, 50_000, 200_000],
+        "batch_parallelism": [1, 2, 4, 8, 16, 32],
+        "worker_threads": [1, 2, 4, 8, 16],
+        "receiver_threads": [1, 2, 4, 8],
+        "ackers": [1, cluster.total_workers // 4 or 1, cluster.total_workers],
+    }

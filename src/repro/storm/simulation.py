@@ -1,0 +1,527 @@
+"""Discrete-event simulation of a Storm/Trident deployment.
+
+Where :mod:`repro.storm.analytic` solves the steady state in closed
+form, this engine plays the system out event by event:
+
+* task instances are placed on machines by the real
+  :class:`~repro.storm.scheduler.EvenScheduler`;
+* each machine is a processor-sharing server — active jobs share
+  ``min(cores, worker_threads)`` cores, degraded by the same
+  context-switch efficiency the analytic model charges;
+* a mini-batch is a wave of jobs through the DAG: operator *o* may start
+  processing batch *b* only when every parent has finished batch *b*
+  (Trident's per-batch barrier), with a network transfer delay on
+  remote edges; each operator processes batches one at a time in FIFO
+  order (Trident commits batch state in order, so an operator cannot
+  run ahead into the next batch);
+* at most ``batch_parallelism`` batches are in flight; a completed batch
+  pays the per-batch coordination overhead before its pipeline slot is
+  reused;
+* acker work for a batch must finish before the batch commits.
+
+The processor-sharing dynamics use per-machine virtual-time counters so
+each event costs O(log jobs) instead of a full rescan.
+
+The simulation is exact for the mechanics it models and is used to
+validate the analytic engine (see ``tests/test_cross_validation.py``);
+experiments use the analytic engine for speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storm.acker import AckerModel
+from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
+from repro.storm.cluster import ClusterSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.grouping import load_fractions, remote_fraction
+from repro.storm.metrics import MeasuredRun
+from repro.storm.noise import NoiseModel, NoNoise
+from repro.storm.scheduler import Assignment, EvenScheduler, SchedulingError
+from repro.storm.topology import Topology, effective_cost
+
+
+@dataclass
+class _Job:
+    """A unit of work: one task's share of one batch at one operator."""
+
+    job_id: int
+    batch_id: int
+    operator: str
+    machine_id: int
+    work: float  # compute-unit milliseconds (single-core equivalent)
+    target_virtual: float = 0.0  # machine virtual time at which it completes
+
+
+class _Machine:
+    """Processor-sharing server with a virtual-time progress counter.
+
+    ``virtual`` advances at the per-job service rate; a job admitted at
+    virtual time ``v`` with work ``w`` completes when ``virtual`` reaches
+    ``v + w``.  Because all jobs on a machine share the same rate, a
+    single counter orders completions correctly.
+    """
+
+    def __init__(
+        self,
+        machine_id: int,
+        usable_cores: float,
+        core_speed: float,
+        efficiency: float,
+    ) -> None:
+        self.machine_id = machine_id
+        self.usable_cores = usable_cores
+        self.core_speed = core_speed
+        self.efficiency = efficiency
+        self.virtual = 0.0
+        self.last_update = 0.0
+        self.active: list[tuple[float, int, _Job]] = []  # heap by target_virtual
+        self.n_active = 0
+
+    def rate(self) -> float:
+        """Service rate per job in compute units per ms."""
+        if self.n_active == 0:
+            return 0.0
+        share = min(1.0, self.usable_cores / self.n_active)
+        return self.core_speed * share * self.efficiency
+
+    def advance_to(self, now: float) -> None:
+        if now > self.last_update:
+            self.virtual += self.rate() * (now - self.last_update)
+            self.last_update = now
+
+    def add_job(self, job: _Job, now: float) -> None:
+        self.advance_to(now)
+        job.target_virtual = self.virtual + job.work
+        heapq.heappush(self.active, (job.target_virtual, job.job_id, job))
+        self.n_active += 1
+
+    def next_completion_time(self, now: float) -> float:
+        if not self.active:
+            return math.inf
+        self.advance_to(now)
+        target, _, _ = self.active[0]
+        rate = self.rate()
+        if rate <= 0:
+            return math.inf
+        return now + max(0.0, (target - self.virtual)) / rate
+
+    def pop_completed(self, now: float) -> _Job | None:
+        if not self.active:
+            return None
+        self.advance_to(now)
+        target, _, job = self.active[0]
+        if target <= self.virtual + 1e-9:
+            heapq.heappop(self.active)
+            self.n_active -= 1
+            return job
+        return None
+
+
+@dataclass
+class _BatchState:
+    """Barrier bookkeeping for one in-flight batch."""
+
+    batch_id: int
+    pending_jobs: dict[str, int] = field(default_factory=dict)
+    parents_done: dict[str, int] = field(default_factory=dict)
+    operators_done: int = 0
+    acker_done: bool = False
+    started_at: float = 0.0
+
+
+class DiscreteEventSimulator:
+    """Simulate a measurement window of one configuration.
+
+    Parameters
+    ----------
+    topology, cluster:
+        The deployment under test.
+    calibration:
+        Shared execution-model constants (same object the analytic
+        engine uses, so the two engines are directly comparable).
+    noise:
+        Observation noise applied to the measured throughput.
+    max_sim_time_ms:
+        Simulated measurement window (the paper used 2-minute windows).
+    max_batches:
+        Hard cap on simulated batches so very fast configurations do
+        not produce unbounded event counts.
+    warmup_batches:
+        Completed batches excluded from the throughput measurement
+        (pipeline fill transient).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster: ClusterSpec,
+        calibration: CalibrationParams | None = None,
+        noise: NoiseModel | None = None,
+        seed: int | None = None,
+        max_sim_time_ms: float = 120_000.0,
+        max_batches: int = 200,
+        warmup_batches: int = 3,
+    ) -> None:
+        if max_batches < 2:
+            raise ValueError("max_batches must be >= 2")
+        if warmup_batches < 0:
+            raise ValueError("warmup_batches must be >= 0")
+        self.topology = topology
+        self.cluster = cluster
+        self.calibration = calibration or CalibrationParams()
+        self.noise = noise or NoNoise()
+        self._rng = np.random.default_rng(seed)
+        self.max_sim_time_ms = max_sim_time_ms
+        self.max_batches = max_batches
+        self.warmup_batches = warmup_batches
+        self._acker_model = AckerModel(ack_cost_units=self.calibration.ack_cost_units)
+        self._scheduler = EvenScheduler()
+        # Reuse the analytic model's feasibility checks and network math.
+        self._analytic = AnalyticPerformanceModel(
+            topology, cluster, self.calibration
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, config: TopologyConfig) -> MeasuredRun:
+        """Simulate one measurement window, with observation noise."""
+        run = self.evaluate_noise_free(config)
+        observed = self.noise(run.throughput_tps, self._rng)
+        return run.with_throughput(observed)
+
+    def __call__(self, config: TopologyConfig) -> float:
+        return self.evaluate(config).throughput_tps
+
+    # ------------------------------------------------------------------
+    def evaluate_noise_free(self, config: TopologyConfig) -> MeasuredRun:
+        """Event-by-event simulation of one configuration's window."""
+        topo = self.topology
+        cluster = self.cluster
+        cal = self.calibration
+        hints = config.normalized_hints(topo)
+
+        try:
+            assignment = self._scheduler.schedule(topo, config, cluster)
+        except SchedulingError as exc:
+            return MeasuredRun.failure(str(exc), total_tasks=sum(hints.values()))
+        mem_fail = self._analytic._memory_exceeded(
+            config,
+            hints,
+            assignment.total_executors(),
+            float(config.batch_size),
+            float(config.batch_parallelism),
+        )
+        if mem_fail is not None:
+            return MeasuredRun.failure(mem_fail, total_tasks=sum(hints.values()))
+
+        machines = self._build_machines(config, assignment)
+        task_machines = {
+            name: [t.slot.machine_id for t in assignment.tasks_of(name)]
+            for name in topo
+        }
+        acker_machines = [t.slot.machine_id for t in assignment.acker_tasks]
+
+        volumes = topo.volumes()
+        B = float(config.batch_size)
+        P = int(config.batch_parallelism)
+        job_work: dict[str, np.ndarray] = {}
+        for name in topo:
+            op = topo.operator(name)
+            n_tasks = hints[name]
+            cost = effective_cost(op, n_tasks)
+            total_work = B * volumes[name] * cost
+            fractions = self._load_split(name, n_tasks)
+            job_work[name] = total_work * fractions
+
+        ack_demand = B * self._acker_model.demand_units_per_source_tuple(topo)
+        edge_delay = self._edge_transfer_delays(B)
+
+        # --- event loop state ----------------------------------------
+        job_ids = itertools.count()
+        #: (time, seq, kind, payload) — kinds: "machine" (check machine
+        #: completions), "spawn" (operator jobs become ready), "admit"
+        #: (new batch may enter the pipeline).
+        events: list[tuple[float, int, str, object]] = []
+        seq = itertools.count()
+        batches: dict[int, _BatchState] = {}
+        job_index: dict[int, tuple[int, str]] = {}  # job_id -> (batch, operator)
+        next_batch = itertools.count()
+        #: (batch_id, completion time, batch latency)
+        completed: list[tuple[int, float, float]] = []
+        n_operators = len(topo)
+
+        #: Per-operator batch serialization: an operator processes one
+        #: batch at a time in FIFO order (Trident state commits are
+        #: ordered per operator).
+        operator_busy: dict[str, bool] = {name: False for name in topo}
+        operator_busy["__acker__"] = False
+        operator_queue: dict[str, list[int]] = {name: [] for name in operator_busy}
+
+        def push(time: float, kind: str, payload: object) -> None:
+            heapq.heappush(events, (time, next(seq), kind, payload))
+
+        def machine_event(machine: _Machine, now: float) -> None:
+            t = machine.next_completion_time(now)
+            if t < math.inf:
+                push(t, "machine", machine.machine_id)
+
+        def request_operator(batch_id: int, operator: str, now: float) -> None:
+            if operator_busy[operator]:
+                operator_queue[operator].append(batch_id)
+                return
+            batch = batches.get(batch_id)
+            if batch is None:
+                return
+            operator_busy[operator] = True
+            if operator == "__acker__":
+                _spawn_acker_jobs(batch, now)
+            else:
+                _spawn_operator_jobs(batch, operator, now)
+
+        def release_operator(operator: str, now: float) -> None:
+            operator_busy[operator] = False
+            while operator_queue[operator]:
+                batch_id = operator_queue[operator].pop(0)
+                if batch_id in batches:
+                    request_operator(batch_id, operator, now)
+                    break
+
+        def _spawn_operator_jobs(
+            batch: _BatchState, operator: str, now: float
+        ) -> None:
+            works = job_work[operator]
+            placements = task_machines[operator]
+            batch.pending_jobs[operator] = len(works)
+            for task_idx, work in enumerate(works):
+                machine = machines[placements[task_idx]]
+                job = _Job(
+                    job_id=next(job_ids),
+                    batch_id=batch.batch_id,
+                    operator=operator,
+                    machine_id=machine.machine_id,
+                    work=float(work),
+                )
+                job_index[job.job_id] = (batch.batch_id, operator)
+                machine.add_job(job, now)
+                machine_event(machine, now)
+
+        def _spawn_acker_jobs(batch: _BatchState, now: float) -> None:
+            per_task = ack_demand / len(acker_machines)
+            batch.pending_jobs["__acker__"] = len(acker_machines)
+            for machine_id in acker_machines:
+                machine = machines[machine_id]
+                job = _Job(
+                    job_id=next(job_ids),
+                    batch_id=batch.batch_id,
+                    operator="__acker__",
+                    machine_id=machine_id,
+                    work=per_task,
+                )
+                job_index[job.job_id] = (batch.batch_id, "__acker__")
+                machine.add_job(job, now)
+                machine_event(machine, now)
+
+        def admit_batch(now: float) -> None:
+            batch_id = next(next_batch)
+            if batch_id >= self.max_batches:
+                return
+            batch = _BatchState(batch_id=batch_id, started_at=now)
+            batches[batch_id] = batch
+            for source in topo.sources():
+                request_operator(batch_id, source, now)
+            if not acker_machines or ack_demand <= 0:
+                batch.acker_done = True
+            else:
+                request_operator(batch_id, "__acker__", now)
+
+        def operator_finished(batch: _BatchState, operator: str, now: float) -> None:
+            release_operator(operator, now)
+            if operator == "__acker__":
+                batch.acker_done = True
+            else:
+                batch.operators_done += 1
+                for child in topo.children(operator):
+                    done = batch.parents_done.get(child, 0) + 1
+                    batch.parents_done[child] = done
+                    if done == len(topo.parents(child)):
+                        delay = edge_delay.get((operator, child), 0.0)
+                        push(now + delay, "spawn", (batch.batch_id, child))
+            if batch.operators_done == n_operators and batch.acker_done:
+                completed.append((batch.batch_id, now, now - batch.started_at))
+                del batches[batch.batch_id]
+                # Commit overhead holds the pipeline slot before reuse.
+                push(now + cal.batch_overhead_ms, "admit", None)
+
+        # Prime the pipeline with P batches.
+        for _ in range(P):
+            admit_batch(0.0)
+
+        now = 0.0
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if now > self.max_sim_time_ms:
+                break
+            if len(completed) >= self.max_batches:
+                break
+            if kind == "machine":
+                machine = machines[int(payload)]  # type: ignore[arg-type]
+                while True:
+                    job = machine.pop_completed(now)
+                    if job is None:
+                        break
+                    batch_id, operator = job_index.pop(job.job_id)
+                    batch = batches.get(batch_id)
+                    if batch is None:
+                        continue
+                    batch.pending_jobs[operator] -= 1
+                    if batch.pending_jobs[operator] == 0:
+                        # The batch-commit signal for this operator costs
+                        # a fixed coordination delay before downstream
+                        # operators (and the next batch here) may start.
+                        push(
+                            now + cal.stage_overhead_ms,
+                            "opdone",
+                            (batch_id, operator),
+                        )
+                machine_event(machine, now)
+            elif kind == "opdone":
+                batch_id, operator = payload  # type: ignore[misc]
+                batch = batches.get(batch_id)
+                if batch is not None:
+                    operator_finished(batch, operator, now)
+            elif kind == "spawn":
+                batch_id, operator = payload  # type: ignore[misc]
+                request_operator(batch_id, operator, now)
+            elif kind == "admit":
+                admit_batch(now)
+
+        return self._measure(config, assignment, completed, now)
+
+    # ------------------------------------------------------------------
+    def _measure(
+        self,
+        config: TopologyConfig,
+        assignment: Assignment,
+        completed: list[tuple[int, float, float]],
+        end_time: float,
+    ) -> MeasuredRun:
+        hints = config.normalized_hints(self.topology)
+        total_tasks = sum(hints.values())
+        warm = self.warmup_batches
+        if len(completed) <= warm + 1:
+            return MeasuredRun.failure(
+                "no steady-state batches completed within the window",
+                total_tasks=total_tasks,
+            )
+        times = sorted(t for _, t, _ in completed)
+        t0 = times[warm]
+        t1 = times[-1]
+        n_measured = len(times) - warm - 1
+        if t1 <= t0:
+            return MeasuredRun.failure(
+                "degenerate measurement window", total_tasks=total_tasks
+            )
+        worst_latency = max(lat for _, _, lat in completed)
+        if worst_latency > self.calibration.batch_timeout_ms:
+            return MeasuredRun.failure(
+                f"batch latency {worst_latency:.0f} ms exceeds the "
+                f"{self.calibration.batch_timeout_ms:.0f} ms message timeout",
+                total_tasks=total_tasks,
+            )
+        batches_per_ms = n_measured / (t1 - t0)
+        throughput = batches_per_ms * config.batch_size * 1000.0
+
+        remote_tuples, remote_bytes, ingest_bytes = self._analytic._network_demand(
+            float(config.batch_size), hints
+        )
+        network_bytes_per_ms = batches_per_ms * (remote_bytes + ingest_bytes)
+        network_mb_per_worker_s = (
+            network_bytes_per_ms * 1000.0 / 1e6 / self.cluster.total_workers
+        )
+        latencies = [lat for _, _, lat in completed]
+        return MeasuredRun(
+            throughput_tps=throughput,
+            network_mb_per_worker_s=network_mb_per_worker_s,
+            batch_latency_ms=float(np.median(latencies)) if latencies else 0.0,
+            total_tasks=total_tasks,
+            details={
+                "completed_batches": len(completed),
+                "sim_time_ms": end_time,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _build_machines(
+        self, config: TopologyConfig, assignment: Assignment
+    ) -> dict[int, _Machine]:
+        cal = self.calibration
+        spec = self.cluster.machine
+        usable_cores = min(
+            spec.cores, config.worker_threads * self.cluster.workers_per_machine
+        )
+        threads = assignment.threads_per_machine()
+        pool_extra = (
+            cal.pool_oversubscription_weight
+            * max(0, config.worker_threads - spec.cores)
+            * self.cluster.workers_per_machine
+        )
+        executors = assignment.executors_per_machine()
+        machines: dict[int, _Machine] = {}
+        for machine_id in range(self.cluster.n_machines):
+            total_threads = threads[machine_id] + pool_extra
+            excess = max(0.0, (total_threads - spec.cores) / spec.cores)
+            efficiency = 1.0 / (1.0 + cal.context_switch_kappa * excess**2)
+            overhead_share = min(
+                0.95,
+                cal.per_task_cpu_overhead
+                * executors[machine_id]
+                / (spec.cores * spec.core_speed),
+            )
+            efficiency *= 1.0 - overhead_share
+            machines[machine_id] = _Machine(
+                machine_id=machine_id,
+                usable_cores=usable_cores,
+                core_speed=spec.core_speed,
+                efficiency=efficiency,
+            )
+        return machines
+
+    def _load_split(self, operator: str, n_tasks: int) -> np.ndarray:
+        """Per-task share of the operator's batch work."""
+        groupings = [
+            self.topology.edge(p, operator).grouping
+            for p in self.topology.parents(operator)
+        ]
+        if not groupings:
+            return np.full(n_tasks, 1.0 / n_tasks)
+        splits = [load_fractions(g, n_tasks) for g in groupings]
+        combined = np.mean(splits, axis=0)
+        total = combined.sum()
+        # ALL groupings replicate work rather than splitting it.
+        if total > 1.0 + 1e-9:
+            return combined
+        return combined / total
+
+    def _edge_transfer_delays(self, batch_size: float) -> dict[tuple[str, str], float]:
+        """Per-edge network transfer time for one batch's tuples (ms)."""
+        topo = self.topology
+        delays: dict[tuple[str, str], float] = {}
+        wire = 1.0 + self.calibration.wire_overhead
+        volumes = topo.volumes()
+        nic = self.cluster.machine.nic_bytes_per_ms
+        for edge in topo.edges:
+            src_op = topo.operator(edge.src)
+            emitted = batch_size * volumes[edge.src] * src_op.selectivity
+            frac = remote_fraction(edge.grouping, self.cluster.n_machines)
+            bytes_total = emitted * frac * src_op.tuple_bytes * wire
+            # Transfers fan out across machines, so the effective pipe is
+            # the aggregate NIC capacity of the cluster.
+            capacity = nic * self.cluster.n_machines
+            delays[(edge.src, edge.dst)] = bytes_total / capacity if capacity else 0.0
+        return delays

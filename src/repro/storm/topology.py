@@ -1,0 +1,476 @@
+"""Logical Storm topologies: spouts, bolts, and grouped streams.
+
+A topology is a directed acyclic graph.  *Spouts* ingest data from the
+outside world; *bolts* consume tuples from upstream operators and emit
+tuples downstream (paper §III-A, Figure 1).  Each operator carries the
+workload attributes used throughout the paper's synthetic benchmark
+(§IV-B): a per-tuple *time complexity* in compute units (1 unit ≈ 1 ms of
+single-core execution), a *resource contention* flag, and a *selectivity*
+(tuples emitted per tuple consumed).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.storm.grouping import Grouping
+
+
+class OperatorKind(enum.Enum):
+    """Whether an operator is a data source (spout) or a processor (bolt)."""
+
+    SPOUT = "spout"
+    BOLT = "bolt"
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """One logical operator (vertex) of a topology.
+
+    Attributes
+    ----------
+    name:
+        Unique operator identifier.
+    kind:
+        Spout or bolt.
+    cost:
+        Time complexity: compute units consumed per processed tuple.
+        One unit corresponds to about 1 ms of single-core busy work
+        (paper §IV-B1); the paper's synthetic default is 20 units.
+    contentious:
+        If true, the operator depends on a globally contended resource
+        (e.g. a central database).  Its effective per-tuple cost is
+        multiplied by its own task count, negating parallelism gains
+        (paper §IV-B2).
+    selectivity:
+        Tuples emitted on the output stream per consumed tuple
+        (paper §IV-B3).  Every downstream subscriber receives all
+        emitted tuples, mirroring Storm stream semantics.
+    default_hint:
+        Parallelism hint used when a configuration does not specify one.
+    tuple_bytes:
+        Serialized size of one emitted tuple, used for network-load
+        accounting (paper Figure 3).
+    """
+
+    name: str
+    kind: OperatorKind
+    cost: float = 20.0
+    contentious: bool = False
+    selectivity: float = 1.0
+    default_hint: int = 1
+    tuple_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if self.cost < 0:
+            raise ValueError(f"operator {self.name!r}: cost must be >= 0")
+        if self.selectivity < 0:
+            raise ValueError(f"operator {self.name!r}: selectivity must be >= 0")
+        if self.default_hint < 1:
+            raise ValueError(f"operator {self.name!r}: default_hint must be >= 1")
+        if self.tuple_bytes < 0:
+            raise ValueError(f"operator {self.name!r}: tuple_bytes must be >= 0")
+
+    @property
+    def is_spout(self) -> bool:
+        return self.kind is OperatorKind.SPOUT
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed stream between two operators with a grouping strategy."""
+
+    src: str
+    dst: str
+    grouping: Grouping = Grouping.SHUFFLE
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-loop on operator {self.src!r} is not allowed")
+
+
+class TopologyError(ValueError):
+    """Raised for structurally invalid topologies."""
+
+
+class Topology:
+    """An immutable, validated operator DAG.
+
+    Use :class:`TopologyBuilder` to construct instances.  The class
+    precomputes the derived quantities the execution engines need:
+    topological order, layer assignment (longest path from a source),
+    and relative tuple volumes per operator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        operators: Sequence[OperatorSpec],
+        edges: Sequence[Edge],
+    ) -> None:
+        self.name = name
+        self._operators: dict[str, OperatorSpec] = {}
+        for op in operators:
+            if op.name in self._operators:
+                raise TopologyError(f"duplicate operator name {op.name!r}")
+            self._operators[op.name] = op
+        self._edges: tuple[Edge, ...] = tuple(edges)
+        seen_pairs: set[tuple[str, str]] = set()
+        for edge in self._edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in self._operators:
+                    raise TopologyError(f"edge references unknown operator {endpoint!r}")
+            pair = (edge.src, edge.dst)
+            if pair in seen_pairs:
+                raise TopologyError(f"duplicate edge {edge.src!r} -> {edge.dst!r}")
+            seen_pairs.add(pair)
+
+        self._parents: dict[str, list[str]] = {n: [] for n in self._operators}
+        self._children: dict[str, list[str]] = {n: [] for n in self._operators}
+        for edge in self._edges:
+            self._parents[edge.dst].append(edge.src)
+            self._children[edge.src].append(edge.dst)
+
+        self._validate_structure()
+        self._topo_order = self._compute_topological_order()
+        self._layers = self._compute_layers()
+        self._volumes = self._compute_volumes()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _validate_structure(self) -> None:
+        if not self._operators:
+            raise TopologyError("topology has no operators")
+        for name, op in self._operators.items():
+            if op.is_spout and self._parents[name]:
+                raise TopologyError(f"spout {name!r} has incoming edges")
+            if not op.is_spout and not self._parents[name]:
+                raise TopologyError(f"bolt {name!r} has no incoming edges")
+        if not any(op.is_spout for op in self._operators.values()):
+            raise TopologyError("topology has no spouts")
+        if len(self._operators) > 1:
+            for name in self._operators:
+                if not self._parents[name] and not self._children[name]:
+                    raise TopologyError(f"operator {name!r} is isolated")
+
+    def _compute_topological_order(self) -> tuple[str, ...]:
+        in_degree = {n: len(ps) for n, ps in self._parents.items()}
+        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        order: list[str] = []
+        queue = list(ready)
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            for child in sorted(self._children[node]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._operators):
+            raise TopologyError("topology contains a cycle")
+        return tuple(order)
+
+    def _compute_layers(self) -> dict[str, int]:
+        """Layer = longest path distance from any source (sources are 0)."""
+        layers: dict[str, int] = {}
+        for node in self._topo_order:
+            parents = self._parents[node]
+            layers[node] = 0 if not parents else 1 + max(layers[p] for p in parents)
+        return layers
+
+    def _compute_volumes(self) -> dict[str, float]:
+        """Relative tuple volume per operator.
+
+        Sources share one unit of ingested volume equally; a bolt's input
+        volume is the sum over parents of ``parent_volume * parent
+        selectivity`` (every subscriber receives all emitted tuples).
+        The returned value is the operator's *input* tuple volume per
+        ingested source tuple; for spouts it is their ingest share.
+        """
+        sources = self.sources()
+        share = 1.0 / len(sources)
+        volumes: dict[str, float] = {}
+        for node in self._topo_order:
+            parents = self._parents[node]
+            if not parents:
+                volumes[node] = share
+            else:
+                volumes[node] = sum(
+                    volumes[p] * self._operators[p].selectivity for p in parents
+                )
+        return volumes
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def operators(self) -> Mapping[str, OperatorSpec]:
+        return dict(self._operators)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._operators
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._topo_order)
+
+    def operator(self, name: str) -> OperatorSpec:
+        return self._operators[name]
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        return tuple(self._parents[name])
+
+    def children(self, name: str) -> tuple[str, ...]:
+        return tuple(self._children[name])
+
+    def edge(self, src: str, dst: str) -> Edge:
+        for e in self._edges:
+            if e.src == src and e.dst == dst:
+                return e
+        raise KeyError(f"no edge {src!r} -> {dst!r}")
+
+    def sources(self) -> tuple[str, ...]:
+        return tuple(n for n in self._topo_order if not self._parents[n])
+
+    def sinks(self) -> tuple[str, ...]:
+        return tuple(n for n in self._topo_order if not self._children[n])
+
+    def topological_order(self) -> tuple[str, ...]:
+        return self._topo_order
+
+    def layer_of(self, name: str) -> int:
+        return self._layers[name]
+
+    def layers(self) -> list[tuple[str, ...]]:
+        """Operators grouped by layer index, shallowest first."""
+        depth = max(self._layers.values()) + 1
+        grouped: list[list[str]] = [[] for _ in range(depth)]
+        for node in self._topo_order:
+            grouped[self._layers[node]].append(node)
+        return [tuple(group) for group in grouped]
+
+    def num_layers(self) -> int:
+        return max(self._layers.values()) + 1
+
+    def volume(self, name: str) -> float:
+        """Input tuple volume of ``name`` per ingested source tuple."""
+        return self._volumes[name]
+
+    def volumes(self) -> dict[str, float]:
+        return dict(self._volumes)
+
+    def average_out_degree(self) -> float:
+        return len(self._edges) / len(self._operators)
+
+    def total_compute_units_per_tuple(self) -> float:
+        """Compute units consumed across the topology per ingested tuple."""
+        return sum(
+            self._volumes[n] * self._operators[n].cost for n in self._topo_order
+        )
+
+    def stats(self) -> "TopologyStats":
+        return TopologyStats(
+            name=self.name,
+            vertices=len(self._operators),
+            edges=len(self._edges),
+            layers=self.num_layers(),
+            sources=len(self.sources()),
+            sinks=len(self.sinks()),
+            average_out_degree=self.average_out_degree(),
+        )
+
+    # ------------------------------------------------------------------
+    # Functional updates (used by topology_gen.modifications)
+    # ------------------------------------------------------------------
+    def with_operator_updates(
+        self, updates: Mapping[str, Mapping[str, object]]
+    ) -> "Topology":
+        """Return a copy with per-operator attribute overrides.
+
+        ``updates`` maps operator name to keyword overrides accepted by
+        :func:`dataclasses.replace` on :class:`OperatorSpec`.
+        """
+        new_ops = []
+        for name in self._topo_order:
+            op = self._operators[name]
+            if name in updates:
+                op = replace(op, **updates[name])
+            new_ops.append(op)
+        unknown = set(updates) - set(self._operators)
+        if unknown:
+            raise KeyError(f"unknown operators in updates: {sorted(unknown)}")
+        return Topology(self.name, new_ops, self._edges)
+
+    def renamed(self, name: str) -> "Topology":
+        return Topology(name, list(self._operators.values()), self._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Topology(name={self.name!r}, vertices={len(self)}, "
+            f"edges={len(self._edges)}, layers={self.num_layers()})"
+        )
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """The graph statistics reported in the paper's Table II."""
+
+    name: str
+    vertices: int
+    edges: int
+    layers: int
+    sources: int
+    sinks: int
+    average_out_degree: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "Name": self.name,
+            "V": self.vertices,
+            "E": self.edges,
+            "L": self.layers,
+            "Src": self.sources,
+            "Snk": self.sinks,
+            "AOD": round(self.average_out_degree, 2),
+        }
+
+
+class TopologyBuilder:
+    """Fluent construction of :class:`Topology` instances.
+
+    Example
+    -------
+    >>> builder = TopologyBuilder("example")
+    >>> _ = builder.spout("source", cost=5.0)
+    >>> _ = builder.bolt("work", inputs=["source"], cost=20.0)
+    >>> topo = builder.build()
+    >>> topo.sources()
+    ('source',)
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("topology name must be non-empty")
+        self.name = name
+        self._operators: list[OperatorSpec] = []
+        self._edges: list[Edge] = []
+
+    def spout(
+        self,
+        name: str,
+        *,
+        cost: float = 1.0,
+        selectivity: float = 1.0,
+        default_hint: int = 1,
+        tuple_bytes: int = 4096,
+    ) -> "TopologyBuilder":
+        self._operators.append(
+            OperatorSpec(
+                name=name,
+                kind=OperatorKind.SPOUT,
+                cost=cost,
+                selectivity=selectivity,
+                default_hint=default_hint,
+                tuple_bytes=tuple_bytes,
+            )
+        )
+        return self
+
+    def bolt(
+        self,
+        name: str,
+        *,
+        inputs: Iterable[str],
+        cost: float = 20.0,
+        contentious: bool = False,
+        selectivity: float = 1.0,
+        default_hint: int = 1,
+        tuple_bytes: int = 4096,
+        grouping: Grouping = Grouping.SHUFFLE,
+    ) -> "TopologyBuilder":
+        self._operators.append(
+            OperatorSpec(
+                name=name,
+                kind=OperatorKind.BOLT,
+                cost=cost,
+                contentious=contentious,
+                selectivity=selectivity,
+                default_hint=default_hint,
+                tuple_bytes=tuple_bytes,
+            )
+        )
+        inputs = list(inputs)
+        if not inputs:
+            raise TopologyError(f"bolt {name!r} declared without inputs")
+        for src in inputs:
+            self._edges.append(Edge(src=src, dst=name, grouping=grouping))
+        return self
+
+    def edge(
+        self, src: str, dst: str, grouping: Grouping = Grouping.SHUFFLE
+    ) -> "TopologyBuilder":
+        self._edges.append(Edge(src=src, dst=dst, grouping=grouping))
+        return self
+
+    def build(self) -> Topology:
+        return Topology(self.name, self._operators, self._edges)
+
+
+def linear_topology(
+    name: str, num_bolts: int, *, cost: float = 20.0, spout_cost: float = 1.0
+) -> Topology:
+    """A simple spout -> bolt_1 -> ... -> bolt_n chain (test/demo helper)."""
+    if num_bolts < 1:
+        raise ValueError("num_bolts must be >= 1")
+    builder = TopologyBuilder(name)
+    builder.spout("spout", cost=spout_cost)
+    prev = "spout"
+    for i in range(1, num_bolts + 1):
+        node = f"bolt{i}"
+        builder.bolt(node, inputs=[prev], cost=cost)
+        prev = node
+    return builder.build()
+
+
+def diamond_topology(name: str = "diamond", *, cost: float = 20.0) -> Topology:
+    """The Figure 1 shape: one spout fanning out to two bolts that join."""
+    builder = TopologyBuilder(name)
+    builder.spout("S", cost=cost / 4)
+    builder.bolt("B1", inputs=["S"], cost=cost)
+    builder.bolt("B2", inputs=["S", "B1"], cost=cost)
+    return builder.build()
+
+
+def effective_cost(op: OperatorSpec, n_tasks: int) -> float:
+    """Per-tuple compute cost of ``op`` when run with ``n_tasks`` instances.
+
+    Contentious operators pay their cost multiplied by the task count
+    (paper §IV-B2): adding instances of a bolt gated on a shared resource
+    only adds contention, so the *aggregate* service rate stays constant
+    while per-task work grows linearly.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    if op.contentious:
+        return op.cost * n_tasks
+    return op.cost
+
+
+def operator_path_depth(topology: Topology) -> float:
+    """Average layer depth weighted by tuple volume (pipeline depth proxy)."""
+    vols = topology.volumes()
+    total = sum(vols.values())
+    if total <= 0 or math.isclose(total, 0.0):
+        return float(topology.num_layers())
+    return sum(topology.layer_of(n) * v for n, v in vols.items()) / total

@@ -1,0 +1,76 @@
+"""Topology serialization: save/load operator graphs as JSON.
+
+Lets users persist generated benchmark topologies, ship custom
+topologies to the tuning CLI, and reload the exact graphs behind
+recorded experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.storm.grouping import Grouping
+from repro.storm.topology import Edge, OperatorKind, OperatorSpec, Topology
+
+
+def operator_to_dict(op: OperatorSpec) -> dict[str, object]:
+    return {
+        "name": op.name,
+        "kind": op.kind.value,
+        "cost": op.cost,
+        "contentious": op.contentious,
+        "selectivity": op.selectivity,
+        "default_hint": op.default_hint,
+        "tuple_bytes": op.tuple_bytes,
+    }
+
+
+def operator_from_dict(data: Mapping[str, object]) -> OperatorSpec:
+    return OperatorSpec(
+        name=str(data["name"]),
+        kind=OperatorKind(str(data["kind"])),
+        cost=float(data.get("cost", 20.0)),  # type: ignore[arg-type]
+        contentious=bool(data.get("contentious", False)),
+        selectivity=float(data.get("selectivity", 1.0)),  # type: ignore[arg-type]
+        default_hint=int(data.get("default_hint", 1)),  # type: ignore[arg-type]
+        tuple_bytes=int(data.get("tuple_bytes", 4096)),  # type: ignore[arg-type]
+    )
+
+
+def topology_to_dict(topology: Topology) -> dict[str, object]:
+    """JSON-ready representation of a topology."""
+    return {
+        "name": topology.name,
+        "operators": [
+            operator_to_dict(topology.operator(n))
+            for n in topology.topological_order()
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "grouping": e.grouping.value}
+            for e in topology.edges
+        ],
+    }
+
+
+def topology_from_dict(data: Mapping[str, object]) -> Topology:
+    """Inverse of :func:`topology_to_dict` (validates on construction)."""
+    operators = [operator_from_dict(d) for d in data["operators"]]  # type: ignore[union-attr]
+    edges = [
+        Edge(
+            src=str(d["src"]),
+            dst=str(d["dst"]),
+            grouping=Grouping(str(d.get("grouping", "shuffle"))),
+        )
+        for d in data["edges"]  # type: ignore[union-attr]
+    ]
+    return Topology(str(data["name"]), operators, edges)
+
+
+def save_topology(topology: Topology, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(topology_to_dict(topology), indent=2))
+
+
+def load_topology(path: str | Path) -> Topology:
+    return topology_from_dict(json.loads(Path(path).read_text()))

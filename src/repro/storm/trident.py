@@ -1,0 +1,136 @@
+"""Trident-layer behaviour: mini-batches and operator fusion.
+
+Trident (paper §III-A) processes tuples in mini-batches with per-batch
+consistency, and may *fuse* several consecutive operators into one
+processing element to avoid reshuffling — overriding the programmer's
+parallelism hints for the fused chain, like SPADE's operator fusion in
+System-S.  :func:`fuse_linear_chains` implements that pass on our
+topology model; the execution engines consume the fused topology so the
+"framework obfuscates the impact of single parameters" effect (§III-B)
+is present in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.storm.grouping import Grouping
+from repro.storm.topology import Edge, OperatorSpec, Topology
+
+
+#: Groupings that do not force a repartition boundary; a bolt consuming
+#: its single parent through one of these can be fused with it.
+_FUSABLE_GROUPINGS = frozenset({Grouping.SHUFFLE, Grouping.LOCAL_OR_SHUFFLE})
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Outcome of a fusion pass."""
+
+    topology: Topology
+    #: Maps each fused operator name to the chain of original names.
+    chains: dict[str, tuple[str, ...]]
+
+    def fused_name_of(self, original: str) -> str:
+        for fused, members in self.chains.items():
+            if original in members:
+                return fused
+        raise KeyError(original)
+
+
+def _chain_head_candidates(topology: Topology) -> list[str]:
+    """Operators that can start a fusable chain."""
+    heads = []
+    for name in topology.topological_order():
+        parents = topology.parents(name)
+        if len(parents) == 1:
+            parent = parents[0]
+            edge = topology.edge(parent, name)
+            if (
+                edge.grouping in _FUSABLE_GROUPINGS
+                and len(topology.children(parent)) == 1
+            ):
+                continue  # this node is fusable into its parent, not a head
+        heads.append(name)
+    return heads
+
+
+def fuse_linear_chains(topology: Topology) -> FusionResult:
+    """Merge maximal linear chains into single processing elements.
+
+    A bolt is absorbed into its parent when it is the parent's only
+    child, it has no other parent, and the connecting grouping does not
+    require repartitioning.  The fused operator's cost and selectivity
+    compose along the chain; the parallelism hint is overridden to the
+    chain minimum (Trident "overrides the parallelism-hints specified by
+    the programmer", §III-A).
+    """
+    heads = _chain_head_candidates(topology)
+    chains: dict[str, tuple[str, ...]] = {}
+    member_of: dict[str, str] = {}
+
+    for head in heads:
+        chain = [head]
+        current = head
+        while True:
+            children = topology.children(current)
+            if len(children) != 1:
+                break
+            child = children[0]
+            if len(topology.parents(child)) != 1:
+                break
+            edge = topology.edge(current, child)
+            if edge.grouping not in _FUSABLE_GROUPINGS:
+                break
+            if child in heads:
+                break
+            chain.append(child)
+            current = child
+        chains[head] = tuple(chain)
+        for member in chain:
+            member_of[member] = head
+
+    fused_ops: list[OperatorSpec] = []
+    for head, members in chains.items():
+        specs = [topology.operator(m) for m in members]
+        # Cost composes weighted by the chain's internal volume growth:
+        # member i sees the product of upstream members' selectivities.
+        cost = 0.0
+        volume = 1.0
+        for spec in specs:
+            cost += volume * spec.cost
+            volume *= spec.selectivity
+        selectivity = volume
+        contentious = any(s.contentious for s in specs)
+        hint = min(s.default_hint for s in specs)
+        fused_ops.append(
+            replace(
+                specs[0],
+                cost=cost,
+                selectivity=selectivity,
+                contentious=contentious,
+                default_hint=hint,
+                tuple_bytes=specs[-1].tuple_bytes,
+            )
+        )
+
+    fused_edges: list[Edge] = []
+    seen: set[tuple[str, str]] = set()
+    for edge in topology.edges:
+        src = member_of[edge.src]
+        dst = member_of[edge.dst]
+        if src == dst:
+            continue  # internal to a fused chain
+        if (src, dst) in seen:
+            continue
+        seen.add((src, dst))
+        fused_edges.append(Edge(src=src, dst=dst, grouping=edge.grouping))
+
+    fused = Topology(f"{topology.name}(fused)", fused_ops, fused_edges)
+    return FusionResult(topology=fused, chains=chains)
+
+
+def fusion_ratio(topology: Topology) -> float:
+    """Fraction of operators eliminated by fusion (0 = nothing fusable)."""
+    result = fuse_linear_chains(topology)
+    return 1.0 - len(result.topology) / len(topology)

@@ -1,0 +1,74 @@
+"""Tuples and mini-batches: the data plane of the local executor.
+
+Storm tuples are lists of key-value pairs (paper §III-A); Trident
+processes them in mini-batches with per-batch consistency.  These types
+back :mod:`repro.storm.local`, the single-process execution mode that
+runs real operator logic on real data (the performance engines work at
+batch granularity and do not materialize individual tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Tuple:
+    """One Storm tuple: named values plus provenance metadata.
+
+    The field schema is fixed per stream ("this format cannot be
+    changed at runtime", §III-A); :class:`Tuple` enforces nothing about
+    it — validation lives in the emitting operator's declaration.
+    """
+
+    values: Mapping[str, object]
+    source: str = ""
+    batch_id: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+
+    def __getitem__(self, field_name: str) -> object:
+        return self.values[field_name]
+
+    def get(self, field_name: str, default: object = None) -> object:
+        return self.values.get(field_name, default)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return tuple(self.values)
+
+    def with_values(self, source: str, **values: object) -> "Tuple":
+        return Tuple(values=values, source=source, batch_id=self.batch_id)
+
+
+@dataclass
+class Batch:
+    """A Trident mini-batch: an ordered collection of tuples per stream."""
+
+    batch_id: int
+    tuples: list[Tuple] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.tuples)
+
+    def append(self, item: Tuple) -> None:
+        if item.batch_id != self.batch_id:
+            raise ValueError(
+                f"tuple from batch {item.batch_id} added to batch {self.batch_id}"
+            )
+        self.tuples.append(item)
+
+
+def make_batch(
+    batch_id: int, source: str, rows: Sequence[Mapping[str, object]]
+) -> Batch:
+    """Build a batch from raw value mappings emitted by ``source``."""
+    batch = Batch(batch_id=batch_id)
+    for row in rows:
+        batch.append(Tuple(values=row, source=source, batch_id=batch_id))
+    return batch

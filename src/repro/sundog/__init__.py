@@ -1,0 +1,27 @@
+"""Sundog: the paper's real-world entity-ranking topology (§IV-A).
+
+The original Sundog consumes search logs and ranks entity relationships
+by co-occurrence statistics.  The paper's evaluation copy reads a common
+crawl dump instead and stubs out the distributed key-value store with
+dummy calls — changes that invalidate the rankings but preserve the
+workload shape.  This package reproduces that evaluation copy:
+
+* :mod:`repro.sundog.topology` — the Figure 2 operator graph (three
+  phases: read/preprocess/count, feature computation, ranking),
+* :mod:`repro.sundog.workload` — a synthetic common-crawl-like text
+  workload that sets the filter selectivity and tuple sizes.
+"""
+
+from repro.sundog.topology import (
+    SUNDOG_DEFAULT_CONFIG,
+    sundog_default_config,
+    sundog_topology,
+)
+from repro.sundog.workload import CommonCrawlWorkload
+
+__all__ = [
+    "CommonCrawlWorkload",
+    "SUNDOG_DEFAULT_CONFIG",
+    "sundog_default_config",
+    "sundog_topology",
+]

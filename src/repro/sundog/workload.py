@@ -1,0 +1,128 @@
+"""Synthetic common-crawl-like workload for Sundog.
+
+The paper feeds Sundog "a dump of the common crawl data" (§IV-A) — lines
+of web text filtered against a predefined entity dictionary.  We have no
+common crawl dump offline, so this module generates text with the same
+workload-relevant characteristics: a heavy-tailed line-length
+distribution and a controllable fraction of lines containing dictionary
+terms (which determines the Filter operator's selectivity).  Rankings
+are meaningless either way — the paper already replaced the key-value
+store with dummies — only the load shape matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: A small built-in entity dictionary in the spirit of Sundog's
+#: predefined term list.
+DEFAULT_DICTIONARY: tuple[str, ...] = (
+    "zurich",
+    "storm",
+    "hadoop",
+    "cluster",
+    "stream",
+    "entity",
+    "ranking",
+    "semantic",
+    "crawl",
+    "topology",
+)
+
+#: Filler vocabulary for non-matching text.
+_FILLER: tuple[str, ...] = (
+    "the",
+    "and",
+    "with",
+    "data",
+    "from",
+    "page",
+    "link",
+    "text",
+    "site",
+    "news",
+    "time",
+    "year",
+    "world",
+    "value",
+    "index",
+)
+
+
+@dataclass
+class CommonCrawlWorkload:
+    """Generator of common-crawl-like text lines.
+
+    Parameters
+    ----------
+    dictionary:
+        Entity terms the Filter stage matches against.
+    match_fraction:
+        Fraction of lines containing at least one dictionary term —
+        this *is* the Filter operator's selectivity.
+    mean_line_bytes:
+        Mean *effective on-wire* line size; lengths are lognormal (web
+        text is heavy-tailed).  Calibrated with Trident batch framing
+        amortized in, so simulated network load matches Figure 3's
+        band.
+    sigma:
+        Lognormal shape parameter.
+    """
+
+    dictionary: tuple[str, ...] = DEFAULT_DICTIONARY
+    match_fraction: float = 0.35
+    mean_line_bytes: float = 70.0
+    sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not self.dictionary:
+            raise ValueError("dictionary must be non-empty")
+        if not 0.0 <= self.match_fraction <= 1.0:
+            raise ValueError("match_fraction must be in [0, 1]")
+        if self.mean_line_bytes <= 0:
+            raise ValueError("mean_line_bytes must be > 0")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be > 0")
+
+    # ------------------------------------------------------------------
+    def line_lengths(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` line lengths in bytes (lognormal, mean preserved)."""
+        mu = np.log(self.mean_line_bytes) - self.sigma**2 / 2.0
+        return np.maximum(8, rng.lognormal(mu, self.sigma, size=n)).astype(int)
+
+    def sample_lines(self, n: int, rng: np.random.Generator) -> list[str]:
+        """Generate ``n`` text lines; ~``match_fraction`` contain a term."""
+        lengths = self.line_lengths(n, rng)
+        matches = rng.random(n) < self.match_fraction
+        lines: list[str] = []
+        for length, match in zip(lengths, matches):
+            words: list[str] = []
+            size = 0
+            while size < length:
+                word = _FILLER[int(rng.integers(len(_FILLER)))]
+                words.append(word)
+                size += len(word) + 1
+            if match:
+                term = self.dictionary[int(rng.integers(len(self.dictionary)))]
+                pos = int(rng.integers(len(words) + 1))
+                words.insert(pos, term)
+            lines.append(" ".join(words))
+        return lines
+
+    def matches(self, line: str) -> bool:
+        """The Filter predicate: does the line contain a dictionary term?"""
+        tokens = set(line.lower().split())
+        return any(term in tokens for term in self.dictionary)
+
+    def measure_selectivity(self, n: int, rng: np.random.Generator) -> float:
+        """Empirical Filter selectivity over ``n`` generated lines."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        lines = self.sample_lines(n, rng)
+        return sum(self.matches(line) for line in lines) / n
+
+    def average_tuple_bytes(self, n: int, rng: np.random.Generator) -> float:
+        """Mean serialized line size over ``n`` samples."""
+        return float(np.mean([len(line) for line in self.sample_lines(n, rng)]))

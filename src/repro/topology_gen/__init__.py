@@ -1,0 +1,35 @@
+"""Synthetic topology generation (paper §IV-B).
+
+Reimplements the GGen *layer-by-layer* random DAG method the paper uses
+(:mod:`repro.topology_gen.ggen`), the workload perturbations — time
+complexity imbalance, resource contention, selectivity
+(:mod:`repro.topology_gen.modifications`) — and the paper's three
+benchmark presets of Table II (:mod:`repro.topology_gen.suite`).
+"""
+
+from repro.topology_gen.ggen import LayerByLayerGenerator, layer_by_layer
+from repro.topology_gen.modifications import (
+    apply_resource_contention,
+    apply_selectivity,
+    apply_time_imbalance,
+)
+from repro.topology_gen.properties import table2_stats
+from repro.topology_gen.suite import (
+    PRESETS,
+    TopologyCondition,
+    TopologyPreset,
+    make_topology,
+)
+
+__all__ = [
+    "LayerByLayerGenerator",
+    "PRESETS",
+    "TopologyCondition",
+    "TopologyPreset",
+    "apply_resource_contention",
+    "apply_selectivity",
+    "apply_time_imbalance",
+    "layer_by_layer",
+    "make_topology",
+    "table2_stats",
+]

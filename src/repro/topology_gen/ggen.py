@@ -1,0 +1,179 @@
+"""Layer-by-layer random DAG generation (GGen reimplementation).
+
+The paper generates its synthetic topologies with GGen's layer-by-layer
+method [24], [25]: vertices are partitioned into layers; an edge from a
+vertex to any vertex of a strictly later layer is added independently
+with probability *p*.  Nodes in the same layer never connect, which is
+what gives stream pipelines their "some tasks run in parallel, some wait
+for upstream data" shape (§IV-B).
+
+The paper additionally requires that (1) every vertex is connected to at
+least one other vertex and (2) the average out-degree stays roughly
+constant across the generated graphs; :class:`LayerByLayerGenerator`
+enforces (1) with a minimal repair step and (2) by construction of the
+published (V, L, p) parameter choices (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storm.grouping import Grouping
+from repro.storm.topology import Edge, OperatorKind, OperatorSpec, Topology
+
+
+@dataclass(frozen=True)
+class LayerByLayerParams:
+    """Inputs of the layer-by-layer method: (V, L, p) plus a seed."""
+
+    n_vertices: int
+    n_layers: int
+    edge_probability: float
+
+    def __post_init__(self) -> None:
+        if self.n_vertices < 2:
+            raise ValueError("n_vertices must be >= 2")
+        if not 1 <= self.n_layers <= self.n_vertices:
+            raise ValueError("n_layers must be in [1, n_vertices]")
+        if not 0.0 < self.edge_probability <= 1.0:
+            raise ValueError("edge_probability must be in (0, 1]")
+
+
+class LayerByLayerGenerator:
+    """Generate layered random DAGs as operator adjacency structures."""
+
+    def __init__(self, params: LayerByLayerParams) -> None:
+        self.params = params
+
+    def generate_graph(
+        self, rng: np.random.Generator
+    ) -> tuple[list[list[int]], list[tuple[int, int]]]:
+        """Return (layers as vertex-id lists, directed edge list).
+
+        Vertices are split into layers as evenly as possible.  Each
+        cross-layer forward pair receives an edge with probability *p*.
+        Vertices left without any edge are repaired by connecting them
+        to a uniformly chosen vertex of an adjacent layer (downstream
+        when possible), which preserves the layered structure.
+        """
+        p = self.params
+        layers = self._split_layers(p.n_vertices, p.n_layers)
+        edges: list[tuple[int, int]] = []
+        for i in range(len(layers)):
+            for j in range(i + 1, len(layers)):
+                for u in layers[i]:
+                    mask = rng.random(len(layers[j])) < p.edge_probability
+                    for v, hit in zip(layers[j], mask):
+                        if hit:
+                            edges.append((u, v))
+
+        edges = self._repair_isolated(layers, edges, rng)
+        return layers, edges
+
+    @staticmethod
+    def _split_layers(n_vertices: int, n_layers: int) -> list[list[int]]:
+        base = n_vertices // n_layers
+        remainder = n_vertices % n_layers
+        layers: list[list[int]] = []
+        next_id = 0
+        for i in range(n_layers):
+            size = base + (1 if i < remainder else 0)
+            layers.append(list(range(next_id, next_id + size)))
+            next_id += size
+        # Guard against empty layers when n_layers is close to n_vertices.
+        return [layer for layer in layers if layer]
+
+    @staticmethod
+    def _repair_isolated(
+        layers: list[list[int]],
+        edges: list[tuple[int, int]],
+        rng: np.random.Generator,
+    ) -> list[tuple[int, int]]:
+        connected = set()
+        for u, v in edges:
+            connected.add(u)
+            connected.add(v)
+        layer_of = {}
+        for idx, layer in enumerate(layers):
+            for v in layer:
+                layer_of[v] = idx
+        edge_set = set(edges)
+        for layer_idx, layer in enumerate(layers):
+            for v in layer:
+                if v in connected:
+                    continue
+                if layer_idx + 1 < len(layers):
+                    target_layer = layers[layer_idx + 1]
+                    u, w = v, target_layer[int(rng.integers(len(target_layer)))]
+                else:
+                    source_layer = layers[layer_idx - 1]
+                    u, w = source_layer[int(rng.integers(len(source_layer)))], v
+                if (u, w) not in edge_set:
+                    edge_set.add((u, w))
+                    edges.append((u, w))
+                connected.add(v)
+        return edges
+
+    def generate_topology(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        *,
+        cost: float = 20.0,
+        tuple_bytes: int = 4096,
+    ) -> Topology:
+        """Build a shuffle-grouped Storm topology from a generated graph.
+
+        Vertices without incoming edges become spouts (data sources);
+        every other vertex becomes a bolt (§IV-B4: "bolts in these
+        topologies are linked using shuffle-grouping").
+        """
+        layers, raw_edges = self.generate_graph(rng)
+        has_incoming = {v for _, v in raw_edges}
+        all_vertices = [v for layer in layers for v in layer]
+
+        def vertex_name(v: int) -> str:
+            return f"v{v:03d}"
+
+        operators = [
+            OperatorSpec(
+                name=vertex_name(v),
+                kind=(
+                    OperatorKind.BOLT if v in has_incoming else OperatorKind.SPOUT
+                ),
+                cost=cost,
+                tuple_bytes=tuple_bytes,
+            )
+            for v in all_vertices
+        ]
+        edges = [
+            Edge(src=vertex_name(u), dst=vertex_name(v), grouping=Grouping.SHUFFLE)
+            for u, v in raw_edges
+        ]
+        return Topology(name, operators, edges)
+
+
+def layer_by_layer(
+    name: str,
+    n_vertices: int,
+    n_layers: int,
+    edge_probability: float,
+    *,
+    seed: int | None = None,
+    cost: float = 20.0,
+    tuple_bytes: int = 4096,
+) -> Topology:
+    """One-call convenience wrapper around :class:`LayerByLayerGenerator`."""
+    generator = LayerByLayerGenerator(
+        LayerByLayerParams(
+            n_vertices=n_vertices,
+            n_layers=n_layers,
+            edge_probability=edge_probability,
+        )
+    )
+    rng = np.random.default_rng(seed)
+    return generator.generate_topology(
+        name, rng, cost=cost, tuple_bytes=tuple_bytes
+    )

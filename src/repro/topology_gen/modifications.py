@@ -1,0 +1,147 @@
+"""Workload perturbations for synthetic topologies (paper §IV-B1..3).
+
+Starting from a *balanced* base graph (every operator costs the same 20
+compute units per tuple), the paper derives imbalanced variants:
+
+* **time complexity imbalance** — per-operator costs drawn uniformly
+  between 0 and 40 units (mean 20, matching the balanced average);
+* **resource contention** — a target *share of total compute units*
+  (not of node count) is flagged contentious; a contentious operator's
+  effective cost is multiplied by its own task count;
+* **selectivity** — emitted tuples per consumed tuple; the paper folds
+  selectivity into downstream time values and omits a special flag, but
+  the mechanism is implemented for completeness and used by Sundog.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.storm.topology import Topology
+
+
+def apply_time_imbalance(
+    topology: Topology,
+    rng: np.random.Generator,
+    *,
+    mean_cost: float = 20.0,
+    imbalance: float = 1.0,
+) -> Topology:
+    """Draw per-operator costs from U(mean·(1-i), mean·(1+i)).
+
+    ``imbalance=1`` reproduces the paper's U(0, 40) with mean 20
+    ("100% TiIm"); ``imbalance=0`` leaves the topology balanced at
+    ``mean_cost`` ("0% TiIm").
+    """
+    if mean_cost <= 0:
+        raise ValueError("mean_cost must be > 0")
+    if not 0.0 <= imbalance <= 1.0:
+        raise ValueError("imbalance must be in [0, 1]")
+    low = mean_cost * (1.0 - imbalance)
+    high = mean_cost * (1.0 + imbalance)
+    updates: dict[str, dict[str, object]] = {}
+    for name in topology.topological_order():
+        cost = float(rng.uniform(low, high)) if imbalance > 0 else float(mean_cost)
+        updates[name] = {"cost": cost}
+    return topology.with_operator_updates(updates)
+
+
+def apply_resource_contention(
+    topology: Topology,
+    rng: np.random.Generator,
+    *,
+    contentious_share: float = 0.25,
+) -> Topology:
+    """Flag operators as contentious until a compute-unit share is reached.
+
+    The paper selects by *total compute units* rather than node count to
+    avoid unfair contention distribution (§IV-B2, worked example: "if we
+    have a topology with 10 nodes which have an average time complexity
+    of 20 and we want to have 25% contentious nodes, we select nodes
+    with a total time complexity of 50 units"): operators are drawn
+    uniformly without replacement and flagged until the flagged share of
+    the topology's summed *time complexities* first reaches the target.
+    """
+    if not 0.0 <= contentious_share <= 1.0:
+        raise ValueError("contentious_share must be in [0, 1]")
+    if contentious_share == 0.0:
+        return topology.with_operator_updates(
+            {name: {"contentious": False} for name in topology.topological_order()}
+        )
+    units = {
+        name: topology.operator(name).cost
+        for name in topology.topological_order()
+    }
+    total_units = sum(units.values())
+    if total_units <= 0:
+        raise ValueError("topology has no compute work to flag")
+    order = list(topology.topological_order())
+    rng.shuffle(order)
+    flagged: set[str] = set()
+    flagged_units = 0.0
+    for name in order:
+        if flagged_units / total_units >= contentious_share:
+            break
+        flagged.add(name)
+        flagged_units += units[name]
+    updates = {
+        name: {"contentious": name in flagged}
+        for name in topology.topological_order()
+    }
+    return topology.with_operator_updates(updates)
+
+
+def contentious_unit_share(topology: Topology) -> float:
+    """Share of summed time complexities on contentious operators."""
+    total = 0.0
+    flagged = 0.0
+    for name in topology.topological_order():
+        op = topology.operator(name)
+        total += op.cost
+        if op.contentious:
+            flagged += op.cost
+    return flagged / total if total > 0 else 0.0
+
+
+def apply_selectivity(
+    topology: Topology, selectivities: Mapping[str, float]
+) -> Topology:
+    """Set per-operator selectivity values (tuples out per tuple in)."""
+    for name, value in selectivities.items():
+        if value < 0:
+            raise ValueError(f"selectivity for {name!r} must be >= 0")
+    updates = {
+        name: {"selectivity": float(value)}
+        for name, value in selectivities.items()
+    }
+    return topology.with_operator_updates(updates)
+
+
+def fold_selectivity_into_costs(topology: Topology) -> Topology:
+    """The paper's simplification (§IV-B3): replace selectivity by
+    scaled downstream time values.
+
+    Produces a topology where every selectivity is 1 but each operator's
+    cost is multiplied by the tuple volume it would have received under
+    the original selectivities, so total work per ingested tuple is
+    preserved while the network carries one tuple per edge traversal.
+    """
+    original_volumes = topology.volumes()
+    unit = topology.with_operator_updates(
+        {name: {"selectivity": 1.0} for name in topology.topological_order()}
+    )
+    unit_volumes = unit.volumes()
+    updates: dict[str, dict[str, object]] = {}
+    for name in topology.topological_order():
+        ratio = (
+            original_volumes[name] / unit_volumes[name]
+            if unit_volumes[name] > 0
+            else 1.0
+        )
+        updates[name] = {
+            "cost": topology.operator(name).cost * ratio,
+            "selectivity": 1.0,
+        }
+    return topology.with_operator_updates(updates)

@@ -1,0 +1,99 @@
+"""Graph statistics for generated topologies (paper Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.storm.topology import Topology, TopologyStats
+
+
+def to_networkx(topology: Topology) -> nx.DiGraph:
+    """Export a topology as a NetworkX digraph (analysis/visualization)."""
+    graph = nx.DiGraph(name=topology.name)
+    for name in topology.topological_order():
+        op = topology.operator(name)
+        graph.add_node(
+            name,
+            kind=op.kind.value,
+            cost=op.cost,
+            contentious=op.contentious,
+            selectivity=op.selectivity,
+            layer=topology.layer_of(name),
+        )
+    for edge in topology.edges:
+        graph.add_edge(edge.src, edge.dst, grouping=edge.grouping.value)
+    return graph
+
+
+def is_valid_sps_graph(topology: Topology) -> bool:
+    """The paper's validity constraints on generated graphs (§IV-B):
+    a DAG in which every vertex connects to at least one other vertex.
+
+    :class:`~repro.storm.topology.Topology` construction already rejects
+    cycles and isolated vertices, so this re-checks via NetworkX as an
+    independent oracle (used by the property tests).
+    """
+    graph = to_networkx(topology)
+    if not nx.is_directed_acyclic_graph(graph):
+        return False
+    if len(graph) > 1:
+        for node in graph:
+            if graph.degree(node) == 0:
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: generator inputs plus resulting statistics."""
+
+    name: str
+    vertices: int
+    edges: int
+    layers: int
+    probability: float
+    sources: int
+    sinks: int
+    average_out_degree: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "Name": self.name,
+            "V": self.vertices,
+            "E": self.edges,
+            "L": self.layers,
+            "P": self.probability,
+            "Src": self.sources,
+            "Snk": self.sinks,
+            "AOD": round(self.average_out_degree, 2),
+        }
+
+
+def table2_stats(
+    topology: Topology, probability: float, *, layers: int | None = None
+) -> Table2Row:
+    """Compute the Table II row for a generated topology.
+
+    ``layers`` reports the generator's layer *input* when given (that is
+    what the paper's Table II lists); otherwise the realized
+    longest-path depth is used.
+    """
+    stats: TopologyStats = topology.stats()
+    return Table2Row(
+        name=stats.name,
+        vertices=stats.vertices,
+        edges=stats.edges,
+        layers=layers if layers is not None else stats.layers,
+        probability=probability,
+        sources=stats.sources,
+        sinks=stats.sinks,
+        average_out_degree=stats.average_out_degree,
+    )
+
+
+def longest_path_length(topology: Topology) -> int:
+    """Length (in edges) of the longest source-to-sink path."""
+    graph = to_networkx(topology)
+    return int(nx.dag_longest_path_length(graph))

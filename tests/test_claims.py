@@ -1,0 +1,84 @@
+"""Claims-checklist machinery on miniature studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.claims import (
+    ClaimResult,
+    SUNDOG_CLAIMS,
+    SYNTHETIC_CLAIMS,
+    evaluate_claims,
+    render_claims,
+)
+from repro.experiments.presets import Budget
+from repro.experiments.runner import SundogStudy, SyntheticStudy
+from repro.topology_gen.suite import CONDITIONS
+
+
+@pytest.fixture(scope="module")
+def tiny_synthetic():
+    budget = Budget(
+        steps=6, steps_extended=8, baseline_steps=60, passes=1, repeat_best=3
+    )
+    return SyntheticStudy(
+        budget,
+        conditions=list(CONDITIONS),
+        sizes=["small", "medium"],
+        strategies=["pla", "bo", "ipla", "ibo"],
+        seed=0,
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def tiny_sundog():
+    budget = Budget(
+        steps=25, steps_extended=30, baseline_steps=60, passes=1, repeat_best=3
+    )
+    return SundogStudy(
+        budget,
+        arms=[("pla", "h"), ("bo", "h"), ("bo", "h bs bp"), ("bo", "bs bp cc")],
+        seed=0,
+    ).run()
+
+
+def test_every_claim_has_unique_id():
+    ids = [c[0] for c in SYNTHETIC_CLAIMS] + [c[0] for c in SUNDOG_CLAIMS]
+    assert len(ids) == len(set(ids))
+
+
+def test_evaluate_claims_covers_both_studies(tiny_synthetic, tiny_sundog):
+    results = evaluate_claims(tiny_synthetic, tiny_sundog)
+    ids = {r.claim_id for r in results}
+    assert {"F4.1a", "F4.3", "F8.1", "F8.2"} <= ids
+    assert all(isinstance(r, ClaimResult) for r in results)
+    assert all(r.evidence for r in results)
+
+
+def test_evaluate_claims_synthetic_only(tiny_synthetic):
+    results = evaluate_claims(tiny_synthetic, None)
+    assert all(r.claim_id.startswith(("F4", "F5", "F7")) for r in results)
+
+
+def test_core_claims_hold_on_mini_study(tiny_synthetic, tiny_sundog):
+    results = {r.claim_id: r for r in evaluate_claims(tiny_synthetic, tiny_sundog)}
+    assert results["F4.1a"].holds, results["F4.1a"].evidence
+    assert results["F4.3"].holds, results["F4.3"].evidence
+    assert results["F8.2"].holds, results["F8.2"].evidence
+
+
+def test_missing_condition_reported_not_raised(tiny_sundog):
+    partial = SyntheticStudy(
+        Budget(steps=4, steps_extended=5, baseline_steps=6, passes=1, repeat_best=2),
+        conditions=[CONDITIONS[0]],
+        sizes=["small"],
+        strategies=["pla"],
+    ).run()
+    results = evaluate_claims(partial, None)
+    assert any("not evaluable" in r.evidence for r in results)
+
+
+def test_render_claims(tiny_synthetic):
+    text = render_claims(evaluate_claims(tiny_synthetic, None))
+    assert "claims reproduced" in text
+    assert "F4.1a" in text

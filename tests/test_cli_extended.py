@@ -1,0 +1,84 @@
+"""Extended CLI behaviour: csv export, save/load, sensitivity, claims."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.figures import figure3_network_load, table2_topologies
+from repro.experiments.report import write_csv
+
+
+class TestWriteCsv:
+    def test_rows_csv(self, tmp_path):
+        data = table2_topologies()
+        paths = write_csv(data, tmp_path)
+        assert len(paths) == 1
+        with paths[0].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["Name"] == "small"
+
+    def test_series_csv(self, tmp_path):
+        from repro.experiments.figures import FigureData
+
+        data = FigureData("Figure X", "test", series={"a": ([1.0, 2.0], [3.0, 4.0])})
+        paths = write_csv(data, tmp_path)
+        assert paths[0].name == "figure_x_series.csv"
+        content = paths[0].read_text().splitlines()
+        assert content[0] == "series,x,y"
+        assert len(content) == 3
+
+    def test_empty_exhibit(self, tmp_path):
+        from repro.experiments.figures import FigureData
+
+        assert write_csv(FigureData("Figure Y", "empty"), tmp_path) == []
+
+
+class TestCliCsv:
+    def test_table_with_csv_flag(self, tmp_path, capsys):
+        assert main(["table2", "--csv", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "out" / "table_ii.csv").exists()
+
+    def test_fig3_with_csv(self, tmp_path, capsys):
+        assert main(["fig3", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "figure_3.csv").exists()
+
+
+class TestCliSensitivity:
+    def test_sensitivity_report(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "batch_size" in out
+        assert "interaction factor" in out
+
+
+@pytest.mark.slow
+class TestCliStudies:
+    def test_fig5_save_then_load(self, tmp_path, capsys, monkeypatch):
+        """Run a study once with --save, re-render with --load."""
+        import repro.cli as cli
+        from repro.experiments import presets
+
+        tiny = presets.Budget(
+            steps=4, steps_extended=5, baseline_steps=6, passes=1, repeat_best=2
+        )
+        monkeypatch.setattr(presets, "default_budget", lambda: tiny)
+        monkeypatch.setattr(cli, "default_budget", lambda: tiny)
+
+        out_dir = str(tmp_path / "runs")
+        assert main(["fig5", "--save", out_dir]) == 0
+        first = capsys.readouterr().out
+        assert "Figure 5" in first
+        assert Path(out_dir, "synthetic.json").exists()
+
+        assert main(["fig5", "--load", out_dir]) == 0
+        second = capsys.readouterr().out
+        assert "Figure 5" in second
+        # Same rows re-rendered from the export.
+        assert first.splitlines()[2:] == second.splitlines()[2:]

@@ -1,0 +1,116 @@
+"""Cluster model and the even scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.cluster import ClusterSpec, MachineSpec, paper_cluster, small_test_cluster
+from repro.storm.config import TopologyConfig
+from repro.storm.scheduler import EvenScheduler, SchedulingError, schedulable
+from repro.storm.topology import linear_topology
+
+
+class TestClusterSpec:
+    def test_paper_cluster_matches_section_iv_c(self):
+        cluster = paper_cluster()
+        assert cluster.n_machines == 80
+        assert cluster.machine.cores == 4
+        assert cluster.total_cores == 320
+        assert cluster.machine.memory_mb == 8192
+        assert cluster.machine.nic_mbps == 1000.0
+
+    def test_nic_bytes_per_ms(self):
+        machine = MachineSpec(nic_mbps=1000.0)
+        # 1 Gbps = 125 MB/s = 125000 bytes/ms
+        assert machine.nic_bytes_per_ms == pytest.approx(125_000.0)
+
+    def test_worker_slots_deterministic(self):
+        cluster = ClusterSpec(n_machines=3, workers_per_machine=2)
+        slots = cluster.worker_slots()
+        assert len(slots) == 6
+        assert slots[0].machine_id == 0 and slots[0].slot_id == 0
+        assert slots[-1].machine_id == 2 and slots[-1].slot_id == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_machines=0)
+        with pytest.raises(ValueError):
+            MachineSpec(cores=0)
+        with pytest.raises(ValueError):
+            MachineSpec(core_speed=0)
+
+
+class TestEvenScheduler:
+    def test_balances_executors(self, four_machine_cluster):
+        topo = linear_topology("chain", 3)
+        config = TopologyConfig.uniform(topo, 8, ackers=4, num_workers=4)
+        assignment = EvenScheduler().schedule(topo, config, four_machine_cluster)
+        counts = assignment.executors_per_machine()
+        assert sum(counts.values()) == 4 * 8 + 4
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_all_tasks_placed(self, four_machine_cluster):
+        topo = linear_topology("chain", 2)
+        config = TopologyConfig.uniform(topo, 5, ackers=2, num_workers=4)
+        assignment = EvenScheduler().schedule(topo, config, four_machine_cluster)
+        for name in topo:
+            assert assignment.task_count(name) == 5
+        assert len(assignment.acker_tasks) == 2
+
+    def test_respects_normalized_hints(self, four_machine_cluster):
+        topo = linear_topology("chain", 2)
+        config = TopologyConfig.uniform(
+            topo, 10, max_tasks=15, ackers=0, num_workers=4
+        )
+        assignment = EvenScheduler().schedule(topo, config, four_machine_cluster)
+        assert len(assignment.tasks) == config.total_tasks(topo)
+
+    def test_capacity_error(self, tiny_cluster):
+        topo = linear_topology("chain", 2)
+        # tiny cluster: 2 machines x 20 executors = 40 slots
+        config = TopologyConfig.uniform(topo, 20, ackers=0, num_workers=2)
+        with pytest.raises(SchedulingError):
+            EvenScheduler().schedule(topo, config, tiny_cluster)
+        assert not schedulable(topo, config, tiny_cluster)
+
+    def test_schedulable_boundary(self, tiny_cluster):
+        topo = linear_topology("chain", 1)  # 2 operators
+        ok = TopologyConfig.uniform(topo, 19, ackers=2, num_workers=2)
+        assert schedulable(topo, ok, tiny_cluster)
+
+    def test_colocation_fraction_spread_tasks(self, four_machine_cluster):
+        topo = linear_topology("chain", 1)
+        config = TopologyConfig.uniform(topo, 8, ackers=0, num_workers=4)
+        assignment = EvenScheduler().schedule(topo, config, four_machine_cluster)
+        frac = assignment.colocation_fraction("spout", "bolt1")
+        # With 8 tasks over 4 machines, roughly 1/4 of pairs co-locate.
+        assert 0.0 <= frac <= 0.6
+
+    def test_colocation_single_machine(self):
+        cluster = ClusterSpec(n_machines=1, machine=MachineSpec())
+        topo = linear_topology("chain", 1)
+        config = TopologyConfig.uniform(topo, 3, ackers=0, num_workers=1)
+        assignment = EvenScheduler().schedule(topo, config, cluster)
+        assert assignment.colocation_fraction("spout", "bolt1") == pytest.approx(1.0)
+
+    def test_threads_per_machine_includes_system_threads(self, tiny_cluster):
+        topo = linear_topology("chain", 1)
+        config = TopologyConfig.uniform(
+            topo, 2, ackers=0, num_workers=2, receiver_threads=2
+        )
+        assignment = EvenScheduler().schedule(topo, config, tiny_cluster)
+        threads = assignment.threads_per_machine()
+        # 2 executors/machine + (2 receiver + 2 system) per worker
+        assert threads[0] == pytest.approx(2 + 4)
+
+    def test_machines_of(self, four_machine_cluster):
+        topo = linear_topology("chain", 1)
+        config = TopologyConfig.uniform(topo, 8, ackers=0, num_workers=4)
+        assignment = EvenScheduler().schedule(topo, config, four_machine_cluster)
+        assert assignment.machines_of("spout") == {0, 1, 2, 3}
+
+    def test_total_executors(self, four_machine_cluster):
+        topo = linear_topology("chain", 2)
+        config = TopologyConfig.uniform(topo, 4, ackers=3, num_workers=4)
+        assignment = EvenScheduler().schedule(topo, config, four_machine_cluster)
+        assert assignment.total_executors() == 3 * 4 + 3

@@ -1,0 +1,125 @@
+"""Configuration surface: Table I parameters and max-tasks normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.config import TABLE1_PARAMETERS, TopologyConfig
+from repro.storm.topology import linear_topology
+
+
+@pytest.fixture
+def topo():
+    return linear_topology("chain", 3)  # spout + 3 bolts
+
+
+class TestValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(parallelism_hints={"a": 0})
+        with pytest.raises(ValueError):
+            TopologyConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(batch_parallelism=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(worker_threads=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(receiver_threads=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(ackers=-1)
+        with pytest.raises(ValueError):
+            TopologyConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(max_tasks=0)
+
+    def test_zero_ackers_allowed(self):
+        assert TopologyConfig(ackers=0).effective_ackers() == 0
+
+
+class TestHints:
+    def test_default_hint_fallback(self, topo):
+        config = TopologyConfig(parallelism_hints={"bolt1": 5})
+        assert config.raw_hint(topo, "bolt1") == 5
+        assert config.raw_hint(topo, "spout") == 1  # spec default
+
+    def test_normalization_noop_below_cap(self, topo):
+        config = TopologyConfig(
+            parallelism_hints={n: 2 for n in topo}, max_tasks=100
+        )
+        assert config.normalized_hints(topo) == {n: 2 for n in topo}
+
+    def test_normalization_scales_proportionally(self, topo):
+        config = TopologyConfig(
+            parallelism_hints={n: 10 for n in topo}, max_tasks=20
+        )
+        hints = config.normalized_hints(topo)
+        assert all(h == 5 for h in hints.values())
+
+    def test_normalization_floors_at_one(self, topo):
+        config = TopologyConfig(
+            parallelism_hints={"spout": 1, "bolt1": 1, "bolt2": 1, "bolt3": 97},
+            max_tasks=10,
+        )
+        hints = config.normalized_hints(topo)
+        assert all(h >= 1 for h in hints.values())
+
+    def test_normalization_respects_cap_approximately(self, topo):
+        config = TopologyConfig(
+            parallelism_hints={n: 13 for n in topo}, max_tasks=17
+        )
+        total = config.total_tasks(topo)
+        # Rounding with a floor of 1 may exceed the cap slightly, but
+        # never by more than one task per operator.
+        assert total <= 17 + len(topo)
+
+    def test_no_max_tasks_means_no_normalization(self, topo):
+        config = TopologyConfig(parallelism_hints={n: 50 for n in topo})
+        assert config.total_tasks(topo) == 200
+
+    def test_uniform_constructor(self, topo):
+        config = TopologyConfig.uniform(topo, 7, batch_size=123)
+        assert config.normalized_hints(topo) == {n: 7 for n in topo}
+        assert config.batch_size == 123
+
+    def test_with_hints_merges(self, topo):
+        config = TopologyConfig.uniform(topo, 2)
+        updated = config.with_hints({"bolt1": 9})
+        assert updated.raw_hint(topo, "bolt1") == 9
+        assert updated.raw_hint(topo, "bolt2") == 2
+        assert config.raw_hint(topo, "bolt1") == 2  # original frozen
+
+
+class TestDefaults:
+    def test_acker_default_one_per_worker(self):
+        config = TopologyConfig(num_workers=80)
+        assert config.effective_ackers() == 80
+
+    def test_acker_explicit(self):
+        assert TopologyConfig(ackers=7).effective_ackers() == 7
+
+
+class TestSerialization:
+    def test_roundtrip(self, topo):
+        config = TopologyConfig.uniform(
+            topo, 3, max_tasks=50, batch_size=500, ackers=10
+        )
+        again = TopologyConfig.from_dict(config.as_dict())
+        assert again.as_dict() == config.as_dict()
+
+    def test_replace(self):
+        config = TopologyConfig(batch_size=100)
+        other = config.replace(batch_size=200)
+        assert other.batch_size == 200
+        assert config.batch_size == 100
+
+
+def test_table1_catalogue_complete():
+    names = {name for name, _ in TABLE1_PARAMETERS}
+    assert names == {
+        "Worker Threads",
+        "Receiver Threads",
+        "Ackers",
+        "Batch Parallelism",
+        "Batch Size",
+        "Parallelism Hints",
+    }

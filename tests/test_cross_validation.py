@@ -1,0 +1,161 @@
+"""Cross-validation: the analytic model against the discrete-event simulator.
+
+The two execution engines implement the same mechanics at different
+abstraction levels; on configurations away from cliff edges their
+throughputs must agree within a modest tolerance.  This is the guard
+that keeps the fast analytic objective honest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
+from repro.storm.cluster import ClusterSpec, MachineSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.simulation import DiscreteEventSimulator
+from repro.storm.topology import TopologyBuilder, linear_topology
+from repro.topology_gen.suite import TopologyCondition, make_topology
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec(
+        n_machines=8,
+        machine=MachineSpec(cores=4, memory_mb=8192),
+        max_executors_per_worker=50,
+    )
+
+
+CAL = CalibrationParams(
+    batch_overhead_ms=50.0,
+    ack_cost_units=0.002,
+    batch_timeout_ms=1e9,
+)
+
+
+def compare(topo, config, cluster, rel=0.35):
+    analytic = AnalyticPerformanceModel(topo, cluster, CAL)
+    des = DiscreteEventSimulator(topo, cluster, CAL, max_batches=60)
+    a = analytic.evaluate_noise_free(config)
+    d = des.evaluate_noise_free(config)
+    assert not a.failed and not d.failed, (a.failure_reason, d.failure_reason)
+    assert d.throughput_tps == pytest.approx(a.throughput_tps, rel=rel), (
+        f"analytic={a.throughput_tps:.1f} ({a.details['limiting_cap']}), "
+        f"des={d.throughput_tps:.1f}"
+    )
+    return a, d
+
+
+class TestAgreement:
+    def test_chain_low_parallelism(self, cluster):
+        topo = linear_topology("chain", 2, cost=5.0, spout_cost=5.0)
+        config = TopologyConfig(
+            parallelism_hints={n: 2 for n in topo},
+            batch_size=50,
+            batch_parallelism=4,
+            ackers=2,
+            num_workers=8,
+        )
+        compare(topo, config, cluster)
+
+    def test_chain_high_parallelism(self, cluster):
+        topo = linear_topology("chain", 2, cost=5.0, spout_cost=5.0)
+        config = TopologyConfig(
+            parallelism_hints={n: 8 for n in topo},
+            batch_size=100,
+            batch_parallelism=8,
+            ackers=4,
+            num_workers=8,
+        )
+        compare(topo, config, cluster)
+
+    def test_fan_out_topology(self, cluster, fan_topology):
+        config = TopologyConfig(
+            parallelism_hints={n: 4 for n in fan_topology},
+            batch_size=60,
+            batch_parallelism=6,
+            ackers=2,
+            num_workers=8,
+        )
+        compare(fan_topology, config, cluster)
+
+    def test_diamond_with_contention(self, cluster):
+        builder = TopologyBuilder("dc")
+        builder.spout("s", cost=2.0)
+        builder.bolt("a", inputs=["s"], cost=6.0)
+        builder.bolt("db", inputs=["s"], cost=6.0, contentious=True)
+        builder.bolt("join", inputs=["a", "db"], cost=2.0)
+        topo = builder.build()
+        config = TopologyConfig(
+            parallelism_hints={"s": 3, "a": 4, "db": 2, "join": 2},
+            batch_size=40,
+            batch_parallelism=6,
+            ackers=2,
+            num_workers=8,
+        )
+        compare(topo, config, cluster)
+
+    def test_generated_small_topology(self, cluster):
+        topo = make_topology(
+            "small", TopologyCondition(time_imbalance=1.0, contentious_share=0.0)
+        )
+        config = TopologyConfig(
+            parallelism_hints={n: 3 for n in topo},
+            batch_size=20,
+            batch_parallelism=6,
+            ackers=4,
+            num_workers=8,
+        )
+        compare(topo, config, cluster, rel=0.4)
+
+    def test_network_metric_same_order(self, cluster):
+        topo = linear_topology("chain", 2, cost=5.0, spout_cost=5.0)
+        config = TopologyConfig(
+            parallelism_hints={n: 4 for n in topo},
+            batch_size=50,
+            batch_parallelism=4,
+            ackers=2,
+            num_workers=8,
+        )
+        a, d = compare(topo, config, cluster)
+        assert d.network_mb_per_worker_s == pytest.approx(
+            a.network_mb_per_worker_s, rel=0.5
+        )
+
+    def test_failure_modes_agree(self, cluster):
+        topo = linear_topology("chain", 1)
+        config = TopologyConfig(
+            parallelism_hints={n: 300 for n in topo}, ackers=0, num_workers=8
+        )
+        analytic = AnalyticPerformanceModel(topo, cluster, CAL)
+        des = DiscreteEventSimulator(topo, cluster, CAL)
+        assert analytic.evaluate_noise_free(config).failed
+        assert des.evaluate_noise_free(config).failed
+
+    def test_relative_ordering_of_configs(self, cluster):
+        """Both engines rank a starved config below a balanced one."""
+        topo = linear_topology("chain", 2, cost=5.0, spout_cost=5.0)
+        starved = TopologyConfig(
+            parallelism_hints={"spout": 8, "bolt1": 1, "bolt2": 8},
+            batch_size=50,
+            batch_parallelism=6,
+            ackers=2,
+            num_workers=8,
+        )
+        balanced = TopologyConfig(
+            parallelism_hints={n: 6 for n in topo},
+            batch_size=50,
+            batch_parallelism=6,
+            ackers=2,
+            num_workers=8,
+        )
+        analytic = AnalyticPerformanceModel(topo, cluster, CAL)
+        des = DiscreteEventSimulator(topo, cluster, CAL, max_batches=60)
+        a_order = analytic.evaluate_noise_free(
+            balanced
+        ).throughput_tps > analytic.evaluate_noise_free(starved).throughput_tps
+        d_order = des.evaluate_noise_free(
+            balanced
+        ).throughput_tps > des.evaluate_noise_free(starved).throughput_tps
+        assert a_order and d_order

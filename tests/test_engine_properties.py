@@ -1,0 +1,184 @@
+"""Property-based tests over the execution engines.
+
+Random topologies and configurations must never crash the engines, and
+a set of invariants must hold everywhere: non-negative throughput,
+zero throughput exactly on failure, determinism of the noise-free path,
+and monotone responses to added hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
+from repro.storm.cluster import ClusterSpec, MachineSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.simulation import DiscreteEventSimulator
+from repro.topology_gen.ggen import layer_by_layer
+from repro.topology_gen.modifications import (
+    apply_resource_contention,
+    apply_time_imbalance,
+)
+
+
+def random_topology(seed: int, *, n_vertices: int, n_layers: int, imbalance: float, contention: float):
+    topo = layer_by_layer(
+        f"prop{seed}", n_vertices, n_layers, 0.3, seed=seed, cost=5.0
+    )
+    rng = np.random.default_rng(seed + 1)
+    topo = apply_time_imbalance(topo, rng, mean_cost=5.0, imbalance=imbalance)
+    return apply_resource_contention(topo, rng, contentious_share=contention)
+
+
+def random_config(seed: int, n_workers: int, topo) -> TopologyConfig:
+    rng = np.random.default_rng(seed + 2)
+    return TopologyConfig(
+        parallelism_hints={n: int(rng.integers(1, 9)) for n in topo},
+        max_tasks=int(rng.integers(len(topo), 400)) if rng.random() < 0.5 else None,
+        batch_size=int(rng.integers(10, 400)),
+        batch_parallelism=int(rng.integers(1, 17)),
+        worker_threads=int(rng.integers(1, 17)),
+        receiver_threads=int(rng.integers(1, 5)),
+        ackers=int(rng.integers(0, 9)),
+        num_workers=n_workers,
+    )
+
+
+CLUSTER = ClusterSpec(
+    n_machines=6,
+    machine=MachineSpec(cores=4, memory_mb=8192),
+    max_executors_per_worker=40,
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    n_vertices=st.integers(min_value=4, max_value=24),
+    n_layers=st.integers(min_value=2, max_value=5),
+    imbalance=st.sampled_from([0.0, 1.0]),
+    contention=st.sampled_from([0.0, 0.25]),
+)
+@settings(max_examples=60, deadline=None)
+def test_analytic_invariants(seed, n_vertices, n_layers, imbalance, contention):
+    topo = random_topology(
+        seed,
+        n_vertices=n_vertices,
+        n_layers=min(n_layers, n_vertices),
+        imbalance=imbalance,
+        contention=contention,
+    )
+    config = random_config(seed, CLUSTER.total_workers, topo)
+    model = AnalyticPerformanceModel(topo, CLUSTER)
+    run = model.evaluate_noise_free(config)
+    # Invariants.
+    assert run.throughput_tps >= 0.0
+    assert run.failed == (run.throughput_tps == 0.0) or not run.failed
+    if run.failed:
+        assert run.failure_reason
+    else:
+        assert run.batch_latency_ms > 0
+        assert run.network_mb_per_worker_s >= 0
+    # Determinism.
+    again = model.evaluate_noise_free(config)
+    assert again.throughput_tps == run.throughput_tps
+
+
+@given(seed=st.integers(min_value=0, max_value=2000))
+@settings(max_examples=15, deadline=None)
+def test_des_never_crashes_and_matches_failure_semantics(seed):
+    topo = random_topology(seed, n_vertices=8, n_layers=3, imbalance=1.0, contention=0.0)
+    config = random_config(seed, CLUSTER.total_workers, topo)
+    sim = DiscreteEventSimulator(
+        topo, CLUSTER, max_batches=12, warmup_batches=1
+    )
+    run = sim.evaluate_noise_free(config)
+    assert run.throughput_tps >= 0.0
+    if run.failed:
+        assert run.throughput_tps == 0.0
+
+
+@given(seed=st.integers(min_value=0, max_value=2000))
+@settings(max_examples=25, deadline=None)
+def test_more_machines_never_hurt(seed):
+    """Throughput is monotone in cluster size for feasible configs."""
+    topo = random_topology(seed, n_vertices=10, n_layers=3, imbalance=1.0, contention=0.0)
+    small = ClusterSpec(n_machines=4, machine=MachineSpec(cores=4))
+    large = ClusterSpec(n_machines=16, machine=MachineSpec(cores=4))
+    config = TopologyConfig(
+        parallelism_hints={n: 4 for n in topo},
+        batch_size=100,
+        batch_parallelism=8,
+        ackers=4,
+        num_workers=1,
+    )
+    t_small = AnalyticPerformanceModel(topo, small).evaluate_noise_free(
+        config.replace(num_workers=4)
+    )
+    t_large = AnalyticPerformanceModel(topo, large).evaluate_noise_free(
+        config.replace(num_workers=16)
+    )
+    if not t_small.failed and not t_large.failed:
+        assert t_large.throughput_tps >= t_small.throughput_tps * 0.999
+
+
+@given(seed=st.integers(min_value=0, max_value=2000))
+@settings(max_examples=25, deadline=None)
+def test_faster_cores_never_hurt(seed):
+    topo = random_topology(seed, n_vertices=8, n_layers=3, imbalance=0.0, contention=0.0)
+    slow = ClusterSpec(n_machines=4, machine=MachineSpec(cores=4, core_speed=1.0))
+    fast = ClusterSpec(n_machines=4, machine=MachineSpec(cores=4, core_speed=2.0))
+    config = TopologyConfig(
+        parallelism_hints={n: 3 for n in topo},
+        batch_size=100,
+        batch_parallelism=8,
+        ackers=2,
+        num_workers=4,
+    )
+    t_slow = AnalyticPerformanceModel(topo, slow).evaluate_noise_free(config)
+    t_fast = AnalyticPerformanceModel(topo, fast).evaluate_noise_free(config)
+    if not t_slow.failed and not t_fast.failed:
+        assert t_fast.throughput_tps >= t_slow.throughput_tps * 0.999
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    sigma=st.floats(min_value=0.0, max_value=0.3),
+)
+@settings(max_examples=25, deadline=None)
+def test_noise_preserves_failure_and_nonnegativity(seed, sigma):
+    from repro.storm.noise import GaussianNoise
+
+    topo = random_topology(seed, n_vertices=6, n_layers=2, imbalance=0.0, contention=0.0)
+    config = random_config(seed, CLUSTER.total_workers, topo)
+    model = AnalyticPerformanceModel(
+        topo, CLUSTER, noise=GaussianNoise(sigma), seed=seed
+    )
+    run = model.evaluate(config)
+    assert run.throughput_tps >= 0.0
+    if run.failed:
+        assert run.throughput_tps == 0.0
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=10, deadline=None)
+def test_des_agrees_with_analytic_on_random_feasible_configs(seed):
+    """Random (feasible, away-from-cliff) configs: engines within 50%."""
+    cal = CalibrationParams(batch_timeout_ms=1e12)
+    topo = random_topology(seed, n_vertices=7, n_layers=3, imbalance=1.0, contention=0.0)
+    config = TopologyConfig(
+        parallelism_hints={n: 3 for n in topo},
+        batch_size=60,
+        batch_parallelism=6,
+        ackers=2,
+        num_workers=6,
+    )
+    analytic = AnalyticPerformanceModel(topo, CLUSTER, cal).evaluate_noise_free(config)
+    des = DiscreteEventSimulator(
+        topo, CLUSTER, cal, max_batches=40, warmup_batches=2
+    ).evaluate_noise_free(config)
+    if analytic.failed or des.failed:
+        return  # cliff configs are covered by the failure tests
+    assert des.throughput_tps == pytest.approx(analytic.throughput_tps, rel=0.5)

@@ -1,0 +1,67 @@
+"""Smoke-compile every example script.
+
+Full example runs take minutes; these tests guarantee the scripts at
+least parse, import their dependencies, and define a ``main``.  The
+repository's examples were each executed end-to-end during development;
+EXPERIMENTS.md and the docs quote their outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{path.name} lacks a main()"
+    # __main__ guard present.
+    assert any(
+        isinstance(node, ast.If) and "__main__" in ast.dump(node.test)
+        for node in tree.body
+    ), f"{path.name} lacks a __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every module an example imports must be importable."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    importlib.import_module(alias.name)
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "tune_synthetic.py",
+        "tune_sundog.py",
+        "run_sundog_local.py",
+        "linear_road.py",
+        "des_vs_analytic.py",
+        "pause_resume.py",
+        "cluster_whatif.py",
+    } <= names

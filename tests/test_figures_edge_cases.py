@@ -1,0 +1,111 @@
+"""Figure-builder edge cases and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.presets import Budget
+from repro.experiments.runner import SundogStudy, SyntheticStudy
+from repro.topology_gen.suite import CONDITIONS
+
+
+@pytest.fixture(scope="module")
+def bo_only_study():
+    """A study without bo180 — figure 6 must fall back to bo traces."""
+    budget = Budget(
+        steps=6, steps_extended=7, baseline_steps=8, passes=1, repeat_best=2
+    )
+    return SyntheticStudy(
+        budget,
+        conditions=[CONDITIONS[0]],
+        sizes=["small"],
+        strategies=["pla", "bo"],
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def partial_sundog():
+    budget = Budget(
+        steps=6, steps_extended=7, baseline_steps=10, passes=1, repeat_best=2
+    )
+    return SundogStudy(budget, arms=[("pla", "h"), ("bo", "h")]).run()
+
+
+class TestFigure6Fallback:
+    def test_uses_bo_when_bo180_missing(self, bo_only_study):
+        data = figures.figure6_loess_traces(bo_only_study)
+        assert len(data.series) == 1
+        (xs, ys), = data.series.values()
+        assert max(xs) <= bo_only_study.budget.steps
+
+
+class TestFigure8Partial:
+    def test_figure8a_with_partial_arms(self, partial_sundog):
+        data = figures.figure8a_sundog_throughput(partial_sundog)
+        assert len(data.rows) == 2
+
+    def test_figure8b_skips_missing_traces(self, partial_sundog):
+        data = figures.figure8b_sundog_convergence(partial_sundog)
+        assert set(data.series) == {"pla.h"}
+
+    def test_t_tests_skip_missing_arms(self, partial_sundog):
+        notes = figures.sundog_t_tests(partial_sundog)
+        assert all("bs bp" not in note for note in notes)
+
+    def test_speedup_requires_tuned_arm(self, partial_sundog):
+        with pytest.raises(ValueError):
+            figures.speedup_over_pla(partial_sundog)
+
+
+class TestConfigSummary:
+    def test_summarize_config_picks_interesting_keys(self):
+        text = figures._summarize_config(
+            {
+                "batch_size": 100,
+                "hint__a": 3,
+                "hint__b": 5,
+                "uniform_hint": 7,
+            }
+        )
+        assert "batch_size=100" in text
+        assert "hints median=4" in text
+        assert "uniform_hint=7" in text
+
+    def test_summarize_config_empty(self):
+        assert figures._summarize_config({}) == ""
+
+
+class TestRepresentativeRun:
+    def test_representative_run_picks_best_uniform(self):
+        from repro.experiments.presets import SYNTHETIC_BASE_CONFIG
+        from repro.topology_gen.suite import base_topology
+
+        topo = base_topology("small")
+        run = figures._representative_run(topo, SYNTHETIC_BASE_CONFIG, max_hint=8)
+        assert run.throughput_tps > 0
+        # Must be at least as good as a mid-range uniform setting.
+        from repro.experiments.presets import default_cluster
+        from repro.storm.analytic import AnalyticPerformanceModel
+
+        model = AnalyticPerformanceModel(topo, default_cluster())
+        mid = model.evaluate_noise_free(
+            SYNTHETIC_BASE_CONFIG.replace(
+                parallelism_hints={n: 4 for n in topo}
+            )
+        )
+        assert run.throughput_tps >= mid.throughput_tps - 1e-9
+
+
+def test_module_cli_alias(capsys):
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "table1"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "Table I" in proc.stdout

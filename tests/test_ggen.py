@@ -1,0 +1,145 @@
+"""Layer-by-layer graph generation (GGen reimplementation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storm.grouping import Grouping
+from repro.topology_gen.ggen import (
+    LayerByLayerGenerator,
+    LayerByLayerParams,
+    layer_by_layer,
+)
+from repro.topology_gen.properties import (
+    is_valid_sps_graph,
+    longest_path_length,
+    to_networkx,
+)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerByLayerParams(n_vertices=1, n_layers=1, edge_probability=0.5)
+        with pytest.raises(ValueError):
+            LayerByLayerParams(n_vertices=10, n_layers=11, edge_probability=0.5)
+        with pytest.raises(ValueError):
+            LayerByLayerParams(n_vertices=10, n_layers=3, edge_probability=0.0)
+        with pytest.raises(ValueError):
+            LayerByLayerParams(n_vertices=10, n_layers=3, edge_probability=1.5)
+
+
+class TestGraphStructure:
+    def params(self):
+        return LayerByLayerParams(n_vertices=20, n_layers=4, edge_probability=0.2)
+
+    def test_layer_partition(self, rng):
+        gen = LayerByLayerGenerator(self.params())
+        layers, _ = gen.generate_graph(rng)
+        all_vertices = [v for layer in layers for v in layer]
+        assert sorted(all_vertices) == list(range(20))
+        sizes = [len(layer) for layer in layers]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_edges_only_point_forward(self, rng):
+        gen = LayerByLayerGenerator(self.params())
+        layers, edges = gen.generate_graph(rng)
+        layer_of = {v: i for i, layer in enumerate(layers) for v in layer}
+        for u, v in edges:
+            assert layer_of[u] < layer_of[v]
+
+    def test_no_same_layer_edges(self, rng):
+        """The defining layer-by-layer property (paper §IV-B)."""
+        gen = LayerByLayerGenerator(self.params())
+        layers, edges = gen.generate_graph(rng)
+        layer_of = {v: i for i, layer in enumerate(layers) for v in layer}
+        assert all(layer_of[u] != layer_of[v] for u, v in edges)
+
+    def test_no_isolated_vertices(self):
+        params = LayerByLayerParams(
+            n_vertices=30, n_layers=5, edge_probability=0.02
+        )
+        gen = LayerByLayerGenerator(params)
+        for seed in range(10):
+            layers, edges = gen.generate_graph(np.random.default_rng(seed))
+            touched = {u for u, _ in edges} | {v for _, v in edges}
+            assert touched == set(range(30))
+
+    def test_no_duplicate_edges(self, rng):
+        gen = LayerByLayerGenerator(self.params())
+        _, edges = gen.generate_graph(rng)
+        assert len(edges) == len(set(edges))
+
+    def test_edge_count_matches_expectation(self):
+        """E[edges] = p * (cross-layer pairs); checked within 4 sigma."""
+        params = LayerByLayerParams(
+            n_vertices=100, n_layers=10, edge_probability=0.04
+        )
+        gen = LayerByLayerGenerator(params)
+        counts = [
+            len(gen.generate_graph(np.random.default_rng(s))[1])
+            for s in range(30)
+        ]
+        pairs = 45 * 100  # C(10,2) layer pairs x 10 x 10 vertex pairs
+        expected = pairs * 0.04
+        sigma = (pairs * 0.04 * 0.96) ** 0.5
+        assert abs(np.mean(counts) - expected) < 4 * sigma / (30**0.5) + 3
+
+
+class TestTopologyGeneration:
+    def test_valid_storm_topology(self, rng):
+        gen = LayerByLayerGenerator(
+            LayerByLayerParams(n_vertices=15, n_layers=3, edge_probability=0.3)
+        )
+        topo = gen.generate_topology("t", rng, cost=20.0)
+        assert is_valid_sps_graph(topo)
+        assert len(topo) == 15
+        # Sources become spouts, the rest bolts.
+        for name in topo:
+            op = topo.operator(name)
+            assert op.is_spout == (len(topo.parents(name)) == 0)
+            assert op.cost == 20.0
+
+    def test_shuffle_grouping_everywhere(self, rng):
+        topo = layer_by_layer("t", 12, 3, 0.3, seed=5)
+        for edge in topo.edges:
+            assert edge.grouping is Grouping.SHUFFLE
+
+    def test_seed_determinism(self):
+        a = layer_by_layer("t", 25, 5, 0.15, seed=7)
+        b = layer_by_layer("t", 25, 5, 0.15, seed=7)
+        assert a.edges == b.edges
+        c = layer_by_layer("t", 25, 5, 0.15, seed=8)
+        assert a.edges != c.edges
+
+    def test_longest_path_bounded_by_layers(self, rng):
+        topo = layer_by_layer("t", 40, 8, 0.1, seed=3)
+        assert longest_path_length(topo) <= 7
+
+    def test_networkx_export(self, rng):
+        topo = layer_by_layer("t", 10, 3, 0.4, seed=1)
+        graph = to_networkx(topo)
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == len(topo.edges)
+        for _, data in graph.nodes(data=True):
+            assert data["kind"] in ("spout", "bolt")
+
+
+@given(
+    st.integers(min_value=4, max_value=40),
+    st.integers(min_value=2, max_value=8),
+    st.floats(min_value=0.05, max_value=0.9),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_generated_graphs_are_valid_sps(n, layers, p, seed):
+    layers = min(layers, n)
+    topo = layer_by_layer("prop", n, layers, p, seed=seed)
+    assert is_valid_sps_graph(topo)
+    assert len(topo) == n
+    # Every vertex connected (paper constraint 1).
+    for name in topo:
+        assert topo.parents(name) or topo.children(name)

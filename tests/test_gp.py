@@ -1,0 +1,154 @@
+"""Gaussian-process regression correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gp import GaussianProcess
+
+
+def test_prior_prediction_without_fit():
+    gp = GaussianProcess("rbf", dim=2)
+    mean, std = gp.predict(np.array([[0.5, 0.5]]))
+    assert mean[0] == pytest.approx(0.0)
+    assert std[0] > 0
+
+
+def test_interpolates_training_points_with_small_noise(rng):
+    X = rng.random((10, 2))
+    y = np.sin(3 * X[:, 0]) + X[:, 1]
+    gp = GaussianProcess("matern52", dim=2, noise=1e-6, fit_noise=False)
+    gp.fit(X, y, optimize_hyperparams=True, rng=rng)
+    mean, std = gp.predict(X)
+    assert np.allclose(mean, y, atol=1e-2)
+    assert (std < 0.15).all()
+
+
+def test_uncertainty_grows_away_from_data(rng):
+    X = np.array([[0.5, 0.5]])
+    y = np.array([1.0])
+    gp = GaussianProcess("rbf", dim=2, noise=1e-4, fit_noise=False)
+    gp.fit(X, y, optimize_hyperparams=False)
+    _, std_near = gp.predict(np.array([[0.5, 0.51]]))
+    _, std_far = gp.predict(np.array([[0.0, 0.0]]))
+    assert std_far[0] > std_near[0]
+
+
+def test_posterior_mean_reverts_to_prior_far_away(rng):
+    X = np.array([[0.5]])
+    y = np.array([5.0])
+    gp = GaussianProcess("rbf", dim=1, noise=1e-4, fit_noise=False, normalize_y=False)
+    gp.kernel.theta = np.array([0.0, np.log(0.02)])
+    gp.fit(X, y, optimize_hyperparams=False)
+    mean, _ = gp.predict(np.array([[0.99]]))
+    assert abs(mean[0]) < 0.1  # prior mean is 0 without normalization
+
+
+def test_y_normalization_restores_scale(rng):
+    X = rng.random((20, 1))
+    y = 1e6 + 1e5 * np.sin(6 * X[:, 0])
+    gp = GaussianProcess("matern52", dim=1, noise=1e-4)
+    gp.fit(X, y, rng=rng)
+    mean, _ = gp.predict(X)
+    assert np.corrcoef(mean, y)[0, 1] > 0.99
+    assert abs(np.mean(mean) - np.mean(y)) / np.mean(y) < 0.01
+
+
+def test_lml_gradient_matches_finite_differences(rng):
+    X = rng.random((12, 2))
+    y = np.cos(4 * X[:, 0]) * X[:, 1]
+    gp = GaussianProcess("rbf", dim=2, noise=1e-2, fit_noise=True)
+    z = (y - y.mean()) / y.std()
+    theta = gp._pack_theta() + rng.normal(0, 0.1, size=len(gp._pack_theta()))
+    _, grad = gp._neg_lml_and_grad(theta, X, z)
+    eps = 1e-6
+    for j in range(len(theta)):
+        t_hi = theta.copy()
+        t_hi[j] += eps
+        t_lo = theta.copy()
+        t_lo[j] -= eps
+        f_hi, _ = gp._neg_lml_and_grad(t_hi, X, z)
+        f_lo, _ = gp._neg_lml_and_grad(t_lo, X, z)
+        fd = (f_hi - f_lo) / (2 * eps)
+        assert grad[j] == pytest.approx(fd, rel=1e-3, abs=1e-5)
+
+
+def test_hyperparameter_optimization_improves_lml(rng):
+    X = rng.random((25, 2))
+    y = np.sin(5 * X[:, 0]) + 0.1 * rng.normal(size=25)
+    gp_fixed = GaussianProcess("matern52", dim=2, noise=1e-2)
+    gp_fixed.fit(X, y, optimize_hyperparams=False)
+    lml_fixed = gp_fixed.log_marginal_likelihood()
+    gp_opt = GaussianProcess("matern52", dim=2, noise=1e-2)
+    gp_opt.fit(X, y, optimize_hyperparams=True, n_restarts=2, rng=rng)
+    assert gp_opt.log_marginal_likelihood() >= lml_fixed - 1e-6
+
+
+def test_noise_fitting_detects_noisy_targets(rng):
+    X = rng.random((40, 1))
+    y = rng.normal(0, 1.0, size=40)  # pure noise
+    gp = GaussianProcess("rbf", dim=1, noise=1e-3, fit_noise=True)
+    gp.fit(X, y, optimize_hyperparams=True, n_restarts=2, rng=rng)
+    assert gp.noise > 1e-3  # learned a larger nugget
+
+
+def test_predict_shape_checks(rng):
+    gp = GaussianProcess("rbf", dim=2)
+    gp.fit(rng.random((5, 2)), rng.random(5), optimize_hyperparams=False)
+    with pytest.raises(ValueError):
+        gp.predict(rng.random((3, 4)))
+
+
+def test_fit_validates_inputs(rng):
+    gp = GaussianProcess("rbf", dim=2)
+    with pytest.raises(ValueError):
+        gp.fit(rng.random((4, 2)), rng.random(5))
+    with pytest.raises(ValueError):
+        gp.fit(np.empty((0, 2)), np.empty(0))
+    with pytest.raises(ValueError):
+        gp.fit(rng.random((4, 3)), rng.random(4))
+
+
+def test_sample_posterior_matches_moments(rng):
+    X = rng.random((8, 1))
+    y = np.sin(4 * X[:, 0])
+    gp = GaussianProcess("rbf", dim=1, noise=1e-4, fit_noise=False)
+    gp.fit(X, y, rng=rng)
+    Xs = np.array([[0.25], [0.75]])
+    samples = gp.sample_posterior(Xs, 4000, rng)
+    mean, std = gp.predict(Xs)
+    assert np.allclose(samples.mean(axis=0), mean, atol=0.05)
+    assert np.allclose(samples.std(axis=0), std, atol=0.08)
+
+
+def test_constant_targets_do_not_crash(rng):
+    X = rng.random((6, 2))
+    y = np.full(6, 3.0)
+    gp = GaussianProcess("matern52", dim=2)
+    gp.fit(X, y, rng=rng)
+    mean, std = gp.predict(rng.random((4, 2)))
+    assert np.allclose(mean, 3.0, atol=0.2)
+
+
+def test_duplicate_inputs_with_different_targets(rng):
+    """Noisy duplicates must not break the Cholesky factorization."""
+    X = np.vstack([np.full((5, 1), 0.5), rng.random((5, 1))])
+    y = np.concatenate([[1.0, 1.2, 0.8, 1.1, 0.9], rng.random(5)])
+    gp = GaussianProcess("rbf", dim=1, noise=1e-2)
+    gp.fit(X, y, rng=rng)
+    mean, _ = gp.predict(np.array([[0.5]]))
+    assert 0.5 < mean[0] < 1.5
+
+
+def test_requires_dim_with_named_kernel():
+    with pytest.raises(ValueError):
+        GaussianProcess("rbf")
+
+
+def test_n_observations_tracking(rng):
+    gp = GaussianProcess("rbf", dim=1)
+    assert gp.n_observations == 0
+    gp.fit(rng.random((7, 1)), rng.random(7), optimize_hyperparams=False)
+    assert gp.n_observations == 7
+    assert gp.is_fitted

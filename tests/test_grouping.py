@@ -1,0 +1,111 @@
+"""Grouping strategies: load splits and network behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storm.grouping import (
+    Grouping,
+    effective_parallelism,
+    load_fractions,
+    remote_fraction,
+    replication_factor,
+)
+
+
+class TestLoadFractions:
+    def test_shuffle_even(self):
+        fractions = load_fractions(Grouping.SHUFFLE, 4)
+        assert np.allclose(fractions, 0.25)
+
+    def test_local_or_shuffle_even(self):
+        fractions = load_fractions(Grouping.LOCAL_OR_SHUFFLE, 5)
+        assert np.allclose(fractions, 0.2)
+
+    def test_global_pins_first_task(self):
+        fractions = load_fractions(Grouping.GLOBAL, 4)
+        assert fractions[0] == 1.0
+        assert np.allclose(fractions[1:], 0.0)
+
+    def test_all_replicates(self):
+        fractions = load_fractions(Grouping.ALL, 3)
+        assert np.allclose(fractions, 1.0)
+
+    def test_fields_skewed_but_normalized(self):
+        fractions = load_fractions(Grouping.FIELDS, 6)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert fractions[0] > fractions[-1]  # hottest partition first
+
+    def test_fields_skew_parameter(self):
+        mild = load_fractions(Grouping.FIELDS, 8, skew=0.1)
+        harsh = load_fractions(Grouping.FIELDS, 8, skew=1.5)
+        assert harsh[0] > mild[0]
+
+    def test_single_task_trivial(self):
+        for g in Grouping:
+            assert load_fractions(g, 1)[0] == pytest.approx(1.0)
+
+    def test_invalid_task_count(self):
+        with pytest.raises(ValueError):
+            load_fractions(Grouping.SHUFFLE, 0)
+
+
+class TestEffectiveParallelism:
+    def test_shuffle_is_task_count(self):
+        assert effective_parallelism(Grouping.SHUFFLE, 7) == pytest.approx(7.0)
+
+    def test_global_is_one(self):
+        assert effective_parallelism(Grouping.GLOBAL, 7) == pytest.approx(1.0)
+
+    def test_all_is_one(self):
+        assert effective_parallelism(Grouping.ALL, 7) == pytest.approx(1.0)
+
+    def test_fields_between_one_and_n(self):
+        p = effective_parallelism(Grouping.FIELDS, 8)
+        assert 1.0 < p < 8.0
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30)
+    def test_property_bounded_by_task_count(self, n):
+        for g in (Grouping.SHUFFLE, Grouping.FIELDS, Grouping.GLOBAL):
+            assert 1.0 <= effective_parallelism(g, n) <= n + 1e-9
+
+
+class TestReplication:
+    def test_all_replicates_n_fold(self):
+        assert replication_factor(Grouping.ALL, 5) == 5.0
+
+    def test_others_do_not_replicate(self):
+        for g in (Grouping.SHUFFLE, Grouping.FIELDS, Grouping.GLOBAL):
+            assert replication_factor(g, 5) == 1.0
+
+
+class TestRemoteFraction:
+    def test_single_machine_is_local(self):
+        assert remote_fraction(Grouping.SHUFFLE, 1) == 0.0
+
+    def test_shuffle_many_machines(self):
+        assert remote_fraction(Grouping.SHUFFLE, 80) == pytest.approx(79 / 80)
+
+    def test_local_or_shuffle_reduces_traffic(self):
+        shuffle = remote_fraction(Grouping.SHUFFLE, 10)
+        local = remote_fraction(Grouping.LOCAL_OR_SHUFFLE, 10)
+        assert local < shuffle
+
+    def test_colocated_share_bounds(self):
+        with pytest.raises(ValueError):
+            remote_fraction(Grouping.LOCAL_OR_SHUFFLE, 4, colocated_share=1.5)
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(ValueError):
+            remote_fraction(Grouping.SHUFFLE, 0)
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=30)
+    def test_property_fraction_in_unit_interval(self, m):
+        for g in Grouping:
+            f = remote_fraction(g, m)
+            assert 0.0 <= f < 1.0

@@ -1,0 +1,96 @@
+"""Base parallelism weights and the informed codec (paper §V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.informed import (
+    InformedParallelismCodec,
+    base_parallelism_weights,
+    informed_hint_table,
+)
+from repro.storm.topology import TopologyBuilder, linear_topology
+
+
+def test_spouts_have_weight_one(fan_topology):
+    weights = base_parallelism_weights(fan_topology)
+    assert weights["src"] == 1.0
+
+
+def test_chain_weights_stay_constant():
+    topo = linear_topology("chain", 4)
+    weights = base_parallelism_weights(topo)
+    assert all(w == 1.0 for w in weights.values())
+
+
+def test_bolt_weight_is_sum_of_parents(diamond):
+    # S -> B1, S -> B2, B1 -> B2
+    weights = base_parallelism_weights(diamond)
+    assert weights["S"] == 1.0
+    assert weights["B1"] == 1.0
+    assert weights["B2"] == 2.0
+
+
+def test_multi_source_join():
+    builder = TopologyBuilder("join")
+    builder.spout("s1")
+    builder.spout("s2")
+    builder.spout("s3")
+    builder.bolt("join", inputs=["s1", "s2", "s3"])
+    builder.bolt("post", inputs=["join"])
+    topo = builder.build()
+    weights = base_parallelism_weights(topo)
+    assert weights["join"] == 3.0
+    assert weights["post"] == 3.0
+
+
+def test_weights_grow_along_converging_paths():
+    builder = TopologyBuilder("deep")
+    builder.spout("s")
+    builder.bolt("a", inputs=["s"])
+    builder.bolt("b", inputs=["s"])
+    builder.bolt("c", inputs=["a", "b"])
+    builder.bolt("d", inputs=["c", "a"])
+    topo = builder.build()
+    weights = base_parallelism_weights(topo)
+    assert weights["c"] == 2.0
+    assert weights["d"] == 3.0
+
+
+class TestInformedCodec:
+    def test_hints_scale_with_multiplier(self, diamond):
+        codec = InformedParallelismCodec(diamond)
+        hints = codec.hints_for(3.0)
+        assert hints == {"S": 3, "B1": 3, "B2": 6}
+
+    def test_hints_floor_at_one(self, diamond):
+        codec = InformedParallelismCodec(diamond)
+        hints = codec.hints_for(0.1)
+        assert all(h >= 1 for h in hints.values())
+
+    def test_multiplier_must_be_positive(self, diamond):
+        codec = InformedParallelismCodec(diamond)
+        with pytest.raises(ValueError):
+            codec.hints_for(0.0)
+
+    def test_multiplier_step_adds_about_one_task_per_op(self, diamond):
+        codec = InformedParallelismCodec(diamond)
+        step = codec.multiplier_step()
+        # total weight = 4, ops = 3 -> step = 0.75
+        assert step == pytest.approx(3 / 4)
+
+    def test_multiplier_for_total_tasks(self, diamond):
+        codec = InformedParallelismCodec(diamond)
+        m = codec.multiplier_for_total_tasks(40)
+        hints = codec.hints_for(m)
+        assert sum(hints.values()) == pytest.approx(40, abs=2)
+
+    def test_multiplier_for_total_tasks_validates(self, diamond):
+        codec = InformedParallelismCodec(diamond)
+        with pytest.raises(ValueError):
+            codec.multiplier_for_total_tasks(2)
+
+    def test_informed_hint_table(self, diamond):
+        table = informed_hint_table(diamond, [1.0, 2.0])
+        assert set(table) == {1.0, 2.0}
+        assert table[2.0]["B2"] == 4

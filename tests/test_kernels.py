@@ -1,0 +1,152 @@
+"""Kernel correctness: values, PSD-ness, and analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import RBF, Matern32, Matern52, make_kernel
+
+ALL_KERNELS = ["rbf", "matern32", "matern52"]
+
+
+def random_inputs(rng, n=12, dim=3):
+    return rng.random((n, dim))
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+class TestKernelBasics:
+    def test_diagonal_is_variance(self, name, rng):
+        k = make_kernel(name, 3)
+        X = random_inputs(rng)
+        K = k(X)
+        assert np.allclose(np.diag(K), k.variance)
+        assert np.allclose(k.diag(X), k.variance)
+
+    def test_symmetry(self, name, rng):
+        k = make_kernel(name, 3)
+        X = random_inputs(rng)
+        K = k(X)
+        assert np.allclose(K, K.T)
+
+    def test_positive_semidefinite(self, name, rng):
+        k = make_kernel(name, 3)
+        X = random_inputs(rng, n=20)
+        K = k(X)
+        eigvals = np.linalg.eigvalsh(K)
+        assert eigvals.min() > -1e-8
+
+    def test_decay_with_distance(self, name):
+        k = make_kernel(name, 1)
+        x0 = np.array([[0.0]])
+        near = np.array([[0.1]])
+        far = np.array([[0.9]])
+        assert k(x0, near)[0, 0] > k(x0, far)[0, 0]
+
+    def test_cross_covariance_shape(self, name, rng):
+        k = make_kernel(name, 2)
+        A = rng.random((5, 2))
+        B = rng.random((7, 2))
+        assert k(A, B).shape == (5, 7)
+
+    def test_dimension_mismatch_raises(self, name, rng):
+        k = make_kernel(name, 3)
+        with pytest.raises(ValueError):
+            k(rng.random((4, 2)))
+
+    def test_theta_roundtrip(self, name):
+        k = make_kernel(name, 4, ard=True)
+        theta = k.theta + 0.3
+        k.theta = theta
+        assert np.allclose(k.theta, theta)
+        assert k.n_hyperparameters == 5
+
+    def test_isotropic_has_single_lengthscale(self, name):
+        k = make_kernel(name, 4, ard=False)
+        assert k.n_hyperparameters == 2
+        assert len(set(k.lengthscales)) == 1
+
+    def test_clone_is_independent(self, name):
+        k = make_kernel(name, 2)
+        c = k.clone()
+        c.theta = c.theta + 1.0
+        assert not np.allclose(c.theta, k.theta)
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+@pytest.mark.parametrize("ard", [True, False])
+def test_gradients_match_finite_differences(name, ard, rng):
+    """Analytic dK/dtheta agrees with central finite differences."""
+    k = make_kernel(name, 3, ard=ard)
+    k.theta = k.theta + rng.normal(0, 0.2, size=k.n_hyperparameters)
+    X = rng.random((8, 3))
+    _, grads = k.value_and_grads(X)
+    eps = 1e-6
+    for j in range(k.n_hyperparameters):
+        theta0 = k.theta.copy()
+        theta_hi = theta0.copy()
+        theta_hi[j] += eps
+        theta_lo = theta0.copy()
+        theta_lo[j] -= eps
+        k.theta = theta_hi
+        K_hi = k(X)
+        k.theta = theta_lo
+        K_lo = k(X)
+        k.theta = theta0
+        fd = (K_hi - K_lo) / (2 * eps)
+        assert np.allclose(grads[j], fd, atol=1e-5), f"grad {j} mismatch"
+
+
+def test_rbf_known_value():
+    k = RBF(1, ard=False)
+    k.theta = np.array([0.0, 0.0])  # variance 1, lengthscale 1
+    K = k(np.array([[0.0]]), np.array([[1.0]]))
+    assert K[0, 0] == pytest.approx(np.exp(-0.5))
+
+
+def test_matern52_known_value():
+    k = Matern52(1, ard=False)
+    k.theta = np.array([0.0, 0.0])
+    r = 1.0
+    s = np.sqrt(5) * r
+    expected = (1 + s + s**2 / 3) * np.exp(-s)
+    K = k(np.array([[0.0]]), np.array([[1.0]]))
+    assert K[0, 0] == pytest.approx(expected)
+
+
+def test_matern32_known_value():
+    k = Matern32(1, ard=False)
+    k.theta = np.array([0.0, 0.0])
+    s = np.sqrt(3)
+    expected = (1 + s) * np.exp(-s)
+    K = k(np.array([[0.0]]), np.array([[1.0]]))
+    assert K[0, 0] == pytest.approx(expected)
+
+
+def test_ard_lengthscales_weight_dimensions(rng):
+    """A dimension with a huge lengthscale is effectively ignored."""
+    k = make_kernel("rbf", 2, ard=True)
+    k.theta = np.array([0.0, np.log(0.1), np.log(100.0)])
+    a = np.array([[0.0, 0.0]])
+    b_same_d1 = np.array([[0.0, 1.0]])  # differs only in the ignored dim
+    b_diff_d0 = np.array([[0.3, 0.0]])
+    assert k(a, b_same_d1)[0, 0] > k(a, b_diff_d0)[0, 0]
+
+
+def test_make_kernel_unknown_name():
+    with pytest.raises(ValueError):
+        make_kernel("laplace", 2)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_psd_random_inputs(seed):
+    """Gram matrices stay PSD for arbitrary inputs and hyperparameters."""
+    rng = np.random.default_rng(seed)
+    k = make_kernel("matern52", 2)
+    k.theta = rng.normal(0, 0.5, size=k.n_hyperparameters)
+    X = rng.random((10, 2))
+    eigvals = np.linalg.eigvalsh(k(X))
+    assert eigvals.min() > -1e-7

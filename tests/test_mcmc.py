@@ -1,0 +1,180 @@
+"""Slice sampling and integrated acquisition (Spearmint's inference)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gp import GaussianProcess
+from repro.core.mcmc import (
+    IntegratedAcquisitionOptimizer,
+    SliceSampler,
+    default_log_prior,
+    sample_gp_hyperparameters,
+)
+from repro.core.optimizer import BayesianOptimizer
+from repro.core.parameters import FloatParameter, ParameterSpace
+
+
+class TestSliceSampler:
+    def test_recovers_gaussian_moments(self, rng):
+        def log_density(x):
+            return -0.5 * float((x[0] - 2.0) ** 2) / 0.25
+
+        sampler = SliceSampler(log_density)
+        samples = sampler.sample(
+            np.array([0.0]), 1500, burn_in=50, rng=rng
+        ).ravel()
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.1)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.1)
+
+    def test_bivariate_correlated_target(self, rng):
+        cov_inv = np.linalg.inv(np.array([[1.0, 0.6], [0.6, 1.0]]))
+
+        def log_density(x):
+            return -0.5 * float(x @ cov_inv @ x)
+
+        sampler = SliceSampler(log_density)
+        samples = sampler.sample(np.zeros(2), 2000, burn_in=100, rng=rng)
+        corr = np.corrcoef(samples.T)[0, 1]
+        assert corr == pytest.approx(0.6, abs=0.15)
+
+    def test_samples_stay_in_support(self, rng):
+        def log_density(x):
+            return 0.0 if 0.0 <= x[0] <= 1.0 else -math.inf
+
+        sampler = SliceSampler(log_density)
+        samples = sampler.sample(np.array([0.5]), 300, burn_in=10, rng=rng)
+        assert ((samples >= 0) & (samples <= 1)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SliceSampler(lambda x: 0.0, width=0.0)
+        sampler = SliceSampler(lambda x: 0.0)
+        with pytest.raises(ValueError):
+            sampler.sample(np.zeros(1), 0)
+        with pytest.raises(ValueError):
+            sampler.sample(np.zeros(1), 5, thin=0)
+
+    def test_deterministic_with_seed(self):
+        def log_density(x):
+            return -0.5 * float(x[0] ** 2)
+
+        a = SliceSampler(log_density).sample(
+            np.zeros(1), 50, rng=np.random.default_rng(3)
+        )
+        b = SliceSampler(log_density).sample(
+            np.zeros(1), 50, rng=np.random.default_rng(3)
+        )
+        assert np.allclose(a, b)
+
+
+class TestPrior:
+    def test_prior_prefers_moderate_values(self):
+        moderate = np.array([0.0, math.log(0.3), math.log(0.01)])
+        extreme = np.array([10.0, math.log(100.0), math.log(10.0)])
+        assert default_log_prior(moderate) > default_log_prior(extreme)
+
+    def test_layout_without_noise(self):
+        theta = np.array([0.0, math.log(0.3)])
+        value = default_log_prior(theta, fit_noise=False)
+        assert np.isfinite(value)
+
+
+class TestGPHyperparameterSampling:
+    def test_samples_have_correct_shape_and_are_finite(self, rng):
+        X = rng.random((15, 2))
+        z = np.sin(5 * X[:, 0])
+        gp = GaussianProcess("matern52", dim=2)
+        gp.fit(X, z, optimize_hyperparams=True, rng=rng)
+        samples = sample_gp_hyperparameters(
+            gp, gp._posterior.X, gp._posterior.y, 6, burn_in=5, rng=rng
+        )
+        assert samples.shape == (6, len(gp._pack_theta()))
+        assert np.isfinite(samples).all()
+
+    def test_samples_vary(self, rng):
+        X = rng.random((12, 1))
+        z = X[:, 0] ** 2
+        gp = GaussianProcess("rbf", dim=1)
+        gp.fit(X, z, rng=rng)
+        samples = sample_gp_hyperparameters(
+            gp, gp._posterior.X, gp._posterior.y, 8, burn_in=5, rng=rng
+        )
+        assert np.std(samples, axis=0).max() > 1e-4
+
+
+class TestIntegratedAcquisition:
+    def test_falls_back_without_samples(self, rng):
+        gp = GaussianProcess("rbf", dim=1, noise=1e-4, fit_noise=False)
+        X = rng.random((8, 1))
+        gp.fit(X, np.sin(4 * X[:, 0]), rng=rng)
+        acq = IntegratedAcquisitionOptimizer(n_candidates=32)
+        pts = rng.random((5, 1))
+        plain = acq.score(gp, pts, 0.5)
+        assert plain.shape == (5,)
+
+    def test_averages_over_theta_samples(self, rng):
+        gp = GaussianProcess("rbf", dim=1, noise=1e-4)
+        X = rng.random((10, 1))
+        gp.fit(X, np.sin(4 * X[:, 0]), rng=rng)
+        original_theta = gp._pack_theta().copy()
+        thetas = sample_gp_hyperparameters(
+            gp, gp._posterior.X, gp._posterior.y, 4, burn_in=3, rng=rng
+        )
+        acq = IntegratedAcquisitionOptimizer(n_candidates=32)
+        acq.set_theta_samples(thetas)
+        pts = rng.random((6, 1))
+        integrated = acq.score(gp, pts, 0.5)
+        assert integrated.shape == (6,)
+        assert (integrated >= 0).all()
+        # The GP is restored to its original hyperparameters afterwards.
+        assert np.allclose(gp._pack_theta(), original_theta)
+
+    def test_optimizer_with_mcmc_inference_converges(self):
+        space = ParameterSpace(
+            [FloatParameter("x", 0, 1), FloatParameter("y", 0, 1)]
+        )
+
+        def objective(c):
+            return -((c["x"] - 0.3) ** 2 + (c["y"] - 0.6) ** 2)
+
+        opt = BayesianOptimizer(
+            space,
+            seed=2,
+            hyper_inference="mcmc",
+            mcmc_samples=3,
+            mcmc_burn_in=3,
+            refit_every=3,
+        )
+        best = -np.inf
+        for _ in range(20):
+            config = opt.ask()
+            value = objective(config)
+            opt.tell(config, value)
+            best = max(best, value)
+        assert best > -0.05
+
+    def test_unknown_inference_rejected(self):
+        space = ParameterSpace([FloatParameter("x", 0, 1)])
+        with pytest.raises(ValueError):
+            BayesianOptimizer(space, hyper_inference="vi")
+
+    def test_state_roundtrip_keeps_inference_mode(self, tmp_path):
+        space = ParameterSpace(
+            [FloatParameter("x", 0, 1), FloatParameter("y", 0, 1)]
+        )
+        opt = BayesianOptimizer(
+            space, seed=1, hyper_inference="mcmc", mcmc_samples=3
+        )
+        for _ in range(5):
+            c = opt.ask()
+            opt.tell(c, float(c["x"]))
+        path = tmp_path / "state.json"
+        opt.save(path)
+        resumed = BayesianOptimizer.load(path)
+        assert resumed.hyper_inference == "mcmc"
+        assert resumed.mcmc_samples == 3
+        assert isinstance(resumed.acq, IntegratedAcquisitionOptimizer)

@@ -1,0 +1,196 @@
+"""Workload perturbations and the Table II presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology_gen.modifications import (
+    apply_resource_contention,
+    apply_selectivity,
+    apply_time_imbalance,
+    contentious_unit_share,
+    fold_selectivity_into_costs,
+)
+from repro.topology_gen.properties import table2_stats
+from repro.topology_gen.suite import (
+    CONDITIONS,
+    PRESETS,
+    TopologyCondition,
+    base_topology,
+    make_topology,
+)
+
+
+class TestTimeImbalance:
+    def test_zero_imbalance_is_uniform(self, rng, fan_topology):
+        topo = apply_time_imbalance(fan_topology, rng, mean_cost=20.0, imbalance=0.0)
+        assert all(topo.operator(n).cost == 20.0 for n in topo)
+
+    def test_full_imbalance_bounds(self, rng):
+        from repro.topology_gen.suite import base_topology
+
+        topo = apply_time_imbalance(
+            base_topology("medium"), rng, mean_cost=20.0, imbalance=1.0
+        )
+        costs = [topo.operator(n).cost for n in topo]
+        assert all(0.0 <= c <= 40.0 for c in costs)
+        # Uniform(0, 40): sample mean near 20 for 50 draws.
+        assert np.mean(costs) == pytest.approx(20.0, abs=5.0)
+
+    def test_costs_actually_vary(self, rng, fan_topology):
+        topo = apply_time_imbalance(fan_topology, rng, imbalance=1.0)
+        costs = {topo.operator(n).cost for n in topo}
+        assert len(costs) > 1
+
+    def test_validation(self, rng, fan_topology):
+        with pytest.raises(ValueError):
+            apply_time_imbalance(fan_topology, rng, mean_cost=0.0)
+        with pytest.raises(ValueError):
+            apply_time_imbalance(fan_topology, rng, imbalance=1.5)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mean_preserved(self, seed):
+        topo = base_topology("medium")
+        rng = np.random.default_rng(seed)
+        modified = apply_time_imbalance(topo, rng, mean_cost=20.0, imbalance=1.0)
+        costs = [modified.operator(n).cost for n in modified]
+        assert 10.0 < np.mean(costs) < 30.0
+
+
+class TestResourceContention:
+    def test_zero_share_clears_flags(self, rng, fan_topology):
+        flagged = fan_topology.with_operator_updates(
+            {"work0": {"contentious": True}}
+        )
+        cleared = apply_resource_contention(flagged, rng, contentious_share=0.0)
+        assert contentious_unit_share(cleared) == 0.0
+
+    def test_share_target_reached(self, rng):
+        topo = base_topology("medium")
+        modified = apply_resource_contention(topo, rng, contentious_share=0.25)
+        share = contentious_unit_share(modified)
+        # Selection overshoots by at most one operator's cost.
+        assert 0.25 <= share <= 0.25 + 1.2 / len(topo) * 2 + 0.05
+
+    def test_paper_example_balanced_topology(self, rng):
+        """10 nodes at cost 20, 25% -> flag nodes totalling ~50 units."""
+        topo = base_topology("small")  # balanced, cost 20 each
+        modified = apply_resource_contention(topo, rng, contentious_share=0.25)
+        flagged_units = sum(
+            modified.operator(n).cost
+            for n in modified
+            if modified.operator(n).contentious
+        )
+        assert flagged_units in (60.0,)  # 3 nodes x 20 (first to cross 50)
+
+    def test_full_share_flags_everything(self, rng):
+        topo = base_topology("small")
+        modified = apply_resource_contention(topo, rng, contentious_share=1.0)
+        assert all(modified.operator(n).contentious for n in modified)
+
+    def test_validation(self, rng, fan_topology):
+        with pytest.raises(ValueError):
+            apply_resource_contention(fan_topology, rng, contentious_share=1.5)
+
+    def test_seeded_determinism(self):
+        topo = base_topology("medium")
+        a = apply_resource_contention(
+            topo, np.random.default_rng(3), contentious_share=0.25
+        )
+        b = apply_resource_contention(
+            topo, np.random.default_rng(3), contentious_share=0.25
+        )
+        assert [a.operator(n).contentious for n in a] == [
+            b.operator(n).contentious for n in b
+        ]
+
+
+class TestSelectivity:
+    def test_apply_selectivity(self, fan_topology):
+        modified = apply_selectivity(fan_topology, {"src": 2.0})
+        assert modified.operator("src").selectivity == 2.0
+        # Downstream volumes double.
+        assert modified.volume("work0") == pytest.approx(2.0)
+
+    def test_negative_rejected(self, fan_topology):
+        with pytest.raises(ValueError):
+            apply_selectivity(fan_topology, {"src": -1.0})
+
+    def test_fold_preserves_total_work(self):
+        from repro.storm.topology import TopologyBuilder
+
+        builder = TopologyBuilder("sel")
+        builder.spout("s", cost=2.0, selectivity=3.0)
+        builder.bolt("mid", inputs=["s"], cost=5.0, selectivity=0.5)
+        builder.bolt("out", inputs=["mid"], cost=4.0)
+        topo = builder.build()
+        folded = fold_selectivity_into_costs(topo)
+        assert all(folded.operator(n).selectivity == 1.0 for n in folded)
+        assert folded.total_compute_units_per_tuple() == pytest.approx(
+            topo.total_compute_units_per_tuple()
+        )
+        # The mid bolt absorbed the 3x volume into a 3x cost.
+        assert folded.operator("mid").cost == pytest.approx(15.0)
+
+
+class TestSuitePresets:
+    def test_table2_small(self):
+        row = table2_stats(base_topology("small"), 0.40, layers=4).as_dict()
+        assert row["V"] == 10 and row["E"] == 17
+        assert row["L"] == 4 and row["Src"] == 3
+        assert row["AOD"] == pytest.approx(1.70, abs=0.01)
+
+    def test_table2_medium(self):
+        row = table2_stats(base_topology("medium"), 0.08, layers=5).as_dict()
+        assert row["V"] == 50 and row["E"] == 88
+        assert row["Src"] == 17 and row["Snk"] == 17
+        assert row["AOD"] == pytest.approx(1.76, abs=0.01)
+
+    def test_table2_large(self):
+        row = table2_stats(base_topology("large"), 0.04, layers=10).as_dict()
+        assert row["V"] == 100
+        assert row["Src"] == 29 and row["Snk"] == 27
+        assert 160 <= row["E"] <= 175  # paper: 170, pinned graph: 166
+        assert abs(row["AOD"] - 1.65) < 0.05
+
+    def test_conditions_cover_figure4_grid(self):
+        labels = {c.label for c in CONDITIONS}
+        assert len(labels) == 4
+        assert any("0% TiIm" in l and "0% Contentious" in l for l in labels)
+        assert any("100% TiIm" in l and "25% Contentious" in l for l in labels)
+
+    def test_make_topology_applies_condition(self):
+        cond = TopologyCondition(time_imbalance=1.0, contentious_share=0.25)
+        topo = make_topology("medium", cond)
+        costs = {topo.operator(n).cost for n in topo}
+        assert len(costs) > 1  # imbalanced
+        assert any(topo.operator(n).contentious for n in topo)
+        assert "medium" in topo.name
+
+    def test_same_base_graph_across_conditions(self):
+        """All four variants are modifications of one base graph (§IV-B)."""
+        edges = {
+            make_topology("small", cond).edges for cond in CONDITIONS
+        }
+        assert len(edges) == 1
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            base_topology("gigantic")
+
+    def test_different_seeds_differ(self):
+        a = base_topology("medium", seed=0)
+        b = base_topology("medium", seed=1)
+        assert a.edges != b.edges
+
+    def test_all_presets_valid(self):
+        from repro.topology_gen.properties import is_valid_sps_graph
+
+        for size, preset in PRESETS.items():
+            topo = base_topology(size)
+            assert is_valid_sps_graph(topo)
+            assert len(topo) == preset.n_vertices

@@ -1,0 +1,233 @@
+"""Noise models, codecs, and the Storm objective wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storm.cluster import small_test_cluster
+from repro.storm.config import TopologyConfig
+from repro.storm.noise import GaussianNoise, InterferenceNoise, NoNoise
+from repro.storm.objective import StormObjective
+from repro.storm.spaces import (
+    HINT_PREFIX,
+    InformedMultiplierCodec,
+    ParallelismCodec,
+    SundogParameterCodec,
+    UniformHintCodec,
+    default_max_hint,
+)
+from repro.storm.topology import linear_topology
+from repro.sundog import sundog_default_config, sundog_topology
+
+
+class TestNoiseModels:
+    def test_no_noise_identity(self, rng):
+        assert NoNoise()(123.4, rng) == 123.4
+
+    def test_zero_stays_zero(self, rng):
+        for model in (NoNoise(), GaussianNoise(0.1), InterferenceNoise()):
+            assert model(0.0, rng) == 0.0
+
+    def test_gaussian_centres_on_value(self, rng):
+        model = GaussianNoise(0.05)
+        samples = [model(100.0, rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.02)
+        assert np.std(samples) == pytest.approx(5.0, rel=0.3)
+
+    def test_gaussian_never_negative(self, rng):
+        model = GaussianNoise(2.0)  # absurd sigma
+        assert all(model(1.0, rng) >= 0 for _ in range(200))
+
+    def test_negative_value_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GaussianNoise(0.1)(-1.0, rng)
+
+    def test_interference_lowers_mean(self, rng):
+        plain = GaussianNoise(0.0)
+        interfered = InterferenceNoise(
+            sigma=0.0, p_interference=0.5, slowdown=0.5
+        )
+        plain_mean = np.mean([plain(100.0, rng) for _ in range(400)])
+        interfered_mean = np.mean([interfered(100.0, rng) for _ in range(400)])
+        assert interfered_mean < plain_mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)
+        with pytest.raises(ValueError):
+            InterferenceNoise(p_interference=1.5)
+        with pytest.raises(ValueError):
+            InterferenceNoise(slowdown=0.0)
+
+
+@pytest.fixture
+def cluster():
+    return small_test_cluster()
+
+
+@pytest.fixture
+def topo():
+    return linear_topology("chain", 3)
+
+
+@pytest.fixture
+def base_config():
+    """Small batches so the tiny test cluster stays under the timeout."""
+    return TopologyConfig(batch_size=100, batch_parallelism=4, num_workers=4)
+
+
+class TestParallelismCodec:
+    def test_space_has_one_hint_per_operator(self, topo, cluster):
+        codec = ParallelismCodec(topo, cluster)
+        hint_params = [n for n in codec.space.names if n.startswith(HINT_PREFIX)]
+        assert len(hint_params) == len(topo)
+        assert "max_tasks" in codec.space
+
+    def test_decode_builds_config(self, topo, cluster):
+        codec = ParallelismCodec(topo, cluster)
+        params = {f"{HINT_PREFIX}{n}": 3 for n in topo}
+        params["max_tasks"] = 100
+        config = codec.decode(params)
+        assert config.normalized_hints(topo) == {n: 3 for n in topo}
+        assert config.max_tasks == 100
+
+    def test_without_max_tasks(self, topo, cluster):
+        codec = ParallelismCodec(topo, cluster, include_max_tasks=False)
+        assert "max_tasks" not in codec.space
+        config = codec.decode({f"{HINT_PREFIX}{n}": 2 for n in topo})
+        assert config.max_tasks is None
+
+    def test_default_max_hint_bounds(self, topo, cluster):
+        assert 8 <= default_max_hint(topo, cluster) <= 64
+
+
+class TestUniformHintCodec:
+    def test_ascent_values(self, topo, cluster):
+        codec = UniformHintCodec(topo, cluster, max_hint=10)
+        assert codec.ascent_values(60) == list(range(1, 11))
+        assert codec.ascent_values(5) == [1, 2, 3, 4, 5]
+
+    def test_decode_uniform(self, topo, cluster):
+        codec = UniformHintCodec(topo, cluster)
+        config = codec.decode({"uniform_hint": 4})
+        assert set(config.normalized_hints(topo).values()) == {4}
+
+
+class TestInformedMultiplierCodec:
+    def test_space_is_single_float(self, topo, cluster):
+        codec = InformedMultiplierCodec(topo, cluster)
+        assert codec.space.names == ["multiplier"]
+        assert not codec.space["multiplier"].is_discrete
+
+    def test_ascent_covers_increasing_totals(self, topo, cluster):
+        codec = InformedMultiplierCodec(topo, cluster)
+        values = codec.ascent_values(10)
+        totals = [
+            sum(codec.informed.hints_for(m).values()) for m in values
+        ]
+        assert totals == sorted(totals)
+        assert totals[-1] > totals[0]
+
+    def test_decode(self, topo, cluster):
+        codec = InformedMultiplierCodec(topo, cluster)
+        config = codec.decode({"multiplier": 2.0})
+        hints = config.normalized_hints(topo)
+        # chain weights are all 1 -> hints all 2
+        assert set(hints.values()) == {2}
+
+
+class TestSundogCodec:
+    def test_param_sets(self, cluster):
+        topo = sundog_topology()
+        base = sundog_default_config(cluster.total_workers)
+        h = SundogParameterCodec(topo, cluster, base, include=("h",))
+        assert any(n.startswith(HINT_PREFIX) for n in h.space.names)
+        hbsbp = SundogParameterCodec(
+            topo, cluster, base, include=("h", "bs", "bp")
+        )
+        assert "batch_size" in hbsbp.space and "batch_parallelism" in hbsbp.space
+        cc = SundogParameterCodec(
+            topo, cluster, base, include=("bs", "bp", "cc"), fixed_hint=11
+        )
+        assert "worker_threads" in cc.space
+        assert not any(n.startswith(HINT_PREFIX) for n in cc.space.names)
+
+    def test_fixed_hint_applied_when_h_excluded(self, cluster):
+        topo = sundog_topology()
+        base = sundog_default_config(cluster.total_workers)
+        codec = SundogParameterCodec(
+            topo, cluster, base, include=("bs", "bp", "cc"), fixed_hint=11
+        )
+        params = {
+            "batch_size": 100_000,
+            "batch_parallelism": 8,
+            "worker_threads": 16,
+            "receiver_threads": 2,
+            "ackers": 40,
+        }
+        config = codec.decode(params)
+        assert set(config.normalized_hints(topo).values()) == {11}
+        assert config.batch_size == 100_000
+        assert config.worker_threads == 16
+        assert config.ackers == 40
+
+    def test_excluded_groups_keep_base_values(self, cluster):
+        topo = sundog_topology()
+        base = sundog_default_config(cluster.total_workers)
+        codec = SundogParameterCodec(topo, cluster, base, include=("h",))
+        params = {f"{HINT_PREFIX}{n}": 2 for n in topo}
+        params["max_tasks"] = 500
+        config = codec.decode(params)
+        assert config.batch_size == base.batch_size
+        assert config.batch_parallelism == base.batch_parallelism
+
+    def test_unknown_group_rejected(self, cluster):
+        topo = sundog_topology()
+        base = sundog_default_config(cluster.total_workers)
+        with pytest.raises(ValueError):
+            SundogParameterCodec(topo, cluster, base, include=("h", "zz"))
+        with pytest.raises(ValueError):
+            SundogParameterCodec(topo, cluster, base, include=())
+
+
+class TestStormObjective:
+    def test_callable_returns_throughput(self, topo, cluster, base_config):
+        codec = UniformHintCodec(topo, cluster, base_config)
+        objective = StormObjective(topo, cluster, codec, seed=0)
+        value = objective({"uniform_hint": 2})
+        assert value > 0
+        assert objective.n_evaluations == 1
+
+    def test_measure_returns_run(self, topo, cluster, base_config):
+        codec = UniformHintCodec(topo, cluster, base_config)
+        objective = StormObjective(topo, cluster, codec, seed=0)
+        run = objective.measure({"uniform_hint": 2})
+        assert run.throughput_tps > 0
+        assert run.total_tasks == 2 * len(topo)
+
+    def test_des_fidelity(self, topo, cluster, base_config):
+        codec = UniformHintCodec(topo, cluster, base_config)
+        objective = StormObjective(
+            topo,
+            cluster,
+            codec,
+            fidelity="des",
+            seed=0,
+            des_kwargs={"max_batches": 15},
+        )
+        assert objective({"uniform_hint": 2}) > 0
+
+    def test_unknown_fidelity(self, topo, cluster):
+        codec = UniformHintCodec(topo, cluster)
+        with pytest.raises(ValueError):
+            StormObjective(topo, cluster, codec, fidelity="quantum")
+
+    def test_measure_config_bypasses_codec(self, topo, cluster, base_config):
+        codec = UniformHintCodec(topo, cluster, base_config)
+        objective = StormObjective(topo, cluster, codec, seed=0)
+        config = base_config.replace(
+            parallelism_hints={n: 2 for n in topo}
+        )
+        run = objective.measure_config(config)
+        assert run.throughput_tps > 0

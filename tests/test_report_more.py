@@ -1,0 +1,85 @@
+"""Additional report-rendering coverage."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureData
+from repro.experiments.report import (
+    _slug,
+    render_bars,
+    render_figure,
+    render_series,
+    render_table,
+)
+
+
+class TestSlug:
+    def test_basic(self):
+        assert _slug("Figure 8a") == "figure_8a"
+        assert _slug("Table II") == "table_ii"
+        assert _slug("  odd--chars!! ") == "odd_chars"
+
+
+class TestRenderTable:
+    def test_alignment_with_mixed_widths(self):
+        rows = [
+            {"col": "x", "value": 1},
+            {"col": "longer-label", "value": 123456},
+        ]
+        text = render_table(rows)
+        lines = text.splitlines()
+        # Header, separator, two data rows.
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_missing_keys_render_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows)
+        assert "3" in text
+
+
+class TestRenderBars:
+    def test_zero_values(self):
+        rows = [{"n": "a", "v": 0.0}, {"n": "b", "v": 0.0}]
+        text = render_bars(rows, value_key="v", label_keys=["n"])
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert render_bars([], value_key="v", label_keys=["n"]) == "(no rows)"
+
+
+class TestRenderSeries:
+    def test_constant_series(self):
+        text = render_series({"flat": ([1.0, 2.0, 3.0], [5.0, 5.0, 5.0])})
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = render_series({"dot": ([1.0], [2.0])})
+        assert "dot" in text
+
+    def test_many_series_glyph_cycling(self):
+        series = {
+            f"s{i}": ([1.0, 2.0], [float(i), float(i + 1)]) for i in range(10)
+        }
+        text = render_series(series)
+        for i in range(10):
+            assert f"s{i}" in text
+
+    def test_empty(self):
+        assert render_series({}) == "(no series)"
+
+
+class TestRenderFigure:
+    def test_notes_included(self):
+        data = FigureData("Figure Z", "title", rows=[{"a": 1}], notes=["hello"])
+        text = render_figure(data)
+        assert "note: hello" in text
+
+    def test_rows_and_series_both_rendered(self):
+        data = FigureData(
+            "Figure Z",
+            "title",
+            rows=[{"a": 1}],
+            series={"s": ([1.0, 2.0], [3.0, 4.0])},
+        )
+        text = render_figure(data)
+        assert "a" in text and "s" in text

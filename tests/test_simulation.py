@@ -1,0 +1,251 @@
+"""Discrete-event simulator behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.analytic import CalibrationParams
+from repro.storm.cluster import ClusterSpec, MachineSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.simulation import DiscreteEventSimulator, _Machine
+from repro.storm.topology import TopologyBuilder, linear_topology
+
+
+def quiet_calibration(**overrides) -> CalibrationParams:
+    defaults = dict(
+        batch_overhead_ms=0.0,
+        context_switch_kappa=0.0,
+        per_task_cpu_overhead=0.0,
+        pool_oversubscription_weight=0.0,
+        ack_cost_units=1e-9,
+        batch_timeout_ms=1e12,
+        stage_overhead_ms=0.0,
+        wire_overhead=0.0,
+    )
+    defaults.update(overrides)
+    return CalibrationParams(**defaults)
+
+
+@pytest.fixture
+def cluster4():
+    return ClusterSpec(
+        n_machines=4,
+        machine=MachineSpec(cores=4, memory_mb=8192),
+        max_executors_per_worker=50,
+    )
+
+
+class TestMachinePrimitive:
+    def test_single_job_runs_at_core_speed(self):
+        m = _Machine(0, usable_cores=4, core_speed=1.0, efficiency=1.0)
+
+        class Job:
+            job_id = 1
+            work = 100.0
+            target_virtual = 0.0
+
+        job = Job()
+        m.add_job(job, now=0.0)
+        assert m.next_completion_time(0.0) == pytest.approx(100.0)
+
+    def test_processor_sharing_slows_jobs(self):
+        m = _Machine(0, usable_cores=1, core_speed=1.0, efficiency=1.0)
+
+        class Job:
+            def __init__(self, jid, work):
+                self.job_id = jid
+                self.work = work
+                self.target_virtual = 0.0
+
+        m.add_job(Job(1, 100.0), now=0.0)
+        m.add_job(Job(2, 100.0), now=0.0)
+        # Two jobs sharing one core: each at rate 0.5.
+        assert m.next_completion_time(0.0) == pytest.approx(200.0)
+
+    def test_jobs_below_core_count_run_full_speed(self):
+        m = _Machine(0, usable_cores=4, core_speed=1.0, efficiency=1.0)
+
+        class Job:
+            def __init__(self, jid):
+                self.job_id = jid
+                self.work = 50.0
+                self.target_virtual = 0.0
+
+        for i in range(3):
+            m.add_job(Job(i), now=0.0)
+        assert m.next_completion_time(0.0) == pytest.approx(50.0)
+
+    def test_efficiency_scales_rate(self):
+        m = _Machine(0, usable_cores=4, core_speed=1.0, efficiency=0.5)
+
+        class Job:
+            job_id = 1
+            work = 100.0
+            target_virtual = 0.0
+
+        m.add_job(Job(), now=0.0)
+        assert m.next_completion_time(0.0) == pytest.approx(200.0)
+
+
+class TestEndToEnd:
+    def test_measures_positive_throughput(self, cluster4):
+        topo = linear_topology("chain", 2, cost=5.0, spout_cost=5.0)
+        sim = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(), max_batches=30
+        )
+        config = TopologyConfig(
+            parallelism_hints={n: 4 for n in topo},
+            batch_size=50,
+            batch_parallelism=4,
+            ackers=0,
+            num_workers=4,
+        )
+        run = sim.evaluate_noise_free(config)
+        assert not run.failed
+        assert run.throughput_tps > 0
+        assert run.batch_latency_ms > 0
+        assert run.details["completed_batches"] >= 10
+
+    def test_single_operator_rate_matches_hand_math(self, cluster4):
+        """One spout, one sink: steady state = stage rate of the spout."""
+        builder = TopologyBuilder("solo")
+        builder.spout("s", cost=10.0)
+        builder.bolt("sink", inputs=["s"], cost=1e-9)
+        topo = builder.build()
+        sim = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(), max_batches=60
+        )
+        config = TopologyConfig(
+            parallelism_hints={"s": 4, "sink": 4},
+            batch_size=40,
+            batch_parallelism=8,
+            ackers=0,
+            num_workers=4,
+        )
+        run = sim.evaluate_noise_free(config)
+        # 4 tasks at 1/10 tuple per ms each = 400 tuples/s.
+        assert run.throughput_tps == pytest.approx(400.0, rel=0.15)
+
+    def test_more_parallelism_helps_until_cores_saturate(self, cluster4):
+        topo = linear_topology("chain", 1, cost=10.0, spout_cost=10.0)
+        sim = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(), max_batches=40
+        )
+
+        def tput(h):
+            config = TopologyConfig(
+                parallelism_hints={n: h for n in topo},
+                batch_size=40,
+                batch_parallelism=8,
+                ackers=0,
+                num_workers=4,
+            )
+            return sim.evaluate_noise_free(config).throughput_tps
+
+        assert tput(4) > 2.5 * tput(1)
+
+    def test_batch_parallelism_fills_pipeline(self, cluster4):
+        topo = linear_topology("chain", 3, cost=5.0, spout_cost=5.0)
+        sim = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(), max_batches=40
+        )
+
+        def tput(p):
+            config = TopologyConfig(
+                parallelism_hints={n: 2 for n in topo},
+                batch_size=50,
+                batch_parallelism=p,
+                ackers=0,
+                num_workers=4,
+            )
+            return sim.evaluate_noise_free(config).throughput_tps
+
+        assert tput(4) > 1.8 * tput(1)
+
+    def test_contention_negates_parallelism(self, cluster4):
+        builder = TopologyBuilder("cont")
+        builder.spout("s", cost=1.0)
+        builder.bolt("db", inputs=["s"], cost=10.0, contentious=True)
+        topo = builder.build()
+        sim = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(), max_batches=30
+        )
+
+        def tput(db_tasks):
+            config = TopologyConfig(
+                parallelism_hints={"s": 4, "db": db_tasks},
+                batch_size=40,
+                batch_parallelism=8,
+                ackers=0,
+                num_workers=4,
+            )
+            return sim.evaluate_noise_free(config).throughput_tps
+
+        assert tput(4) == pytest.approx(tput(1), rel=0.2)
+
+    def test_executor_capacity_failure(self, cluster4):
+        topo = linear_topology("chain", 1)
+        sim = DiscreteEventSimulator(topo, cluster4, quiet_calibration())
+        config = TopologyConfig(
+            parallelism_hints={n: 150 for n in topo}, ackers=0, num_workers=4
+        )
+        run = sim.evaluate_noise_free(config)
+        assert run.failed
+
+    def test_batch_timeout_failure(self, cluster4):
+        topo = linear_topology("chain", 1, cost=100.0, spout_cost=100.0)
+        cal = quiet_calibration(batch_timeout_ms=500.0)
+        sim = DiscreteEventSimulator(topo, cluster4, cal, max_batches=10)
+        config = TopologyConfig(
+            parallelism_hints={n: 1 for n in topo},
+            batch_size=100,
+            ackers=0,
+            num_workers=4,
+        )
+        run = sim.evaluate_noise_free(config)
+        assert run.failed
+        assert "timeout" in run.failure_reason or "window" in run.failure_reason
+
+    def test_determinism(self, cluster4):
+        topo = linear_topology("chain", 2, cost=5.0, spout_cost=5.0)
+        config = TopologyConfig(
+            parallelism_hints={n: 2 for n in topo},
+            batch_size=30,
+            batch_parallelism=3,
+            ackers=1,
+            num_workers=4,
+        )
+        runs = [
+            DiscreteEventSimulator(topo, cluster4, quiet_calibration(), max_batches=20)
+            .evaluate_noise_free(config)
+            .throughput_tps
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_acker_work_is_simulated(self, cluster4):
+        """Expensive acking with one acker slows the whole pipeline."""
+        topo = linear_topology("chain", 1, cost=0.5, spout_cost=0.5)
+        fast = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(), max_batches=20
+        )
+        slow = DiscreteEventSimulator(
+            topo, cluster4, quiet_calibration(ack_cost_units=5.0), max_batches=20
+        )
+        config = TopologyConfig(
+            parallelism_hints={n: 4 for n in topo},
+            batch_size=50,
+            batch_parallelism=4,
+            ackers=1,
+            num_workers=4,
+        )
+        t_fast = fast.evaluate_noise_free(config).throughput_tps
+        t_slow = slow.evaluate_noise_free(config).throughput_tps
+        assert t_slow < 0.7 * t_fast
+
+    def test_max_batches_validation(self, cluster4):
+        topo = linear_topology("chain", 1)
+        with pytest.raises(ValueError):
+            DiscreteEventSimulator(topo, cluster4, max_batches=1)
+        with pytest.raises(ValueError):
+            DiscreteEventSimulator(topo, cluster4, warmup_batches=-1)

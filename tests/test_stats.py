@@ -1,0 +1,152 @@
+"""Statistics: LOESS, t-tests, summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sstats
+
+from repro.stats.loess import loess, loess_at
+from repro.stats.summarize import Summary, bootstrap_mean_ci, geometric_mean, summarize
+from repro.stats.ttest import two_sided_t_test, welch_t_test
+
+
+class TestLoess:
+    def test_recovers_linear_function_exactly(self):
+        x = np.linspace(0, 10, 50)
+        y = 3.0 * x + 2.0
+        _, smoothed = loess(x, y, span=0.5)
+        assert np.allclose(smoothed, y, atol=1e-8)
+
+    def test_smooths_noise(self, rng):
+        x = np.linspace(0, 1, 200)
+        truth = np.sin(2 * np.pi * x)
+        y = truth + rng.normal(0, 0.3, size=200)
+        _, smoothed = loess(x, y, span=0.3)
+        raw_err = np.mean((y - truth) ** 2)
+        smooth_err = np.mean((smoothed - truth) ** 2)
+        assert smooth_err < raw_err / 2
+
+    def test_follows_trend(self, rng):
+        """Paper use-case: rising optimization traces keep their trend."""
+        x = np.arange(1, 181, dtype=float)
+        y = np.log(x) * 100 + rng.normal(0, 20, size=180)
+        _, smoothed = loess(x, y, span=0.75)
+        assert smoothed[-1] > smoothed[0]
+        # Mostly monotone after smoothing.
+        assert np.mean(np.diff(smoothed) >= -1.0) > 0.9
+
+    def test_constant_data(self):
+        x = np.arange(10, dtype=float)
+        y = np.full(10, 5.0)
+        _, smoothed = loess(x, y)
+        assert np.allclose(smoothed, 5.0)
+
+    def test_eval_points(self):
+        x = np.linspace(0, 1, 30)
+        y = x**2
+        xs, ys = loess(x, y, x_eval=np.array([0.25, 0.5, 0.75]))
+        assert len(xs) == 3
+        assert np.all(np.diff(xs) > 0)
+
+    def test_duplicate_x_values(self):
+        x = np.array([1.0, 1.0, 1.0, 2.0, 2.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        value = loess_at(x, y, 1.0, span=1.0)
+        assert np.isfinite(value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loess_at(np.array([1.0]), np.array([1.0, 2.0]), 0.5)
+        with pytest.raises(ValueError):
+            loess_at(np.array([]), np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            loess_at(np.array([1.0, 2.0]), np.array([1.0, 2.0]), 0.5, span=0.0)
+
+
+class TestTTest:
+    def test_matches_scipy_welch(self, rng):
+        a = list(rng.normal(10, 2, size=25))
+        b = list(rng.normal(11, 3, size=30))
+        ours = welch_t_test(a, b)
+        theirs = sstats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_matches_scipy_pooled(self, rng):
+        a = list(rng.normal(5, 1, size=20))
+        b = list(rng.normal(5, 1, size=20))
+        ours = two_sided_t_test(a, b, equal_var=True)
+        theirs = sstats.ttest_ind(a, b, equal_var=True)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_identical_samples_insignificant(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        result = welch_t_test(a, list(a))
+        assert not result.significant
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_clearly_different_samples_significant(self, rng):
+        a = list(rng.normal(0, 1, size=30))
+        b = list(rng.normal(10, 1, size=30))
+        assert welch_t_test(a, b).significant
+
+    def test_paper_scenario_611k_vs_660k(self, rng):
+        """Similar means with wide spread: insignificant, as in §V-D."""
+        a = list(rng.normal(611_000, 60_000, size=30))
+        b = list(rng.normal(660_000, 60_000, size=30))
+        result = welch_t_test(a, b)
+        assert result.p_value > 0.001  # not overwhelmingly different
+
+    def test_degenerate_constant_samples(self):
+        equal = welch_t_test([2.0, 2.0], [2.0, 2.0])
+        assert not equal.significant
+        different = welch_t_test([2.0, 2.0], [3.0, 3.0])
+        assert different.significant
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_verdict_text(self):
+        result = welch_t_test([1.0, 2.0, 3.0], [1.1, 2.1, 3.1])
+        assert "insignificant" in result.verdict()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_p_value_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        a = list(rng.normal(0, 1, size=5))
+        b = list(rng.normal(0.5, 2, size=7))
+        result = welch_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestSummaries:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == Summary(mean=2.0, minimum=1.0, maximum=3.0, std=1.0, n=3)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0 and s.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bootstrap_ci_brackets_mean(self, rng):
+        values = list(rng.normal(50, 5, size=100))
+        lo, hi = bootstrap_mean_ci(values, seed=1)
+        assert lo < np.mean(values) < hi
+        assert hi - lo < 5.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,126 @@
+"""Sundog's real operator logic in local-mode execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.local import LocalTopologyRunner
+from repro.storm.tuples import Tuple
+from repro.sundog import CommonCrawlWorkload, sundog_topology
+from repro.sundog.logic import (
+    EntityExtractBolt,
+    FeatureComputeBolt,
+    FilterBolt,
+    MergeFeaturesBolt,
+    NormalizePairBolt,
+    PairCountBolt,
+    RankingBolt,
+    hdfs_line_source,
+    sundog_logic,
+)
+
+
+@pytest.fixture
+def workload():
+    return CommonCrawlWorkload(match_fraction=0.4)
+
+
+def tup(**values):
+    return Tuple(values=values, source="test", batch_id=0)
+
+
+class TestIndividualBolts:
+    def test_filter_passes_matching_lines(self, workload):
+        bolt = FilterBolt(workload)
+        assert list(bolt(tup(line="the storm cluster runs"))) == [
+            {"line": "the storm cluster runs"}
+        ]
+        assert list(bolt(tup(line="nothing relevant here"))) == []
+
+    def test_entity_extract_pairs_terms(self, workload):
+        bolt = EntityExtractBolt(workload)
+        rows = list(bolt(tup(line="storm and hadoop cluster data")))
+        pairs = {(r["entity_a"], r["entity_b"]) for r in rows}
+        # Three matched terms -> three unordered pairs.
+        assert len(pairs) == 3
+
+    def test_entity_extract_single_term_uses_context(self, workload):
+        bolt = EntityExtractBolt(workload)
+        rows = list(bolt(tup(line="data storm data")))
+        assert len(rows) == 1
+        assert rows[0]["entity_a"] == "storm"
+
+    def test_normalize_orders_pair(self):
+        bolt = NormalizePairBolt()
+        rows = list(bolt(tup(entity_a="zeta", entity_b="alpha")))
+        assert rows[0]["pair"] == "alpha|zeta"
+
+    def test_pair_count_aggregates_per_batch(self):
+        bolt = PairCountBolt("events")
+        bolt.begin_batch(0)
+        for _ in range(3):
+            assert list(bolt(tup(pair="a|b"))) == []
+        assert list(bolt(tup(pair="c|d"))) == []
+        rows = list(bolt.end_batch())
+        counts = {r["pair"]: r["count"] for r in rows}
+        assert counts == {"a|b": 3, "c|d": 1}
+
+    def test_feature_compute_uses_dummy_dkvs(self):
+        bolt = FeatureComputeBolt("pmi")
+        rows = list(bolt(tup(pair="a|b", count=7)))
+        assert rows[0]["feature"] == "pmi"
+        assert rows[0]["value"] > 0
+
+    def test_merge_features_combines(self):
+        bolt = MergeFeaturesBolt()
+        bolt.begin_batch(0)
+        bolt(tup(pair="a|b", feature="f1", value=1.0))
+        bolt(tup(pair="a|b", feature="f2", value=2.0))
+        rows = list(bolt.end_batch())
+        assert rows[0]["features"] == {"f1": 1.0, "f2": 2.0}
+
+    def test_ranking_scores_in_unit_interval(self):
+        bolt = RankingBolt()
+        rows = list(
+            bolt(tup(pair="a|b", features={"f1": 1.0, "semantic_type": 1.0}))
+        )
+        assert 0.0 <= rows[0]["score"] <= 1.0
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def result(self, workload):
+        topology = sundog_topology(workload, seed=1)
+        runner = LocalTopologyRunner(
+            topology,
+            sources={"HDFS1": hdfs_line_source(workload, seed=2)},
+            logic=sundog_logic(workload),
+        )
+        return runner.run(n_batches=4, batch_size=300)
+
+    def test_filter_selectivity_matches_workload(self, result, workload):
+        measured = result.stats["Filter"].selectivity
+        assert measured == pytest.approx(workload.match_fraction, abs=0.07)
+
+    def test_counters_aggregate(self, result):
+        # Aggregation emits at most one row per distinct pair per batch,
+        # strictly fewer than the tuples received.
+        cnt = result.stats["CNT2"]
+        assert 0 < cnt.emitted < cnt.received
+
+    def test_every_phase_saw_work(self, result):
+        for name in ("Filter", "PPS3", "FC1", "M1", "R1"):
+            assert result.stats[name].received > 0
+
+    def test_ranked_output_reaches_hdfs(self, result):
+        scored = result.sink_tuples["HDFS2"]
+        assert scored
+        assert all(0.0 <= float(t["score"]) <= 1.0 for t in scored)
+
+    def test_term_counts_reach_dkvs1(self, result):
+        assert result.sink_tuples["DKVS1"]
+        sample = result.sink_tuples["DKVS1"][0]
+        assert "term" in sample.fields and "count" in sample.fields
+
+    def test_hdfs2_and_hdfs3_receive_same_rankings(self, result):
+        assert len(result.sink_tuples["HDFS2"]) == len(result.sink_tuples["HDFS3"])

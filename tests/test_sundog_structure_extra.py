@@ -1,0 +1,96 @@
+"""Additional Sundog and fusion interplay coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.analytic import AnalyticPerformanceModel
+from repro.storm.cluster import paper_cluster
+from repro.storm.trident import fuse_linear_chains, fusion_ratio
+from repro.sundog import sundog_default_config, sundog_topology
+
+
+class TestSundogFusion:
+    def test_sundog_has_fusable_chains(self):
+        """The PPS1->PPS2->PPS3 preprocessing chain fuses (§III-A)."""
+        topo = sundog_topology()
+        result = fuse_linear_chains(topo)
+        assert len(result.topology) < len(topo)
+        assert result.fused_name_of("PPS2") == result.fused_name_of("PPS1")
+        assert result.fused_name_of("PPS3") == result.fused_name_of("PPS1")
+
+    def test_fusion_preserves_total_work(self):
+        topo = sundog_topology()
+        fused = fuse_linear_chains(topo).topology
+        assert fused.total_compute_units_per_tuple() == pytest.approx(
+            topo.total_compute_units_per_tuple(), rel=1e-9
+        )
+
+    def test_fusion_ratio_moderate(self):
+        ratio = fusion_ratio(sundog_topology())
+        assert 0.05 < ratio < 0.5
+
+    def test_fused_sundog_still_evaluates(self):
+        topo = fuse_linear_chains(sundog_topology()).topology
+        model = AnalyticPerformanceModel(topo, paper_cluster())
+        config = sundog_default_config().replace(
+            parallelism_hints={n: 11 for n in topo}
+        )
+        run = model.evaluate_noise_free(config)
+        assert not run.failed
+        assert run.throughput_tps > 1e5
+
+
+class TestSundogModelDetails:
+    @pytest.fixture
+    def model(self):
+        return AnalyticPerformanceModel(sundog_topology(), paper_cluster())
+
+    def test_acker_starvation_binds(self, model):
+        config = sundog_default_config().replace(
+            parallelism_hints={n: 11 for n in sundog_topology()},
+            batch_size=265_312,
+            batch_parallelism=16,
+            ackers=2,
+        )
+        run = model.evaluate_noise_free(config)
+        assert run.details["limiting_cap"] == "acker"
+
+    def test_disabled_acking_removes_the_cap(self, model):
+        base = sundog_default_config().replace(
+            parallelism_hints={n: 11 for n in sundog_topology()},
+            batch_size=265_312,
+            batch_parallelism=16,
+        )
+        starved = model.evaluate_noise_free(base.replace(ackers=2))
+        unacked = model.evaluate_noise_free(base.replace(ackers=0))
+        assert unacked.throughput_tps > 2 * starved.throughput_tps
+
+    def test_extreme_batches_hit_memory_wall(self, model):
+        config = sundog_default_config().replace(
+            parallelism_hints={n: 11 for n in sundog_topology()},
+            batch_size=500_000,
+            batch_parallelism=4096,
+        )
+        run = model.evaluate_noise_free(config)
+        # The cliff the Sundog developers feared: huge batch x huge
+        # parallelism exhausts worker memory.
+        assert run.failed and "memory" in run.failure_reason
+
+    def test_batch_size_alone_is_not_enough(self, model):
+        """bs without bp (or vice versa) underperforms the joint tuning
+        — the interaction §III-B warns about."""
+        topo = sundog_topology()
+        base = sundog_default_config().replace(
+            parallelism_hints={n: 11 for n in topo}
+        )
+        only_bs = model.evaluate_noise_free(
+            base.replace(batch_size=265_312)
+        ).throughput_tps
+        only_bp = model.evaluate_noise_free(
+            base.replace(batch_parallelism=16)
+        ).throughput_tps
+        joint = model.evaluate_noise_free(
+            base.replace(batch_size=265_312, batch_parallelism=16)
+        ).throughput_tps
+        assert joint > 1.2 * max(only_bs, only_bp)

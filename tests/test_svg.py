@@ -1,0 +1,115 @@
+"""SVG figure rendering."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.figures import FigureData, figure3_network_load
+from repro.experiments.svg import save_figure_svg, svg_bar_chart, svg_line_chart
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestBarChart:
+    def rows(self):
+        return [
+            {"Topology": "small", "MB/s": 1.5, "min": 1.0, "max": 2.0},
+            {"Topology": "large", "MB/s": 0.5, "min": 0.4, "max": 0.6},
+        ]
+
+    def test_valid_xml_with_bars(self):
+        svg = svg_bar_chart(
+            self.rows(), value_key="MB/s", label_keys=["Topology"], title="t"
+        )
+        root = parse(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) >= 3  # background + 2 bars
+
+    def test_bar_heights_proportional(self):
+        svg = svg_bar_chart(self.rows(), value_key="MB/s", label_keys=["Topology"])
+        root = parse(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")[1:]
+        heights = sorted(float(r.get("height")) for r in rects)
+        assert heights[1] == pytest.approx(3 * heights[0], rel=0.01)
+
+    def test_error_bars_add_lines(self):
+        base = svg_bar_chart(self.rows(), value_key="MB/s", label_keys=["Topology"])
+        with_err = svg_bar_chart(
+            self.rows(),
+            value_key="MB/s",
+            label_keys=["Topology"],
+            error_keys=("min", "max"),
+        )
+        assert with_err.count("<line") > base.count("<line")
+
+    def test_color_key_adds_legend(self):
+        svg = svg_bar_chart(
+            self.rows(),
+            value_key="MB/s",
+            label_keys=["Topology"],
+            color_key="Topology",
+        )
+        assert "small" in svg and "large" in svg
+
+    def test_escapes_labels(self):
+        rows = [{"n": "<script>", "v": 1.0}]
+        svg = svg_bar_chart(rows, value_key="v", label_keys=["n"])
+        assert "<script>" not in svg
+        parse(svg)  # still valid XML
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_bar_chart([], value_key="v", label_keys=["n"])
+
+
+class TestLineChart:
+    def test_valid_xml_with_polylines(self):
+        svg = svg_line_chart(
+            {
+                "a": ([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]),
+                "b": ([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]),
+            },
+            title="traces",
+        )
+        root = parse(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 2
+
+    def test_single_x_value_handled(self):
+        svg = svg_line_chart({"a": ([5.0], [2.0])})
+        parse(svg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({})
+
+
+class TestSaveFigureSvg:
+    def test_figure3_saved_as_bar_chart(self, tmp_path):
+        data = figure3_network_load()
+        paths = save_figure_svg(data, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name == "figure_3.svg"
+        parse(paths[0].read_text())
+
+    def test_series_figure_saved_as_line_chart(self, tmp_path):
+        data = FigureData(
+            "Figure 6", "traces", series={"t": ([1.0, 2.0], [1.0, 4.0])}
+        )
+        paths = save_figure_svg(data, tmp_path)
+        assert paths[0].name == "figure_6_series.svg"
+
+    def test_unhinted_rows_are_skipped(self, tmp_path):
+        data = FigureData("Table I", "params", rows=[{"Parameter": "x"}])
+        assert save_figure_svg(data, tmp_path) == []
+
+
+def test_cli_svg_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["fig3", "--svg", str(tmp_path)]) == 0
+    assert (tmp_path / "figure_3.svg").exists()

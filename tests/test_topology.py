@@ -1,0 +1,233 @@
+"""Topology model: construction, validation, derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storm.grouping import Grouping
+from repro.storm.topology import (
+    Edge,
+    OperatorKind,
+    OperatorSpec,
+    Topology,
+    TopologyBuilder,
+    TopologyError,
+    diamond_topology,
+    effective_cost,
+    linear_topology,
+    operator_path_depth,
+)
+
+
+class TestOperatorSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatorSpec(name="", kind=OperatorKind.BOLT)
+        with pytest.raises(ValueError):
+            OperatorSpec(name="x", kind=OperatorKind.BOLT, cost=-1)
+        with pytest.raises(ValueError):
+            OperatorSpec(name="x", kind=OperatorKind.BOLT, selectivity=-0.5)
+        with pytest.raises(ValueError):
+            OperatorSpec(name="x", kind=OperatorKind.BOLT, default_hint=0)
+
+    def test_is_spout(self):
+        assert OperatorSpec(name="s", kind=OperatorKind.SPOUT).is_spout
+        assert not OperatorSpec(name="b", kind=OperatorKind.BOLT).is_spout
+
+
+class TestStructureValidation:
+    def test_rejects_cycle(self):
+        ops = [
+            OperatorSpec("s", OperatorKind.SPOUT),
+            OperatorSpec("a", OperatorKind.BOLT),
+            OperatorSpec("b", OperatorKind.BOLT),
+        ]
+        edges = [Edge("s", "a"), Edge("a", "b"), Edge("b", "a")]
+        with pytest.raises(TopologyError):
+            Topology("cyclic", ops, edges)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Edge("a", "a")
+
+    def test_rejects_duplicate_operator(self):
+        ops = [
+            OperatorSpec("s", OperatorKind.SPOUT),
+            OperatorSpec("s", OperatorKind.SPOUT),
+        ]
+        with pytest.raises(TopologyError):
+            Topology("dup", ops, [])
+
+    def test_rejects_duplicate_edge(self):
+        ops = [
+            OperatorSpec("s", OperatorKind.SPOUT),
+            OperatorSpec("b", OperatorKind.BOLT),
+        ]
+        with pytest.raises(TopologyError):
+            Topology("dup", ops, [Edge("s", "b"), Edge("s", "b")])
+
+    def test_rejects_spout_with_inputs(self):
+        ops = [
+            OperatorSpec("s1", OperatorKind.SPOUT),
+            OperatorSpec("s2", OperatorKind.SPOUT),
+            OperatorSpec("b", OperatorKind.BOLT),
+        ]
+        with pytest.raises(TopologyError):
+            Topology("bad", ops, [Edge("s1", "s2"), Edge("s2", "b")])
+
+    def test_rejects_bolt_without_inputs(self):
+        ops = [
+            OperatorSpec("s", OperatorKind.SPOUT),
+            OperatorSpec("b", OperatorKind.BOLT),
+        ]
+        with pytest.raises(TopologyError):
+            Topology("bad", ops, [])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        ops = [OperatorSpec("s", OperatorKind.SPOUT)]
+        with pytest.raises(TopologyError):
+            Topology("bad", ops, [Edge("s", "ghost")])
+
+    def test_rejects_topology_without_spouts(self):
+        with pytest.raises(TopologyError):
+            Topology("empty", [], [])
+
+    def test_builder_bolt_requires_inputs(self):
+        builder = TopologyBuilder("x")
+        builder.spout("s")
+        with pytest.raises(TopologyError):
+            builder.bolt("b", inputs=[])
+
+
+class TestDerivedQuantities:
+    def test_layers_by_longest_path(self, diamond):
+        # S -> B1 -> B2 and S -> B2
+        assert diamond.layer_of("S") == 0
+        assert diamond.layer_of("B1") == 1
+        assert diamond.layer_of("B2") == 2
+        assert diamond.num_layers() == 3
+        assert diamond.layers() == [("S",), ("B1",), ("B2",)]
+
+    def test_sources_and_sinks(self, fan_topology):
+        assert fan_topology.sources() == ("src",)
+        assert set(fan_topology.sinks()) == {"work0", "work1", "work2"}
+
+    def test_topological_order_parents_first(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("S") < order.index("B1") < order.index("B2")
+
+    def test_volumes_chain(self):
+        topo = linear_topology("chain", 3)
+        for name in topo:
+            assert topo.volume(name) == pytest.approx(1.0)
+
+    def test_volumes_fan_out_duplicates(self, fan_topology):
+        # Each downstream bolt receives all emitted tuples.
+        for i in range(3):
+            assert fan_topology.volume(f"work{i}") == pytest.approx(1.0)
+
+    def test_volumes_join_sums(self, diamond):
+        assert diamond.volume("B2") == pytest.approx(2.0)
+
+    def test_volumes_respect_selectivity(self):
+        builder = TopologyBuilder("sel")
+        builder.spout("s", selectivity=1.0)
+        builder.bolt("filter", inputs=["s"], selectivity=0.25)
+        builder.bolt("post", inputs=["filter"])
+        topo = builder.build()
+        assert topo.volume("filter") == pytest.approx(1.0)
+        assert topo.volume("post") == pytest.approx(0.25)
+
+    def test_multi_spout_volume_shares(self):
+        builder = TopologyBuilder("multi")
+        builder.spout("s1")
+        builder.spout("s2")
+        builder.bolt("join", inputs=["s1", "s2"])
+        topo = builder.build()
+        assert topo.volume("s1") == pytest.approx(0.5)
+        assert topo.volume("join") == pytest.approx(1.0)
+
+    def test_total_compute_units(self):
+        topo = linear_topology("chain", 2, cost=20.0, spout_cost=10.0)
+        # spout 10 * 1 + two bolts 20 * 1
+        assert topo.total_compute_units_per_tuple() == pytest.approx(50.0)
+
+    def test_average_out_degree(self, diamond):
+        assert diamond.average_out_degree() == pytest.approx(3 / 3)
+
+    def test_stats_row(self, diamond):
+        stats = diamond.stats()
+        assert stats.vertices == 3
+        assert stats.edges == 3
+        assert stats.sources == 1
+        assert stats.sinks == 1
+        row = stats.as_row()
+        assert row["V"] == 3
+
+    def test_operator_path_depth_positive(self, diamond):
+        assert 0.0 < operator_path_depth(diamond) <= 2.0
+
+
+class TestFunctionalUpdates:
+    def test_with_operator_updates(self, diamond):
+        updated = diamond.with_operator_updates({"B1": {"cost": 99.0}})
+        assert updated.operator("B1").cost == 99.0
+        assert diamond.operator("B1").cost != 99.0  # original untouched
+
+    def test_unknown_operator_update_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.with_operator_updates({"ghost": {"cost": 1.0}})
+
+    def test_renamed(self, diamond):
+        assert diamond.renamed("other").name == "other"
+
+
+class TestEffectiveCost:
+    def test_non_contentious_constant(self):
+        op = OperatorSpec("b", OperatorKind.BOLT, cost=20.0)
+        assert effective_cost(op, 1) == 20.0
+        assert effective_cost(op, 10) == 20.0
+
+    def test_contentious_scales_with_tasks(self):
+        op = OperatorSpec("b", OperatorKind.BOLT, cost=20.0, contentious=True)
+        assert effective_cost(op, 1) == 20.0
+        assert effective_cost(op, 4) == 80.0
+
+    def test_invalid_task_count(self):
+        op = OperatorSpec("b", OperatorKind.BOLT)
+        with pytest.raises(ValueError):
+            effective_cost(op, 0)
+
+    def test_contention_negates_parallelism(self):
+        """Aggregate service rate n / effective_cost stays constant."""
+        op = OperatorSpec("b", OperatorKind.BOLT, cost=20.0, contentious=True)
+        rates = {n: n / effective_cost(op, n) for n in (1, 2, 8)}
+        assert len({round(r, 12) for r in rates.values()}) == 1
+
+
+class TestAccessors:
+    def test_contains_iter_len(self, diamond):
+        assert "S" in diamond
+        assert "nope" not in diamond
+        assert len(diamond) == 3
+        assert list(diamond) == list(diamond.topological_order())
+
+    def test_edge_lookup(self, diamond):
+        edge = diamond.edge("S", "B1")
+        assert edge.grouping is Grouping.SHUFFLE
+        with pytest.raises(KeyError):
+            diamond.edge("B2", "S")
+
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=20)
+def test_property_linear_topology_structure(n):
+    topo = linear_topology("chain", n)
+    assert len(topo) == n + 1
+    assert topo.num_layers() == n + 1
+    assert topo.sources() == ("spout",)
+    assert len(topo.sinks()) == 1
+    # Chain volumes are all 1 under unit selectivity.
+    assert all(abs(v - 1.0) < 1e-12 for v in topo.volumes().values())

@@ -1,0 +1,137 @@
+"""Trident operator fusion and the acker model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storm.acker import AckerModel
+from repro.storm.grouping import Grouping
+from repro.storm.topology import TopologyBuilder, linear_topology
+from repro.storm.trident import fuse_linear_chains, fusion_ratio
+
+
+class TestFusion:
+    def test_chain_fuses_to_single_element(self):
+        topo = linear_topology("chain", 4, cost=10.0, spout_cost=10.0)
+        result = fuse_linear_chains(topo)
+        assert len(result.topology) == 1
+        fused = result.topology.operator("spout")
+        # Five operators at 10 units each compose to 50.
+        assert fused.cost == pytest.approx(50.0)
+
+    def test_fusion_composes_selectivity(self):
+        builder = TopologyBuilder("sel")
+        builder.spout("s", cost=1.0, selectivity=2.0)
+        builder.bolt("f", inputs=["s"], cost=4.0, selectivity=0.5)
+        topo = builder.build()
+        result = fuse_linear_chains(topo)
+        fused = result.topology.operator("s")
+        # cost: 1 + 2 * 4 (the bolt sees twice the tuples)
+        assert fused.cost == pytest.approx(9.0)
+        assert fused.selectivity == pytest.approx(1.0)  # 2.0 * 0.5
+
+    def test_fan_out_not_fused(self, fan_topology):
+        result = fuse_linear_chains(fan_topology)
+        assert len(result.topology) == 4  # nothing fusable
+
+    def test_join_not_fused(self, diamond):
+        result = fuse_linear_chains(diamond)
+        assert len(result.topology) == 3
+
+    def test_fields_grouping_blocks_fusion(self):
+        builder = TopologyBuilder("fields")
+        builder.spout("s")
+        builder.bolt("agg", inputs=["s"], grouping=Grouping.FIELDS)
+        topo = builder.build()
+        result = fuse_linear_chains(topo)
+        assert len(result.topology) == 2
+
+    def test_hint_overridden_to_chain_minimum(self):
+        builder = TopologyBuilder("hints")
+        builder.spout("s", default_hint=4)
+        builder.bolt("b", inputs=["s"], default_hint=2)
+        topo = builder.build()
+        result = fuse_linear_chains(topo)
+        assert result.topology.operator("s").default_hint == 2
+
+    def test_contention_propagates(self):
+        builder = TopologyBuilder("cont")
+        builder.spout("s")
+        builder.bolt("db", inputs=["s"], contentious=True)
+        topo = builder.build()
+        result = fuse_linear_chains(topo)
+        assert result.topology.operator("s").contentious
+
+    def test_chain_membership_lookup(self):
+        topo = linear_topology("chain", 2)
+        result = fuse_linear_chains(topo)
+        assert result.fused_name_of("bolt2") == "spout"
+        with pytest.raises(KeyError):
+            result.fused_name_of("ghost")
+
+    def test_partial_chain_fusion(self):
+        """Fusion stops at fan-out points but continues after them."""
+        builder = TopologyBuilder("mix")
+        builder.spout("s")
+        builder.bolt("pre", inputs=["s"])
+        builder.bolt("left", inputs=["pre"])
+        builder.bolt("right", inputs=["pre"])
+        builder.bolt("left2", inputs=["left"])
+        topo = builder.build()
+        result = fuse_linear_chains(topo)
+        # s+pre fuse; left+left2 fuse; right stays.
+        assert len(result.topology) == 3
+        assert result.chains["s"] == ("s", "pre")
+        assert result.chains["left"] == ("left", "left2")
+
+    def test_fusion_ratio(self):
+        topo = linear_topology("chain", 4)
+        assert fusion_ratio(topo) == pytest.approx(0.8)
+
+    def test_fused_topology_preserves_total_work(self):
+        builder = TopologyBuilder("work")
+        builder.spout("s", cost=2.0)
+        builder.bolt("a", inputs=["s"], cost=3.0)
+        builder.bolt("b", inputs=["a"], cost=5.0)
+        topo = builder.build()
+        fused = fuse_linear_chains(topo).topology
+        assert fused.total_compute_units_per_tuple() == pytest.approx(
+            topo.total_compute_units_per_tuple()
+        )
+
+
+class TestAckerModel:
+    def test_emissions_per_source_tuple(self, diamond):
+        model = AckerModel()
+        # volumes: S=1 (emits 1), B1=1 (emits 1), B2=2 (emits 2)
+        assert model.emissions_per_source_tuple(diamond) == pytest.approx(4.0)
+
+    def test_demand_scales_with_ack_cost(self, diamond):
+        cheap = AckerModel(ack_cost_units=0.001)
+        pricey = AckerModel(ack_cost_units=0.01)
+        assert pricey.demand_units_per_source_tuple(
+            diamond
+        ) == pytest.approx(10 * cheap.demand_units_per_source_tuple(diamond))
+
+    def test_capacity_linear_in_ackers(self):
+        model = AckerModel()
+        assert model.capacity_units_per_ms(10) == pytest.approx(
+            10 * model.capacity_units_per_ms(1)
+        )
+
+    def test_max_throughput_infinite_without_acking(self, diamond):
+        model = AckerModel()
+        assert model.max_throughput_tps(diamond, 0) == float("inf")
+
+    def test_max_throughput_finite_with_ackers(self, diamond):
+        model = AckerModel()
+        tps = model.max_throughput_tps(diamond, 4)
+        assert 0 < tps < float("inf")
+        # Doubling ackers doubles the ceiling.
+        assert model.max_throughput_tps(diamond, 8) == pytest.approx(2 * tps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AckerModel(ack_cost_units=0)
+        with pytest.raises(ValueError):
+            AckerModel().capacity_units_per_ms(-1)
