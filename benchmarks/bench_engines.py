@@ -60,3 +60,5 @@ def test_gp_suggest_speed_large_space(benchmark):
 
     config = benchmark.pedantic(one_round, rounds=3, iterations=1)
     assert config
+    # Where the time goes: full refits vs rank-1 updates, pool sizes.
+    print(f"\ntelemetry: {optimizer.telemetry}")

@@ -19,7 +19,7 @@ import sys
 from typing import Callable
 
 from repro.experiments import figures
-from repro.experiments.presets import Budget, default_budget, full_budget
+from repro.experiments.presets import default_budget, full_budget
 from repro.experiments.report import render_figure
 from repro.experiments.runner import SundogStudy, SyntheticStudy
 

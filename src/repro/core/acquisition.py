@@ -11,7 +11,6 @@ All functions are phrased for **maximization** of the objective.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -76,6 +75,7 @@ class Proposal:
 
     x: np.ndarray  # unit-cube point, snapped to the space's grid
     acquisition_value: float
+    n_candidates: int = 0  # size of the scored candidate pool
 
 
 class AcquisitionOptimizer:
@@ -137,13 +137,12 @@ class AcquisitionOptimizer:
         # configuration" ridge, which is a strong direction in
         # parallelism spaces (and cheap to cover exhaustively).
         diag = np.linspace(0.0, 1.0, 33)[:, None] * np.ones((1, space.dim))
-        candidates.append(np.array([space.round_trip(row) for row in diag]))
+        candidates.append(space.round_trip_batch(diag))
         if best_x is not None:
             local = best_x[None, :] + rng.normal(
                 0.0, 0.05, size=(max(8, self.n_candidates // 8), space.dim)
             )
-            local = np.clip(local, 0.0, 1.0)
-            candidates.append(np.array([space.round_trip(row) for row in local]))
+            candidates.append(space.round_trip_batch(np.clip(local, 0.0, 1.0)))
             candidates.append(self._neighbourhood(space, best_x, rng))
         candidates = np.vstack(candidates)
         scores = self.score(gp, candidates, best_y)
@@ -159,7 +158,11 @@ class AcquisitionOptimizer:
                 if value > best_score:
                     best_score = value
                     best_point = refined
-        return Proposal(x=best_point, acquisition_value=best_score)
+        return Proposal(
+            x=best_point,
+            acquisition_value=best_score,
+            n_candidates=candidates.shape[0],
+        )
 
     def _neighbourhood(
         self,
@@ -184,11 +187,10 @@ class AcquisitionOptimizer:
             for sign in (-1.0, 1.0):
                 x = best_x.copy()
                 x[d] = min(1.0, max(0.0, x[d] + sign * step))
-                moves.append(space.round_trip(x))
+                moves.append(x)
         for shift in (-0.1, -0.05, 0.05, 0.1):
-            x = np.clip(best_x + shift, 0.0, 1.0)
-            moves.append(space.round_trip(x))
-        return np.array(moves)
+            moves.append(np.clip(best_x + shift, 0.0, 1.0))
+        return space.round_trip_batch(np.array(moves))
 
     def _refine(
         self,
@@ -197,15 +199,25 @@ class AcquisitionOptimizer:
         x0: np.ndarray,
         best_y: float,
     ) -> tuple[np.ndarray, float]:
-        def neg_acq(x: np.ndarray) -> float:
-            value = self.score(gp, x[None, :], best_y)[0]
-            return -float(value)
+        # Central-difference gradient evaluated as ONE batched posterior
+        # predict per L-BFGS iteration (2 dim + 1 points), instead of
+        # letting scipy probe the acquisition one point per coordinate.
+        dim = space.dim
+        eps = 1e-5
+        eye = np.eye(dim) * eps
+
+        def neg_acq_and_grad(x: np.ndarray) -> tuple[float, np.ndarray]:
+            pts = np.vstack([x[None, :], x[None, :] + eye, x[None, :] - eye])
+            values = self.score(gp, np.clip(pts, 0.0, 1.0), best_y)
+            grad = (values[1 : 1 + dim] - values[1 + dim :]) / (2.0 * eps)
+            return -float(values[0]), -grad
 
         result = sopt.minimize(
-            neg_acq,
+            neg_acq_and_grad,
             x0,
+            jac=True,
             method="L-BFGS-B",
-            bounds=[(0.0, 1.0)] * space.dim,
+            bounds=[(0.0, 1.0)] * dim,
             options={"maxiter": 30},
         )
         snapped = space.round_trip(np.clip(result.x, 0.0, 1.0))

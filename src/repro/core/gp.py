@@ -72,6 +72,9 @@ class GaussianProcess:
         self._posterior: _Posterior | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        #: Telemetry: how the posterior has been maintained so far.
+        self.n_full_fits = 0
+        self.n_incremental_updates = 0
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +125,55 @@ class GaussianProcess:
         if optimize_hyperparams and X.shape[0] >= 3:
             self._optimize_hyperparams(X, z, n_restarts=n_restarts, rng=rng)
         self._refresh_posterior(X, z)
+        self.n_full_fits += 1
+        return self
+
+    def update(self, x: np.ndarray, y: float) -> "GaussianProcess":
+        """Condition on one more observation in O(n²) (rank-1 update).
+
+        Extends the cached Cholesky factor with one row instead of
+        refactoring the full covariance: with ``w = L⁻¹ k(X, x)`` and
+        ``d = sqrt(k(x, x) + noise - w·w)`` the factor of the grown
+        covariance is ``[[L, 0], [wᵀ, d]]``.  Hyperparameters and the
+        target normalization stay frozen until the next full
+        :meth:`fit` — the refit schedule is the caller's business
+        (:class:`~repro.core.optimizer.BayesianOptimizer.refit_every`).
+
+        Falls back to a full O(n³) refactorization when the new point is
+        numerically degenerate (e.g. a near-duplicate of an existing row
+        at tiny noise).
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != self.kernel.dim:
+            raise ValueError(f"x has dim {x.shape[0]}, kernel expects {self.kernel.dim}")
+        if self._posterior is None:
+            return self.fit(x[None, :], [float(y)], optimize_hyperparams=False)
+        post = self._posterior
+        z_new = (float(y) - self._y_mean) / self._y_std
+        X_new = np.vstack([post.X, x[None, :]])
+        z = np.append(post.y, z_new)
+        k_vec = self.kernel(x[None, :], post.X).ravel()
+        k_self = float(self.kernel.diag(x[None, :])[0]) + self.noise + JITTER
+        w = sla.solve_triangular(post.L, k_vec, lower=True)
+        d_sq = k_self - float(w @ w)
+        if d_sq <= JITTER:
+            # Degenerate extension: refactor from scratch (rare).
+            self._refresh_posterior(X_new, z)
+            self.n_incremental_updates += 1
+            return self
+        d = math.sqrt(d_sq)
+        n = post.L.shape[0]
+        L = np.zeros((n + 1, n + 1))
+        L[:n, :n] = post.L
+        L[n, :n] = w
+        L[n, n] = d
+        # alpha = (K + noise I)^{-1} z via the two triangular solves; the
+        # forward solve's first n entries are unchanged (u = Lᵀ alpha).
+        u_old = post.L.T @ post.alpha
+        u = np.append(u_old, (z_new - float(w @ u_old)) / d)
+        alpha = sla.solve_triangular(L.T, u, lower=False)
+        self._posterior = _Posterior(X=X_new, y=z, L=L, alpha=alpha)
+        self.n_incremental_updates += 1
         return self
 
     def _pack_theta(self) -> np.ndarray:
@@ -148,7 +200,7 @@ class GaussianProcess:
     ) -> tuple[float, np.ndarray]:
         self._unpack_theta(theta)
         n = X.shape[0]
-        K, grads = self.kernel.value_and_grads(X)
+        K = self.kernel(X)
         Kn = K + (self.noise + JITTER) * np.eye(n)
         try:
             L = sla.cholesky(Kn, lower=True)
@@ -160,10 +212,12 @@ class GaussianProcess:
             - float(np.sum(np.log(np.diag(L))))
             - 0.5 * n * math.log(2.0 * math.pi)
         )
-        # dLML/dtheta_j = 0.5 tr((alpha alpha' - K^-1) dK/dtheta_j)
+        # dLML/dtheta_j = 0.5 tr((alpha alpha' - K^-1) dK/dtheta_j),
+        # with the trace inner products delegated to the kernel's
+        # vectorized fast path (no per-dimension dK matrices).
         Kinv = sla.cho_solve((L, True), np.eye(n))
         W = np.outer(alpha, alpha) - Kinv
-        grad = np.array([0.5 * float(np.sum(W * dK)) for dK in grads])
+        grad = 0.5 * self.kernel.grad_dot(X, W)
         if self.fit_noise:
             grad_noise = 0.5 * float(np.trace(W)) * self.noise
             grad = np.concatenate((grad, [grad_noise]))
@@ -227,17 +281,20 @@ class GaussianProcess:
     # ------------------------------------------------------------------
     def predict(
         self, X: np.ndarray, *, return_std: bool = True
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray] | np.ndarray:
         """Posterior mean and standard deviation in the original y units.
 
-        With no observations, returns the prior (mean 0, std from the
-        kernel variance).
+        With ``return_std=False`` only the mean array is returned (the
+        variance solve is skipped entirely).  With no observations,
+        returns the prior (mean 0, std from the kernel variance).
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[1] != self.kernel.dim:
             raise ValueError("input dimensionality mismatch")
         if self._posterior is None:
             mean = np.zeros(X.shape[0]) + self._y_mean
+            if not return_std:
+                return mean
             std = np.sqrt(self.kernel.diag(X)) * self._y_std
             return mean, std
         post = self._posterior
@@ -245,7 +302,7 @@ class GaussianProcess:
         mean_z = Ks @ post.alpha
         mean = mean_z * self._y_std + self._y_mean
         if not return_std:
-            return mean, np.zeros_like(mean)
+            return mean
         v = sla.solve_triangular(post.L, Ks.T, lower=True)
         var_z = self.kernel.diag(X) - np.sum(v**2, axis=0)
         var_z = np.maximum(var_z, 1e-12)
@@ -267,9 +324,16 @@ class GaussianProcess:
     def sample_posterior(
         self, X: np.ndarray, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Draw joint posterior samples at ``X`` (original y units)."""
+        """Draw joint posterior samples at ``X`` (original y units).
+
+        The conditional covariance ``K(X, X) - vᵀv`` can pick up small
+        negative eigenmass in floating point (near-duplicate inputs,
+        tight posteriors), so the factorization clamps it: Cholesky with
+        jitter first, eigendecomposition with negative eigenvalues
+        zeroed as the fallback.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        mean, _ = self.predict(X, return_std=False)
+        mean = self.predict(X, return_std=False)
         if self._posterior is None:
             cov = self.kernel(X)
         else:
@@ -278,5 +342,11 @@ class GaussianProcess:
             v = sla.solve_triangular(post.L, Ks.T, lower=True)
             cov = self.kernel(X) - v.T @ v
         cov = cov * self._y_std**2
-        cov += JITTER * np.eye(X.shape[0])
-        return rng.multivariate_normal(mean, cov, size=n_samples, method="cholesky")
+        cov = 0.5 * (cov + cov.T)
+        normals = rng.standard_normal((n_samples, X.shape[0]))
+        try:
+            factor = np.linalg.cholesky(cov + JITTER * np.eye(X.shape[0]))
+        except np.linalg.LinAlgError:
+            eigvals, eigvecs = np.linalg.eigh(cov)
+            factor = eigvecs * np.sqrt(np.clip(eigvals, 0.0, None))
+        return mean + normals @ factor.T

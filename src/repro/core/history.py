@@ -51,6 +51,13 @@ class TuningResult:
     ``best_rerun_values`` holds the repeated measurements of the best
     configuration (the paper re-runs each winner 30 times and reports
     mean with min/max error bars).
+
+    ``metadata`` carries run bookkeeping.  :class:`~repro.core.loop.
+    TuningLoop` adds ``optimizer_telemetry`` (GP fit time,
+    refit-vs-update counts, candidate-pool sizes — see
+    ``BayesianOptimizer.telemetry``) and ``objective_cache``
+    (evaluation-memoization hit rate) when the optimizer and objective
+    expose them.
     """
 
     strategy: str
@@ -64,6 +71,15 @@ class TuningResult:
     @property
     def n_steps(self) -> int:
         return len(self.observations)
+
+    @property
+    def mean_suggest_seconds(self) -> float:
+        """Average optimizer wall time per step (Figure 7's statistic)."""
+        if not self.observations:
+            return 0.0
+        return sum(o.suggest_seconds for o in self.observations) / len(
+            self.observations
+        )
 
     def values(self) -> list[float]:
         return [o.value for o in self.observations]

@@ -107,22 +107,56 @@ class Kernel(abc.ABC):
         X = np.atleast_2d(np.asarray(X, dtype=float))
         return np.full(X.shape[0], self.variance)
 
-    def value_and_grads(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
-        """Training covariance ``K(X, X)`` and ``dK/dtheta_j`` matrices."""
+    def value_and_grads(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Training covariance ``K(X, X)`` and ``dK/dtheta_j`` matrices.
+
+        The gradients come back stacked as one ``(n_hyperparameters, n,
+        n)`` array, built by a single broadcast over dimensions rather
+        than a per-dimension Python loop.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        ls = self.lengthscales
-        sq = _pairwise_scaled_sq_dists(X, X, ls)
-        shape = self._shape(sq)
-        K = self.variance * shape
-        grads: list[np.ndarray] = [K.copy()]  # d/d log variance = K
+        A = X / self.lengthscales
+        sq = _pairwise_scaled_sq_dists(X, X, self.lengthscales)
+        K = self.variance * self._shape(sq)
         radial = self.variance * self._radial_factor(sq)
+        grads = np.empty((self.n_hyperparameters, X.shape[0], X.shape[0]))
+        grads[0] = K  # d/d log variance = K
         if self.ard:
-            for d in range(self.dim):
-                diff_sq = (X[:, d : d + 1] - X[:, d : d + 1].T) ** 2 / ls[d] ** 2
-                grads.append(radial * diff_sq)
+            diffs = A[:, None, :] - A[None, :, :]  # (n, n, dim)
+            grads[1:] = np.einsum("ij,ijd->dij", radial, diffs**2)
         else:
-            grads.append(radial * sq)
+            grads[1] = radial * sq
         return K, grads
+
+    def grad_dot(self, X: np.ndarray, W: np.ndarray) -> np.ndarray:
+        """``sum_ij W_ij * dK_ij/dtheta_j`` for every hyperparameter.
+
+        The ML-II gradient only ever needs these inner products, so this
+        skips materializing the per-dimension ``dK`` matrices entirely:
+        with ``M = W * radial`` and ``A = X / lengthscales``,
+
+        ``sum_ij M_ij (A_id - A_jd)^2
+            = r·A_d² + c·A_d² - 2 A_d·(M A)_d``
+
+        with ``r``/``c`` the row/column sums of ``M`` — two matmuls and
+        an einsum, O(n² d) BLAS flops and O(n² + n d) memory.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        A = X / self.lengthscales
+        sq = _pairwise_scaled_sq_dists(X, X, self.lengthscales)
+        K = self.variance * self._shape(sq)
+        out = np.empty(self.n_hyperparameters)
+        out[0] = float(np.sum(W * K))
+        M = W * (self.variance * self._radial_factor(sq))
+        if self.ard:
+            A_sq = A**2
+            row = M.sum(axis=1)
+            col = M.sum(axis=0)
+            MA = M @ A
+            out[1:] = row @ A_sq + col @ A_sq - 2.0 * np.einsum("id,id->d", A, MA)
+        else:
+            out[1] = float(np.sum(M * sq))
+        return out
 
     @abc.abstractmethod
     def _shape(self, sq_dists: np.ndarray) -> np.ndarray:

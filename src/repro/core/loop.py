@@ -82,11 +82,15 @@ class TuningLoop:
                     evaluate_seconds=evaluate_seconds,
                 )
             )
+            # Staleness counts off the thresholded comparison, while
+            # best_seen always tracks the running max: a run of
+            # sub-threshold gains must neither reset patience nor leave
+            # the baseline stale below the actual best.
             improved = best_seen == float("-inf") or value > (
                 best_seen + abs(best_seen) * self.min_improvement
             )
+            best_seen = max(best_seen, value)
             if improved:
-                best_seen = value
                 stale_steps = 0
             else:
                 stale_steps += 1
@@ -105,6 +109,16 @@ class TuningLoop:
                 "stopped_early": result.n_steps < self.max_steps,
             }
         )
+        # Thread per-run telemetry from the optimizer (GP fit timing,
+        # refit-vs-update counts, candidate-pool sizes) and the
+        # objective (evaluation-cache hit rate) into the result so
+        # Figure 7-style benches can report where time goes.
+        telemetry = getattr(self.optimizer, "telemetry", None)
+        if isinstance(telemetry, Mapping):
+            result.metadata["optimizer_telemetry"] = dict(telemetry)
+        cache_info = getattr(self.objective, "cache_info", None)
+        if callable(cache_info):
+            result.metadata["objective_cache"] = dict(cache_info())
         return result
 
 

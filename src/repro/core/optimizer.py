@@ -46,8 +46,15 @@ class BayesianOptimizer(Optimizer):
         the deployment's current defaults) — standard practice when
         tuning a production system from a known-good starting point.
     refit_every:
-        Hyperparameters are re-optimized every this many steps (the GP
-        posterior itself is refreshed on every ``tell``).
+        Full ML-II refit schedule: every this many ``tell`` steps the
+        hyperparameters are re-optimized and the posterior refactored
+        from scratch (O(n³)); in between, each observation is folded in
+        with an O(n²) rank-1 Cholesky update under frozen
+        hyperparameters.  During the warm-up phase (seeded configs +
+        initial design) every step refits, since small-n refits are
+        cheap and early hyperparameter adaptation matters most.
+        ``refit_every=1`` recovers the refit-everything-always
+        behaviour.
     maximize:
         True for throughput-style objectives.
     hyper_inference:
@@ -67,7 +74,7 @@ class BayesianOptimizer(Optimizer):
         ard_max_dim: int = 25,
         init_points: int | None = None,
         initial_configs: list[Mapping[str, object]] | None = None,
-        refit_every: int = 1,
+        refit_every: int = 5,
         n_restarts: int = 2,
         maximize: bool = True,
         seed: int | None = None,
@@ -122,6 +129,10 @@ class BayesianOptimizer(Optimizer):
         self._init_design: list[np.ndarray] = []
         self._pending: np.ndarray | None = None
         self._steps_since_refit = 0
+        self._fit_seconds_total = 0.0
+        self._last_pool_size = 0
+        self._pool_size_total = 0
+        self._n_proposals = 0
 
     # ------------------------------------------------------------------
     # Ask / tell
@@ -152,25 +163,62 @@ class BayesianOptimizer(Optimizer):
         return self.space.decode(self._pending)
 
     def tell(self, config: Mapping[str, object], value: float) -> None:
-        """Record a measurement and refresh (periodically refit) the GP."""
+        """Record a measurement and refresh the GP.
+
+        Full ML-II refits follow the ``refit_every`` schedule; other
+        steps fold the new observation into the cached Cholesky factor
+        in O(n²) (:meth:`GaussianProcess.update`).
+        """
         self.space.validate(config)
         x = self.space.encode(config)
         self.X.append(x)
         self.y.append(float(value))
         self._pending = None
-        if len(self.X) >= 2:
-            self._steps_since_refit += 1
-            refit = (
-                self._steps_since_refit >= self.refit_every
-                or self.gp.n_observations == 0
-            )
-            if refit:
-                self._steps_since_refit = 0
-            self._fit_gp(optimize_hyperparams=refit)
+        if len(self.X) < 2:
+            return
+        t0 = time.perf_counter()
+        self._steps_since_refit += 1
+        in_warmup = len(self.X) <= len(self._initial_configs) + self.init_points + 1
+        refit = (
+            in_warmup
+            or self._steps_since_refit >= self.refit_every
+            or self.gp.n_observations == 0
+        )
+        if refit:
+            self._steps_since_refit = 0
+            self._fit_gp(optimize_hyperparams=True)
+        elif self.gp.n_observations == len(self.X) - 1:
+            self.gp.update(x, float(value) if self.maximize else -float(value))
+        else:
+            # History and posterior out of sync (manual surgery on X/y):
+            # recondition on everything without touching hyperparameters.
+            self._fit_gp(optimize_hyperparams=False)
+        self._fit_seconds_total += time.perf_counter() - t0
 
     @property
     def done(self) -> bool:
         return False  # BO never exhausts its space
+
+    @property
+    def telemetry(self) -> dict[str, object]:
+        """Per-run counters for the suggest fast path (Figure 7 style).
+
+        Threaded into :class:`~repro.core.history.TuningResult.metadata`
+        by :class:`~repro.core.loop.TuningLoop`.
+        """
+        return {
+            "gp_fit_seconds_total": self._fit_seconds_total,
+            "gp_full_refits": self.gp.n_full_fits,
+            "gp_incremental_updates": self.gp.n_incremental_updates,
+            "refit_every": self.refit_every,
+            "acq_pool_size_last": self._last_pool_size,
+            "acq_pool_size_mean": (
+                self._pool_size_total / self._n_proposals
+                if self._n_proposals
+                else 0.0
+            ),
+            "n_proposals": self._n_proposals,
+        }
 
     def best(self) -> tuple[dict[str, object], float]:
         if not self.y:
@@ -223,6 +271,9 @@ class BayesianOptimizer(Optimizer):
             best_y=float(y[best_idx]),
             rng=self._rng,
         )
+        self._last_pool_size = proposal.n_candidates
+        self._pool_size_total += proposal.n_candidates
+        self._n_proposals += 1
         x = proposal.x
         # Avoid re-sampling an already-measured grid point exactly:
         # perturb one coordinate if the proposal duplicates history.
@@ -263,6 +314,9 @@ class BayesianOptimizer(Optimizer):
             "rng_state": self._rng.bit_generator.state,
             "kernel_theta": list(map(float, self.gp.kernel.theta)),
             "log_noise": self.gp._log_noise,
+            "steps_since_refit": self._steps_since_refit,
+            "y_mean": self.gp._y_mean,
+            "y_std": self.gp._y_std,
         }
 
     @classmethod
@@ -294,8 +348,19 @@ class BayesianOptimizer(Optimizer):
         optimizer._rng.bit_generator.state = state["rng_state"]
         optimizer.gp.kernel.theta = np.asarray(state["kernel_theta"], dtype=float)
         optimizer.gp._log_noise = float(state["log_noise"])  # type: ignore[arg-type]
+        optimizer._steps_since_refit = int(state.get("steps_since_refit", 0))  # type: ignore[arg-type]
         if optimizer.X:
-            optimizer._fit_gp(optimize_hyperparams=False)
+            if "y_mean" in state:
+                # Recondition under the exact normalization the paused
+                # run was using (it may be frozen mid-refit-cycle), so
+                # resumed trajectories match the uninterrupted ones.
+                gp = optimizer.gp
+                gp._y_mean = float(state["y_mean"])  # type: ignore[arg-type]
+                gp._y_std = float(state["y_std"])  # type: ignore[arg-type]
+                z = (optimizer._signed_y() - gp._y_mean) / gp._y_std
+                gp._refresh_posterior(np.vstack(optimizer.X), z)
+            else:  # states saved before normalization was serialized
+                optimizer._fit_gp(optimize_hyperparams=False)
         return optimizer
 
     def save(self, path: str | Path) -> None:

@@ -43,6 +43,15 @@ class Parameter(abc.ABC):
     #: True when the decoded values live on a discrete grid.
     is_discrete: bool = False
 
+    def round_trip_unit(self, u: np.ndarray) -> np.ndarray:
+        """Vectorized ``to_unit(from_unit(u))`` over an array of coords.
+
+        Subclasses override with closed forms; this fallback loops.
+        """
+        return np.array(
+            [self.to_unit(self.from_unit(float(ui))) for ui in np.asarray(u)]
+        )
+
     @abc.abstractmethod
     def as_dict(self) -> dict[str, object]:
         """JSON-serializable description (see :func:`parameter_from_dict`)."""
@@ -91,6 +100,11 @@ class FloatParameter(Parameter):
                 math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
             )
         return self.low + u * (self.high - self.low)
+
+    def round_trip_unit(self, u: np.ndarray) -> np.ndarray:
+        # from_unit and to_unit are exact inverses on [0, 1] (the log
+        # transform cancels), so the snap reduces to a clip.
+        return np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.from_unit(rng.random())
@@ -154,6 +168,16 @@ class IntParameter(Parameter):
         idx = int(min(self.n_values - 1, math.floor(u * self.n_values)))
         return self.low + idx
 
+    def round_trip_unit(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            log_lo, log_hi = math.log(self.low), math.log(self.high)
+            raw = np.exp(log_lo + u * (log_hi - log_lo))
+            v = np.clip(np.round(raw), self.low, self.high)
+            return np.clip((np.log(v) - log_lo) / (log_hi - log_lo), 0.0, 1.0)
+        idx = np.minimum(self.n_values - 1, np.floor(u * self.n_values))
+        return (idx + 0.5) / self.n_values
+
     def sample(self, rng: np.random.Generator) -> int:
         if self.log:
             return self.from_unit(rng.random())
@@ -202,6 +226,12 @@ class CategoricalParameter(Parameter):
         u = _clip_unit(u)
         idx = int(min(len(self.choices) - 1, math.floor(u * len(self.choices))))
         return self.choices[idx]
+
+    def round_trip_unit(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        n = len(self.choices)
+        idx = np.minimum(n - 1, np.floor(u * n))
+        return (idx + 0.5) / n
 
     def sample(self, rng: np.random.Generator) -> object:
         return self.choices[int(rng.integers(len(self.choices)))]
@@ -297,6 +327,21 @@ class ParameterSpace:
         """Snap a unit point onto the grid of representable configs."""
         return self.encode(self.decode(x))
 
+    def round_trip_batch(self, X: np.ndarray) -> np.ndarray:
+        """Snap a whole ``(n, dim)`` batch of unit points at once.
+
+        Column-wise vectorized equivalent of calling :meth:`round_trip`
+        per row — the acquisition optimizer snaps hundreds of candidate
+        points per step, so this must not loop over rows in Python.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.dim:
+            raise ValueError(f"expected shape (n, {self.dim}), got {X.shape}")
+        out = np.empty_like(X)
+        for d, p in enumerate(self.parameters):
+            out[:, d] = p.round_trip_unit(X[:, d])
+        return out
+
     def validate(self, config: Mapping[str, object]) -> None:
         for p in self.parameters:
             if p.name not in config:
@@ -315,7 +360,7 @@ class ParameterSpace:
     def sample_unit(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """``n`` uniform unit-cube points snapped to representable configs."""
         raw = rng.random((n, self.dim))
-        return np.array([self.round_trip(row) for row in raw])
+        return self.round_trip_batch(raw)
 
     def latin_hypercube(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Latin-hypercube sample of ``n`` unit points (snapped to grid).
@@ -329,7 +374,7 @@ class ParameterSpace:
         for d in range(self.dim):
             perm = rng.permutation(n)
             result[:, d] = (perm + rng.random(n)) / n
-        return np.array([self.round_trip(row) for row in result])
+        return self.round_trip_batch(result)
 
     def as_dict(self) -> dict[str, object]:
         return {"parameters": [p.as_dict() for p in self.parameters]}

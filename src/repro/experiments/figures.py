@@ -8,11 +8,11 @@ tests can assert on the qualitative claims (DESIGN.md §3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 
-from repro.core.history import TuningResult, convergence_spread
+from repro.core.history import convergence_spread
 from repro.experiments.presets import SYNTHETIC_BASE_CONFIG, default_cluster
 from repro.experiments.runner import SundogStudy, SyntheticStudy
 from repro.stats.loess import loess
@@ -242,8 +242,15 @@ def figure7_step_time(study: SyntheticStudy) -> FigureData:
         for size in study.sizes:
             for strategy in strategies:
                 times: list[float] = []
+                fit_seconds = 0.0
+                refits = updates = 0
                 for result in study.passes(condition, size, strategy):
                     times.extend(o.suggest_seconds for o in result.observations)
+                    telemetry = result.metadata.get("optimizer_telemetry")
+                    if isinstance(telemetry, Mapping):
+                        fit_seconds += float(telemetry["gp_fit_seconds_total"])
+                        refits += int(telemetry["gp_full_refits"])
+                        updates += int(telemetry["gp_incremental_updates"])
                 s = summarize(times)
                 data.rows.append(
                     {
@@ -253,6 +260,13 @@ def figure7_step_time(study: SyntheticStudy) -> FigureData:
                         "seconds(avg)": round(s.mean, 4),
                         "min": round(s.minimum, 4),
                         "max": round(s.maximum, 4),
+                        # Where the GP-paying strategies spend it:
+                        # periodic full refits vs rank-1 updates.
+                        "gp_fit_s/step": (
+                            round(fit_seconds / len(times), 4) if times else 0.0
+                        ),
+                        "refits": refits,
+                        "updates": updates,
                     }
                 )
     return data

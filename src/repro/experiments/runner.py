@@ -12,9 +12,10 @@ execution of independent cells.
 
 from __future__ import annotations
 
+import hashlib
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.baselines import Optimizer, ParallelLinearAscent
 from repro.core.history import TuningResult, best_of
@@ -52,6 +53,20 @@ SUNDOG_STRATEGIES: tuple[str, ...] = ("pla", "bo", "bo180")
 #: The hint the paper fixes for the "bs bp cc" arm: the best value the
 #: parallel linear ascent found for Sundog (§V-D).
 SUNDOG_PLA_BEST_HINT = 11
+
+
+def cell_seed(base_seed: int, *identity: object) -> int:
+    """Derive an independent seed stream for one study cell.
+
+    Mixes a stable (process- and ``PYTHONHASHSEED``-independent) hash of
+    the cell identity into the base seed, so every ``(condition, size,
+    strategy)`` cell gets its own optimizer/measurement-noise stream —
+    a plain ``seed * K + pass`` scheme hands every cell of the grid the
+    *same* streams and correlates noise across the whole study.
+    """
+    label = "|".join(str(part) for part in identity)
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return base_seed * 10_007 + int.from_bytes(digest, "big")
 
 
 def _default_hint_config(codec: ParallelismCodec) -> dict[str, object]:
@@ -131,8 +146,9 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
     else:
         steps = spec.budget.steps
     results: list[TuningResult] = []
+    base = cell_seed(spec.seed, spec.condition.label, spec.size, spec.strategy)
     for pass_idx in range(spec.budget.passes):
-        pass_seed = spec.seed * 10_007 + pass_idx
+        pass_seed = base + pass_idx
         optimizer, codec = make_synthetic_optimizer(
             spec.strategy, topology, cluster, SYNTHETIC_BASE_CONFIG, steps, pass_seed
         )
@@ -275,8 +291,9 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
     else:
         steps = spec.budget.steps
     results: list[TuningResult] = []
+    base = cell_seed(spec.seed, spec.strategy, spec.param_set)
     for pass_idx in range(spec.budget.passes):
-        pass_seed = spec.seed * 10_007 + pass_idx
+        pass_seed = base + pass_idx
         if spec.strategy == "pla":
             if spec.param_set != "h":
                 raise ValueError(

@@ -28,7 +28,7 @@ Model summary (DESIGN.md §5).  For batch size ``B``, batch parallelism
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

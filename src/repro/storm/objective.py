@@ -37,6 +37,13 @@ class StormObjective:
         ``"des"`` (event-by-event simulation).
     noise:
         Observation noise model shared by both engines.
+    memoize:
+        Cache :meth:`measure` results keyed on the encoded
+        configuration.  Defaults to on for deterministic objectives
+        (``noise=None``) — grid ascent and BO revisit configurations,
+        and ``repeat_best`` re-runs of a deterministic fidelity are
+        pure waste — and off for noisy ones, where each call must
+        draw a fresh observation.  Pass an explicit bool to override.
     """
 
     def __init__(
@@ -50,6 +57,7 @@ class StormObjective:
         noise: NoiseModel | None = None,
         seed: int | None = None,
         des_kwargs: Mapping[str, object] | None = None,
+        memoize: bool | None = None,
     ) -> None:
         self.topology = topology
         self.cluster = cluster
@@ -70,18 +78,52 @@ class StormObjective:
             )
         else:
             raise ValueError(f"unknown fidelity {fidelity!r}")
+        self.memoize = (noise is None) if memoize is None else bool(memoize)
         self.n_evaluations = 0
+        self.n_engine_evaluations = 0
+        self._cache: dict[bytes, MeasuredRun] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _cache_key(self, params: Mapping[str, object]) -> bytes:
+        """Stable key: the unit-cube encoding of the proposal."""
+        return self.codec.space.encode(params).tobytes()
 
     def measure(self, params: Mapping[str, object]) -> MeasuredRun:
         """Full metrics for one proposal (throughput, network, latency)."""
-        config = self.codec.decode(params)
         self.n_evaluations += 1
-        return self.engine.evaluate(config)
+        if self.memoize:
+            key = self._cache_key(params)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        config = self.codec.decode(params)
+        self.n_engine_evaluations += 1
+        run = self.engine.evaluate(config)
+        if self.memoize:
+            self._cache[key] = run
+        return run
 
     def measure_config(self, config: TopologyConfig) -> MeasuredRun:
-        """Bypass the codec and measure a concrete configuration."""
+        """Bypass the codec (and the evaluation cache) and measure a
+        concrete configuration."""
         self.n_evaluations += 1
+        self.n_engine_evaluations += 1
         return self.engine.evaluate(config)
+
+    def cache_info(self) -> dict[str, object]:
+        """Evaluation-cache telemetry (threaded into result metadata)."""
+        return {
+            "enabled": self.memoize,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
 
     def __call__(self, params: Mapping[str, object]) -> float:
         return self.measure(params).throughput_tps

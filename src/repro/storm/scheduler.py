@@ -10,7 +10,6 @@ footprints, and which traffic is machine-local.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
 
 from repro.storm.cluster import ClusterSpec, WorkerSlot
 from repro.storm.config import TopologyConfig

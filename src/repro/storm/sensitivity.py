@@ -11,7 +11,7 @@ the throughput response, and quantify two-parameter interactions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.storm.analytic import AnalyticPerformanceModel
 from repro.storm.cluster import ClusterSpec

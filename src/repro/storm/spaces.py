@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from repro.core.informed import InformedParallelismCodec
 from repro.core.parameters import FloatParameter, IntParameter, Parameter, ParameterSpace

@@ -12,7 +12,7 @@ store with dummies — only the load shape matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

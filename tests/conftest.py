@@ -9,8 +9,6 @@ from repro.storm.cluster import ClusterSpec, MachineSpec, small_test_cluster
 from repro.storm.config import TopologyConfig
 from repro.storm.grouping import Grouping
 from repro.storm.topology import (
-    OperatorKind,
-    OperatorSpec,
     Topology,
     TopologyBuilder,
     diamond_topology,

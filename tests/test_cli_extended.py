@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
-from repro.experiments.figures import figure3_network_load, table2_topologies
+from repro.experiments.figures import table2_topologies
 from repro.experiments.report import write_csv
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.storm.cluster import ClusterSpec, MachineSpec, paper_cluster, small_test_cluster
+from repro.storm.cluster import ClusterSpec, MachineSpec, paper_cluster
 from repro.storm.config import TopologyConfig
 from repro.storm.scheduler import EvenScheduler, SchedulingError, schedulable
 from repro.storm.topology import linear_topology

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.presets import Budget
 from repro.experiments.runner import SundogStudy, SyntheticStudy

@@ -14,7 +14,6 @@ from repro.storm.topology import (
     Topology,
     TopologyBuilder,
     TopologyError,
-    diamond_topology,
     effective_cost,
     linear_topology,
     operator_path_depth,
