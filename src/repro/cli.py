@@ -4,24 +4,36 @@ Usage::
 
     repro-experiments table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all
         [--full] [--seed N] [--jobs N] [--save DIR] [--load DIR]
+        [--trace RUN.jsonl] [--verbose|--quiet]
+
+    repro-experiments obs summary RUN.jsonl
+    repro-experiments obs tail RUN.jsonl [-n N] [--follow]
 
 ``--full`` runs the paper-scale budgets (60/180 steps, 2 passes, 30
 re-runs); the default is a scaled-down budget suitable for a laptop.
 ``--save DIR`` exports the underlying study runs as JSON;
 ``--load DIR`` re-renders figures from a previous export instead of
-re-running.
+re-running.  ``--trace`` records the run as a JSONL observability trace
+(docs/OBSERVABILITY.md) that the ``obs`` subcommands aggregate.
+
+All reporting routes through :class:`repro.obs.ProgressSink`: exhibit
+output always prints, informational lines respect ``--quiet``, and live
+study progress (per-cell ETA) renders on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable
 
+from repro import obs
 from repro.experiments import figures
 from repro.experiments.presets import default_budget, full_budget
 from repro.experiments.report import render_figure
 from repro.experiments.runner import SundogStudy, SyntheticStudy
+from repro.obs.sinks import NORMAL, QUIET, VERBOSE
 
 
 def _synthetic_study(args: argparse.Namespace) -> SyntheticStudy:
@@ -94,8 +106,64 @@ def _sensitivity_report() -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# obs subcommands
+# ----------------------------------------------------------------------
+def obs_main(argv: list[str]) -> int:
+    """``repro-experiments obs summary|tail`` — read back a run trace."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs",
+        description="Aggregate or tail a JSONL observability trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summary = sub.add_parser(
+        "summary", help="where-time-goes aggregate of a run trace"
+    )
+    summary.add_argument("trace", help="JSONL trace file written by --trace")
+    tail = sub.add_parser("tail", help="render the last trace events")
+    tail.add_argument("trace", help="JSONL trace file written by --trace")
+    tail.add_argument("-n", type=int, default=20, help="events to show")
+    tail.add_argument(
+        "--follow", action="store_true", help="poll for appended events"
+    )
+    tail.add_argument(
+        "--interval", type=float, default=0.5, help="--follow poll seconds"
+    )
+    args = parser.parse_args(argv)
+    sink = obs.ProgressSink()
+
+    if args.command == "summary":
+        events = obs.read_jsonl(args.trace)
+        sink.result(render_figure(figures.trace_summary(events)))
+        return 0
+
+    # tail
+    events = obs.read_jsonl(args.trace)
+    for record in events[-max(0, args.n) :]:
+        sink.result(obs.format_event_line(record))
+    if args.follow:
+        seen = len(events)
+        try:
+            while True:
+                time.sleep(args.interval)
+                events = obs.read_jsonl(args.trace)
+                for record in events[seen:]:
+                    sink.result(obs.format_event_line(record))
+                seen = len(events)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Main entry point
+# ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        return obs_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -138,20 +206,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--svg", default=None, help="directory to write exhibit SVG charts to"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="RUN.jsonl",
+        help="record an observability trace of the run (JSONL)",
+    )
+    verbosity_group = parser.add_mutually_exclusive_group()
+    verbosity_group.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="extra progress detail (per-cell start events)",
+    )
+    verbosity_group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="exhibit output only, no progress or info lines",
+    )
     args = parser.parse_args(argv)
 
+    verbosity = QUIET if args.quiet else (VERBOSE if args.verbose else NORMAL)
+    progress = obs.ProgressSink(verbosity)
+
     def emit(data: "figures.FigureData") -> None:
-        print(render_figure(data))
+        progress.result(render_figure(data))
         if args.csv:
             from repro.experiments.report import write_csv
 
             for path in write_csv(data, args.csv):
-                print(f"(wrote {path})")
+                progress.info(f"(wrote {path})")
         if args.svg:
             from repro.experiments.svg import save_figure_svg
 
             for path in save_figure_svg(data, args.svg):
-                print(f"(wrote {path})")
+                progress.info(f"(wrote {path})")
 
     static: dict[str, Callable[[], figures.FigureData]] = {
         "table1": figures.table1_parameters,
@@ -178,41 +268,53 @@ def main(argv: list[str] | None = None) -> int:
         else [args.exhibit]
     )
 
-    synthetic: SyntheticStudy | None = None
-    sundog: SundogStudy | None = None
-    for exhibit in exhibits:
-        if exhibit == "sensitivity":
-            print(_sensitivity_report())
-        elif exhibit == "claims":
-            from repro.experiments.claims import evaluate_claims, render_claims
+    manifest = {
+        "argv": list(argv),
+        "exhibit": args.exhibit,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "budget": "full" if args.full else "default",
+    }
+    with obs.session(
+        jsonl_path=args.trace, progress=progress, manifest=manifest
+    ):
+        synthetic: SyntheticStudy | None = None
+        sundog: SundogStudy | None = None
+        for exhibit in exhibits:
+            if exhibit == "sensitivity":
+                progress.result(_sensitivity_report())
+            elif exhibit == "claims":
+                from repro.experiments.claims import evaluate_claims, render_claims
 
-            if synthetic is None:
-                synthetic = _synthetic_study(args)
-            if sundog is None:
-                sundog = _sundog_study(args)
-            print(render_claims(evaluate_claims(synthetic, sundog)))
-        elif exhibit in static:
-            emit(static[exhibit]())
-        elif exhibit in ("fig4", "fig5", "fig6", "fig7"):
-            if synthetic is None:
-                synthetic = _synthetic_study(args)
-            builder = {
-                "fig4": figures.figure4_throughput,
-                "fig5": figures.figure5_convergence,
-                "fig6": figures.figure6_loess_traces,
-                "fig7": figures.figure7_step_time,
-            }[exhibit]
-            emit(builder(synthetic))
-        elif exhibit == "fig8":
-            if sundog is None:
-                sundog = _sundog_study(args)
-            emit(figures.figure8a_sundog_throughput(sundog))
-            emit(figures.figure8b_sundog_convergence(sundog))
-            print(
-                f"speedup of tuned configuration over pla hints-only: "
-                f"{figures.speedup_over_pla(sundog):.2f}x (paper: 2.8x)"
-            )
-        print()
+                if synthetic is None:
+                    synthetic = _synthetic_study(args)
+                if sundog is None:
+                    sundog = _sundog_study(args)
+                progress.result(render_claims(evaluate_claims(synthetic, sundog)))
+            elif exhibit in static:
+                emit(static[exhibit]())
+            elif exhibit in ("fig4", "fig5", "fig6", "fig7"):
+                if synthetic is None:
+                    synthetic = _synthetic_study(args)
+                builder = {
+                    "fig4": figures.figure4_throughput,
+                    "fig5": figures.figure5_convergence,
+                    "fig6": figures.figure6_loess_traces,
+                    "fig7": figures.figure7_step_time,
+                }[exhibit]
+                emit(builder(synthetic))
+            elif exhibit == "fig8":
+                if sundog is None:
+                    sundog = _sundog_study(args)
+                emit(figures.figure8a_sundog_throughput(sundog))
+                emit(figures.figure8b_sundog_convergence(sundog))
+                progress.result(
+                    f"speedup of tuned configuration over pla hints-only: "
+                    f"{figures.speedup_over_pla(sundog):.2f}x (paper: 2.8x)"
+                )
+            progress.result()
+    if args.trace:
+        progress.info(f"(wrote trace {args.trace})")
     return 0
 
 

@@ -76,6 +76,8 @@ class Proposal:
     x: np.ndarray  # unit-cube point, snapped to the space's grid
     acquisition_value: float
     n_candidates: int = 0  # size of the scored candidate pool
+    n_refined: int = 0  # top candidates handed to L-BFGS-B refinement
+    refine_iterations: int = 0  # total L-BFGS-B iterations across them
 
 
 class AcquisitionOptimizer:
@@ -152,9 +154,15 @@ class AcquisitionOptimizer:
         best_score = float(scores[best_idx])
 
         has_continuous = any(not p.is_discrete for p in space.parameters)
+        n_refined = 0
+        refine_iterations = 0
         if has_continuous and self.n_refine > 0 and gp.is_fitted:
             for idx in order[: self.n_refine]:
-                refined, value = self._refine(gp, space, candidates[int(idx)], best_y)
+                refined, value, iterations = self._refine(
+                    gp, space, candidates[int(idx)], best_y
+                )
+                n_refined += 1
+                refine_iterations += iterations
                 if value > best_score:
                     best_score = value
                     best_point = refined
@@ -162,6 +170,8 @@ class AcquisitionOptimizer:
             x=best_point,
             acquisition_value=best_score,
             n_candidates=candidates.shape[0],
+            n_refined=n_refined,
+            refine_iterations=refine_iterations,
         )
 
     def _neighbourhood(
@@ -198,7 +208,7 @@ class AcquisitionOptimizer:
         space: ParameterSpace,
         x0: np.ndarray,
         best_y: float,
-    ) -> tuple[np.ndarray, float]:
+    ) -> tuple[np.ndarray, float, int]:
         # Central-difference gradient evaluated as ONE batched posterior
         # predict per L-BFGS iteration (2 dim + 1 points), instead of
         # letting scipy probe the acquisition one point per coordinate.
@@ -221,4 +231,5 @@ class AcquisitionOptimizer:
             options={"maxiter": 30},
         )
         snapped = space.round_trip(np.clip(result.x, 0.0, 1.0))
-        return snapped, float(self.score(gp, snapped[None, :], best_y)[0])
+        score = float(self.score(gp, snapped[None, :], best_y)[0])
+        return snapped, score, int(getattr(result, "nit", 0))

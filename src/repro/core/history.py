@@ -11,13 +11,23 @@ from typing import Iterable, Mapping, Sequence
 
 @dataclass(frozen=True)
 class Observation:
-    """One optimization step: a configuration and its measured value."""
+    """One optimization step: a configuration and its measured value.
+
+    ``failed`` / ``failure_reason`` / ``bottleneck`` carry the engine's
+    diagnosis for this measurement (when the objective exposes one), so
+    failed configurations are distinguishable from genuinely
+    zero-throughput ones after the fact, and successful ones record
+    which operator or capacity cap bound their throughput.
+    """
 
     step: int
     config: Mapping[str, object]
     value: float
     suggest_seconds: float = 0.0
     evaluate_seconds: float = 0.0
+    failed: bool = False
+    failure_reason: str = ""
+    bottleneck: str = ""
 
     def __post_init__(self) -> None:
         if self.step < 0:
@@ -25,13 +35,19 @@ class Observation:
         object.__setattr__(self, "config", dict(self.config))
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        data: dict[str, object] = {
             "step": self.step,
             "config": dict(self.config),
             "value": self.value,
             "suggest_seconds": self.suggest_seconds,
             "evaluate_seconds": self.evaluate_seconds,
         }
+        if self.failed:
+            data["failed"] = True
+            data["failure_reason"] = self.failure_reason
+        if self.bottleneck:
+            data["bottleneck"] = self.bottleneck
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Observation":
@@ -41,6 +57,9 @@ class Observation:
             value=float(data["value"]),  # type: ignore[arg-type]
             suggest_seconds=float(data.get("suggest_seconds", 0.0)),  # type: ignore[arg-type]
             evaluate_seconds=float(data.get("evaluate_seconds", 0.0)),  # type: ignore[arg-type]
+            failed=bool(data.get("failed", False)),
+            failure_reason=str(data.get("failure_reason", "")),
+            bottleneck=str(data.get("bottleneck", "")),
         )
 
 

@@ -5,17 +5,73 @@ evaluation runs per pass (60, or 180 for the bo180 runs); per-step
 optimizer wall time recorded (Figure 7); the best configuration
 re-measured ``repeat_best`` times at the end (30 in the paper) to give
 the mean/min/max bars of Figures 4 and 8.
+
+Every run reports through :mod:`repro.obs`: the whole pass runs inside
+a ``tuning.run`` span with per-step ``tuning.suggest`` /
+``tuning.evaluate`` / ``tuning.tell`` child spans, and per-step timings
+are recorded into a per-run metrics registry whose snapshot lands in
+``TuningResult.metadata["obs_metrics"]`` (and merges into the active
+session registry, so studies aggregate across cells).  With no session
+active all of this is the no-op fast path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Callable, Mapping
 
 from repro.core.baselines import Optimizer
 from repro.core.history import Observation, TuningResult
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
 
 Objective = Callable[[Mapping[str, object]], float]
+
+
+def _coerce_telemetry(telemetry: object) -> dict[str, object] | None:
+    """Best-effort view of an optimizer's telemetry as a plain dict.
+
+    Accepts mappings, dataclasses, and attribute-bag objects; returns
+    None only when no dict view exists at all (so non-conforming
+    telemetry is preserved rather than silently dropped).
+    """
+    if telemetry is None:
+        return None
+    if isinstance(telemetry, Mapping):
+        return dict(telemetry)
+    if dataclasses.is_dataclass(telemetry) and not isinstance(telemetry, type):
+        return dataclasses.asdict(telemetry)
+    try:
+        return dict(vars(telemetry))
+    except TypeError:
+        return None
+
+
+def _failure_fields(objective: object) -> dict[str, object]:
+    """Diagnosable failure detail from the objective's last measurement.
+
+    Reads ``objective.last_measured`` (a :class:`~repro.storm.metrics.
+    MeasuredRun` when the objective is a :class:`~repro.storm.objective.
+    StormObjective`) and extracts the failure reason plus the bottleneck
+    detail the engine reported — the argmax of per-operator stage times
+    when available, else the binding throughput cap.
+    """
+    run = getattr(objective, "last_measured", None)
+    if run is None:
+        return {}
+    fields: dict[str, object] = {}
+    if getattr(run, "failed", False):
+        fields["failed"] = True
+        fields["failure_reason"] = str(getattr(run, "failure_reason", ""))
+    details = getattr(run, "details", None)
+    if isinstance(details, Mapping):
+        stage_times = details.get("stage_times_ms")
+        if isinstance(stage_times, Mapping) and stage_times:
+            fields["bottleneck"] = max(stage_times, key=stage_times.get)  # type: ignore[arg-type]
+        elif details.get("limiting_cap"):
+            fields["bottleneck"] = str(details["limiting_cap"])
+    return fields
 
 
 class TuningLoop:
@@ -56,51 +112,90 @@ class TuningLoop:
         self.min_improvement = min_improvement
 
     def run(self) -> TuningResult:
+        ctx = obs_runtime.current()
+        tracer = ctx.tracer
+        run_metrics = MetricsRegistry()
         result = TuningResult(strategy=self.strategy_name)
-        best_seen = float("-inf")
-        stale_steps = 0
-        for step in range(self.max_steps):
-            if self.optimizer.done:
-                break
-            if self.patience is not None and stale_steps >= self.patience:
-                break
-            t0 = time.perf_counter()
-            config = self.optimizer.ask()
-            suggest_seconds = time.perf_counter() - t0
+        with tracer.span(
+            "tuning.run", strategy=self.strategy_name, max_steps=self.max_steps
+        ) as run_span:
+            best_seen = float("-inf")
+            stale_steps = 0
+            for step in range(self.max_steps):
+                if self.optimizer.done:
+                    break
+                if self.patience is not None and stale_steps >= self.patience:
+                    tracer.event(
+                        "tuning.early_stop", step=step, patience=self.patience
+                    )
+                    break
+                with tracer.span("tuning.step", step=step):
+                    t0 = time.perf_counter()
+                    with tracer.span("tuning.suggest"):
+                        config = self.optimizer.ask()
+                    suggest_seconds = time.perf_counter() - t0
 
-            t1 = time.perf_counter()
-            value = float(self.objective(config))
-            evaluate_seconds = time.perf_counter() - t1
+                    t1 = time.perf_counter()
+                    with tracer.span("tuning.evaluate"):
+                        value = float(self.objective(config))
+                    evaluate_seconds = time.perf_counter() - t1
 
-            self.optimizer.tell(config, value)
-            result.observations.append(
-                Observation(
-                    step=step,
-                    config=config,
-                    value=value,
-                    suggest_seconds=suggest_seconds,
-                    evaluate_seconds=evaluate_seconds,
+                    t2 = time.perf_counter()
+                    with tracer.span("tuning.tell"):
+                        self.optimizer.tell(config, value)
+                    tell_seconds = time.perf_counter() - t2
+                failure = _failure_fields(self.objective)
+                if failure.get("failed"):
+                    run_metrics.counter("tuning.failed_evaluations").inc()
+                    tracer.event(
+                        "tuning.evaluation_failure",
+                        step=step,
+                        reason=failure.get("failure_reason", ""),
+                        bottleneck=failure.get("bottleneck", ""),
+                    )
+                run_metrics.counter("tuning.steps").inc()
+                run_metrics.histogram("tuning.suggest_seconds").record(
+                    suggest_seconds
                 )
-            )
-            # Staleness counts off the thresholded comparison, while
-            # best_seen always tracks the running max: a run of
-            # sub-threshold gains must neither reset patience nor leave
-            # the baseline stale below the actual best.
-            improved = best_seen == float("-inf") or value > (
-                best_seen + abs(best_seen) * self.min_improvement
-            )
-            best_seen = max(best_seen, value)
-            if improved:
-                stale_steps = 0
-            else:
-                stale_steps += 1
-        if not result.observations:
-            raise RuntimeError("optimizer produced no observations")
-        if self.repeat_best > 0:
-            best_config = result.best_config
-            result.best_rerun_values = [
-                float(self.objective(best_config)) for _ in range(self.repeat_best)
-            ]
+                run_metrics.histogram("tuning.evaluate_seconds").record(
+                    evaluate_seconds
+                )
+                run_metrics.histogram("tuning.tell_seconds").record(tell_seconds)
+                result.observations.append(
+                    Observation(
+                        step=step,
+                        config=config,
+                        value=value,
+                        suggest_seconds=suggest_seconds,
+                        evaluate_seconds=evaluate_seconds,
+                        failed=bool(failure.get("failed", False)),
+                        failure_reason=str(failure.get("failure_reason", "")),
+                        bottleneck=str(failure.get("bottleneck", "")),
+                    )
+                )
+                # Staleness counts off the thresholded comparison, while
+                # best_seen always tracks the running max: a run of
+                # sub-threshold gains must neither reset patience nor leave
+                # the baseline stale below the actual best.
+                improved = best_seen == float("-inf") or value > (
+                    best_seen + abs(best_seen) * self.min_improvement
+                )
+                best_seen = max(best_seen, value)
+                if improved:
+                    stale_steps = 0
+                else:
+                    stale_steps += 1
+            if not result.observations:
+                raise RuntimeError("optimizer produced no observations")
+            if self.repeat_best > 0:
+                best_config = result.best_config
+                reruns: list[float] = []
+                for _ in range(self.repeat_best):
+                    with tracer.span("tuning.evaluate", rerun=True):
+                        reruns.append(float(self.objective(best_config)))
+                result.best_rerun_values = reruns
+            run_span.set_attribute("steps_run", result.n_steps)
+            run_span.set_attribute("best_value", result.best_value)
         result.metadata.update(
             {
                 "max_steps": self.max_steps,
@@ -112,13 +207,26 @@ class TuningLoop:
         # Thread per-run telemetry from the optimizer (GP fit timing,
         # refit-vs-update counts, candidate-pool sizes) and the
         # objective (evaluation-cache hit rate) into the result so
-        # Figure 7-style benches can report where time goes.
-        telemetry = getattr(self.optimizer, "telemetry", None)
-        if isinstance(telemetry, Mapping):
-            result.metadata["optimizer_telemetry"] = dict(telemetry)
+        # Figure 7-style benches can report where time goes.  Non-dict
+        # telemetry (e.g. a dataclass) is coerced, not dropped.
+        telemetry = _coerce_telemetry(getattr(self.optimizer, "telemetry", None))
+        if telemetry is not None:
+            result.metadata["optimizer_telemetry"] = telemetry
         cache_info = getattr(self.objective, "cache_info", None)
         if callable(cache_info):
-            result.metadata["objective_cache"] = dict(cache_info())
+            cache = dict(cache_info())
+            result.metadata["objective_cache"] = cache
+            run_metrics.counter("objective.cache_hits").inc(
+                int(cache.get("hits", 0))
+            )
+            run_metrics.counter("objective.cache_misses").inc(
+                int(cache.get("misses", 0))
+            )
+        # The per-run registry snapshot replaces ad-hoc dict plumbing as
+        # the structured report; merged into the session registry so
+        # studies aggregate across cells.
+        result.metadata["obs_metrics"] = run_metrics.snapshot()
+        ctx.metrics.merge_snapshot(result.metadata["obs_metrics"])  # type: ignore[arg-type]
         return result
 
 

@@ -21,6 +21,7 @@ from repro.core.acquisition import AcquisitionOptimizer
 from repro.core.baselines import Optimizer
 from repro.core.gp import GaussianProcess
 from repro.core.parameters import ParameterSpace
+from repro.obs import runtime as obs_runtime
 
 
 class BayesianOptimizer(Optimizer):
@@ -133,6 +134,8 @@ class BayesianOptimizer(Optimizer):
         self._last_pool_size = 0
         self._pool_size_total = 0
         self._n_proposals = 0
+        self._refined_total = 0
+        self._refine_iterations_total = 0
 
     # ------------------------------------------------------------------
     # Ask / tell
@@ -176,6 +179,7 @@ class BayesianOptimizer(Optimizer):
         self._pending = None
         if len(self.X) < 2:
             return
+        tracer = obs_runtime.current().tracer
         t0 = time.perf_counter()
         self._steps_since_refit += 1
         in_warmup = len(self.X) <= len(self._initial_configs) + self.init_points + 1
@@ -186,13 +190,16 @@ class BayesianOptimizer(Optimizer):
         )
         if refit:
             self._steps_since_refit = 0
-            self._fit_gp(optimize_hyperparams=True)
+            with tracer.span("gp.refit", n_obs=len(self.X), warmup=in_warmup):
+                self._fit_gp(optimize_hyperparams=True)
         elif self.gp.n_observations == len(self.X) - 1:
-            self.gp.update(x, float(value) if self.maximize else -float(value))
+            with tracer.span("gp.rank1_update", n_obs=len(self.X)):
+                self.gp.update(x, float(value) if self.maximize else -float(value))
         else:
             # History and posterior out of sync (manual surgery on X/y):
             # recondition on everything without touching hyperparameters.
-            self._fit_gp(optimize_hyperparams=False)
+            with tracer.span("gp.recondition", n_obs=len(self.X)):
+                self._fit_gp(optimize_hyperparams=False)
         self._fit_seconds_total += time.perf_counter() - t0
 
     @property
@@ -218,6 +225,8 @@ class BayesianOptimizer(Optimizer):
                 else 0.0
             ),
             "n_proposals": self._n_proposals,
+            "acq_refined_total": self._refined_total,
+            "acq_refine_iterations_total": self._refine_iterations_total,
         }
 
     def best(self) -> tuple[dict[str, object], float]:
@@ -264,16 +273,24 @@ class BayesianOptimizer(Optimizer):
     def _propose(self) -> np.ndarray:
         y = self._signed_y()
         best_idx = int(np.argmax(y))
-        proposal = self.acq.propose(
-            self.gp,
-            self.space,
-            best_x=self.X[best_idx],
-            best_y=float(y[best_idx]),
-            rng=self._rng,
-        )
+        with obs_runtime.current().tracer.span(
+            "acq.propose", n_obs=len(self.X)
+        ) as span:
+            proposal = self.acq.propose(
+                self.gp,
+                self.space,
+                best_x=self.X[best_idx],
+                best_y=float(y[best_idx]),
+                rng=self._rng,
+            )
+            span.set_attribute("n_candidates", proposal.n_candidates)
+            span.set_attribute("n_refined", proposal.n_refined)
+            span.set_attribute("refine_iterations", proposal.refine_iterations)
         self._last_pool_size = proposal.n_candidates
         self._pool_size_total += proposal.n_candidates
         self._n_proposals += 1
+        self._refined_total += proposal.n_refined
+        self._refine_iterations_total += proposal.refine_iterations
         x = proposal.x
         # Avoid re-sampling an already-measured grid point exactly:
         # perturb one coordinate if the proposal duplicates history.

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.history import convergence_spread
 from repro.experiments.presets import SYNTHETIC_BASE_CONFIG, default_cluster
+from repro.obs.summary import summarize_trace, summary_rows
 from repro.experiments.runner import SundogStudy, SyntheticStudy
 from repro.stats.loess import loess
 from repro.stats.summarize import summarize
@@ -380,3 +381,38 @@ def speedup_over_pla(study: SundogStudy) -> float:
     if not candidates or pla <= 0:
         raise ValueError("study lacks the arms needed for the speedup")
     return max(candidates) / pla
+
+
+def trace_summary(events: list[Mapping[str, object]]) -> FigureData:
+    """Where-time-goes aggregate of a run trace (``obs summary``).
+
+    Consumes the JSONL event stream an :func:`repro.obs.session` wrote
+    and reduces it to per-span timing rows — the suggest/evaluate/tell
+    phase split first (the paper's Figure 7 cost axis), then every other
+    instrumented span (GP refits vs rank-1 updates, acquisition
+    proposals, engine evaluations).
+    """
+    summary = summarize_trace(events)
+    data = FigureData(
+        "Obs Summary",
+        "Where the wall-clock went (aggregated from the run trace)",
+    )
+    data.rows = summary_rows(summary)
+    data.notes.append(
+        f"{summary.n_runs} tuning run(s), {summary.n_steps} steps, "
+        f"wall {summary.wall_seconds:.3f}s"
+    )
+    data.notes.append(
+        f"suggest+evaluate+tell account for {summary.coverage:.1%} of "
+        f"tuning.run wall-clock ({summary.phase_total_seconds:.3f}s)"
+    )
+    if summary.failures:
+        data.notes.append(f"{summary.failures} failure event(s) in the trace")
+    hits = summary.counters.get("objective.cache_hits", 0)
+    misses = summary.counters.get("objective.cache_misses", 0)
+    if hits or misses:
+        data.notes.append(
+            f"objective cache: {hits} hits / {misses} misses "
+            f"({hits / (hits + misses):.1%} hit rate)"
+        )
+    return data

@@ -13,14 +13,16 @@ execution of independent cells.
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Sequence
 
 from repro.core.baselines import Optimizer, ParallelLinearAscent
 from repro.core.history import TuningResult, best_of
 from repro.core.loop import TuningLoop
 from repro.core.optimizer import BayesianOptimizer
+from repro.obs import runtime as obs_runtime
 from repro.experiments.presets import (
     MEASUREMENT_NOISE_SIGMA,
     SIZES,
@@ -67,6 +69,103 @@ def cell_seed(base_seed: int, *identity: object) -> int:
     label = "|".join(str(part) for part in identity)
     digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
     return base_seed * 10_007 + int.from_bytes(digest, "big")
+
+
+def _worker_obs_off() -> None:
+    """Disable obs in pool workers (module-level for picklability).
+
+    Under the fork start method a worker inherits the parent's live
+    context — including the JSONL sink's file handle, whose shared
+    offset makes concurrent writes from several processes interleave.
+    Workers run disabled instead and report home through the metrics
+    snapshot in ``TuningResult.metadata["obs_metrics"]``.
+    """
+    obs_runtime.deactivate()
+
+
+def _run_cells(
+    study_name: str,
+    specs: Sequence[object],
+    labels: Sequence[str],
+    cell_fn: Callable[..., list[TuningResult]],
+    n_jobs: int,
+    budget: Budget,
+) -> list[list[TuningResult]]:
+    """Run every study cell, reporting through the active obs context.
+
+    Emits ``study_start`` / ``cell_start`` / ``cell_finish`` /
+    ``study_finish`` events (the progress sink renders them with a
+    per-cell ETA) and, for process-parallel execution, merges each
+    worker cell's metrics snapshot back into the session registry —
+    worker processes carry their own (disabled) obs state, so their
+    per-run registries come home inside ``TuningResult.metadata``.
+    """
+    ctx = obs_runtime.current()
+    ctx.tracer.event(
+        "study_start",
+        study=study_name,
+        n_cells=len(specs),
+        budget=asdict(budget),
+    )
+    outcomes: list[list[TuningResult]] = [[] for _ in specs]
+    if n_jobs > 1:
+        submitted = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_worker_obs_off
+        ) as pool:
+            futures = {}
+            for i, spec in enumerate(specs):
+                ctx.tracer.event(
+                    "cell_start",
+                    study=study_name,
+                    cell=labels[i],
+                    seed=getattr(spec, "seed", None),
+                )
+                futures[pool.submit(cell_fn, spec)] = i
+            for future in as_completed(futures):
+                i = futures[future]
+                outcomes[i] = future.result()
+                seconds = _cell_seconds(outcomes[i], time.perf_counter() - submitted)
+                for result in outcomes[i]:
+                    snap = result.metadata.get("obs_metrics")
+                    if snap is not None:
+                        ctx.metrics.merge_snapshot(snap)  # type: ignore[arg-type]
+                ctx.tracer.event(
+                    "cell_finish",
+                    study=study_name,
+                    cell=labels[i],
+                    seconds=seconds,
+                    best=max(r.best_value for r in outcomes[i]),
+                )
+    else:
+        for i, spec in enumerate(specs):
+            ctx.tracer.event(
+                "cell_start",
+                study=study_name,
+                cell=labels[i],
+                seed=getattr(spec, "seed", None),
+            )
+            t0 = time.perf_counter()
+            outcomes[i] = cell_fn(spec)
+            ctx.tracer.event(
+                "cell_finish",
+                study=study_name,
+                cell=labels[i],
+                seconds=time.perf_counter() - t0,
+                best=max(r.best_value for r in outcomes[i]),
+            )
+    ctx.tracer.event("study_finish", study=study_name, n_cells=len(specs))
+    return outcomes
+
+
+def _cell_seconds(results: list[TuningResult], fallback: float) -> float:
+    """Per-cell wall time, preferring the cell's own in-process stamp."""
+    stamped = [
+        float(r.metadata["cell_seconds"])  # type: ignore[arg-type]
+        for r in results
+        if "cell_seconds" in r.metadata
+    ]
+    return sum(stamped) if stamped else fallback
 
 
 def _default_hint_config(codec: ParallelismCodec) -> dict[str, object]:
@@ -147,6 +246,7 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
         steps = spec.budget.steps
     results: list[TuningResult] = []
     base = cell_seed(spec.seed, spec.condition.label, spec.size, spec.strategy)
+    cell_t0 = time.perf_counter()
     for pass_idx in range(spec.budget.passes):
         pass_seed = base + pass_idx
         optimizer, codec = make_synthetic_optimizer(
@@ -173,8 +273,11 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
                 "size": spec.size,
                 "condition": spec.condition.label,
                 "pass": pass_idx,
+                "cell_seed": pass_seed,
+                "cell_seconds": time.perf_counter() - cell_t0,
             }
         )
+        cell_t0 = time.perf_counter()
         results.append(result)
     return results
 
@@ -221,11 +324,12 @@ class SyntheticStudy:
 
     def run(self) -> "SyntheticStudy":
         specs = self.specs()
-        if self.n_jobs > 1:
-            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
-                outcomes = list(pool.map(run_synthetic_cell, specs))
-        else:
-            outcomes = [run_synthetic_cell(spec) for spec in specs]
+        labels = [
+            f"{spec.condition.label}/{spec.size}/{spec.strategy}" for spec in specs
+        ]
+        outcomes = _run_cells(
+            "synthetic", specs, labels, run_synthetic_cell, self.n_jobs, self.budget
+        )
         for spec, results in zip(specs, outcomes):
             self.results[(spec.condition, spec.size, spec.strategy)] = results
         return self
@@ -292,6 +396,7 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
         steps = spec.budget.steps
     results: list[TuningResult] = []
     base = cell_seed(spec.seed, spec.strategy, spec.param_set)
+    cell_t0 = time.perf_counter()
     for pass_idx in range(spec.budget.passes):
         pass_seed = base + pass_idx
         if spec.strategy == "pla":
@@ -332,8 +437,11 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
                 "param_set": spec.param_set,
                 "strategy": spec.strategy,
                 "pass": pass_idx,
+                "cell_seed": pass_seed,
+                "cell_seconds": time.perf_counter() - cell_t0,
             }
         )
+        cell_t0 = time.perf_counter()
         results.append(result)
     return results
 
@@ -404,11 +512,10 @@ class SundogStudy:
 
     def run(self) -> "SundogStudy":
         specs = self.specs()
-        if self.n_jobs > 1:
-            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
-                outcomes = list(pool.map(run_sundog_arm, specs))
-        else:
-            outcomes = [run_sundog_arm(spec) for spec in specs]
+        labels = [spec.label for spec in specs]
+        outcomes = _run_cells(
+            "sundog", specs, labels, run_sundog_arm, self.n_jobs, self.budget
+        )
         for spec, results in zip(specs, outcomes):
             self.results[(spec.strategy, spec.param_set)] = results
         return self

@@ -1,0 +1,86 @@
+"""repro.obs — unified tracing, metrics, and run traces.
+
+The observability substrate the tuning loop, execution engines, and
+experiment runner report through (docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.tracer` — nested span tracer (context-manager API,
+  monotonic timings, zero-overhead no-op when disabled);
+* :mod:`repro.obs.metrics` — counters, gauges, and streaming
+  log-bucketed histograms (p50/p95/p99) with snapshot + cross-cell
+  merge;
+* :mod:`repro.obs.sinks` — in-memory, JSONL-per-run, and live progress
+  (per-cell ETA) sinks;
+* :mod:`repro.obs.runtime` — the active context (:func:`session`,
+  :func:`current`);
+* :mod:`repro.obs.summary` — trace aggregation behind
+  ``repro-experiments obs summary`` and ``obs tail``.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.session(jsonl_path="run.jsonl", manifest={"seed": 0}):
+        TuningLoop(objective, optimizer).run()
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import (
+    DISABLED,
+    ObsContext,
+    activate,
+    current,
+    deactivate,
+    session,
+)
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    ProgressSink,
+    read_jsonl,
+)
+from repro.obs.summary import (
+    PHASE_SPANS,
+    SpanStats,
+    TraceSummary,
+    aggregate_spans,
+    format_event_line,
+    summarize_trace,
+    summary_rows,
+)
+from repro.obs.tracer import NOOP_TRACER, SCHEMA_VERSION, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DISABLED",
+    "ObsContext",
+    "activate",
+    "current",
+    "deactivate",
+    "session",
+    "InMemorySink",
+    "JsonlSink",
+    "ProgressSink",
+    "read_jsonl",
+    "PHASE_SPANS",
+    "SpanStats",
+    "TraceSummary",
+    "aggregate_spans",
+    "format_event_line",
+    "summarize_trace",
+    "summary_rows",
+    "NOOP_TRACER",
+    "SCHEMA_VERSION",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,140 @@
+"""The active observability context: tracer + metrics + sinks.
+
+Instrumented code never threads tracer objects through call chains; it
+asks :func:`current` for the process-wide context.  By default that
+context is *disabled* — a shared :class:`~repro.obs.tracer.NoopTracer`
+and :class:`~repro.obs.metrics.NullRegistry` — so library users who
+never touch :mod:`repro.obs` pay one attribute lookup per instrumented
+site and nothing else.
+
+:func:`session` is the front door::
+
+    from repro import obs
+
+    with obs.session(jsonl_path="run.jsonl", manifest={"seed": 0}) as ctx:
+        TuningLoop(objective, optimizer).run()
+    # run.jsonl now holds the manifest, every span/event, and a final
+    # metrics snapshot; ctx.metrics survives for programmatic reads.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.sinks import InMemorySink, JsonlSink, ProgressSink
+from repro.obs.tracer import NOOP_TRACER, SCHEMA_VERSION, NoopTracer, Tracer
+
+
+class ObsContext:
+    """One activated observability configuration."""
+
+    def __init__(
+        self,
+        tracer: Tracer | NoopTracer,
+        metrics: MetricsRegistry | NullRegistry,
+        sinks: tuple[object, ...] = (),
+        enabled: bool = False,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.sinks = sinks
+        self.enabled = enabled
+
+    def emit(self, record: Mapping[str, object]) -> None:
+        """Push a non-span record (manifest, snapshot) to every sink."""
+        for sink in self.sinks:
+            sink(dict(record))
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+
+#: The inactive default: everything no-ops.
+DISABLED = ObsContext(NOOP_TRACER, NULL_REGISTRY, sinks=(), enabled=False)
+
+_current: ObsContext = DISABLED
+
+
+def current() -> ObsContext:
+    """The active context (the disabled singleton when none is)."""
+    return _current
+
+
+def activate(ctx: ObsContext) -> ObsContext:
+    """Install ``ctx`` as the process-wide context; returns the previous."""
+    global _current
+    previous = _current
+    _current = ctx
+    return previous
+
+
+def deactivate() -> None:
+    global _current
+    _current = DISABLED
+
+
+@contextmanager
+def session(
+    *,
+    jsonl_path: object | None = None,
+    sinks: tuple[object, ...] = (),
+    progress: ProgressSink | None = None,
+    memory: bool = False,
+    manifest: Mapping[str, object] | None = None,
+) -> Iterator[ObsContext]:
+    """Activate tracing + metrics for the duration of a ``with`` block.
+
+    Parameters
+    ----------
+    jsonl_path:
+        When given, append every record to this JSONL trace file.
+    sinks:
+        Extra ``sink(record)`` callables.
+    progress:
+        A :class:`ProgressSink` to also feed (live study rendering).
+    memory:
+        Also collect records in an :class:`InMemorySink`, exposed as
+        ``ctx.events`` for programmatic use.
+    manifest:
+        Run identity (seeds, budgets, argv...) written as the trace's
+        first record and echoed in the final ``metrics`` record.
+
+    On exit the session emits a ``metrics`` record carrying the
+    registry snapshot, closes owned sinks, and restores whatever
+    context was active before.
+    """
+    all_sinks: list[object] = list(sinks)
+    if jsonl_path is not None:
+        all_sinks.append(JsonlSink(jsonl_path))  # type: ignore[arg-type]
+    mem: InMemorySink | None = None
+    if memory:
+        mem = InMemorySink()
+        all_sinks.append(mem)
+    if progress is not None:
+        all_sinks.append(progress)
+    tracer = Tracer(tuple(all_sinks))  # type: ignore[arg-type]
+    registry = MetricsRegistry()
+    ctx = ObsContext(tracer, registry, tuple(all_sinks), enabled=True)
+    if mem is not None:
+        ctx.events = mem.events  # type: ignore[attr-defined]
+    ctx.emit(
+        {
+            "type": "manifest",
+            "schema_version": SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "attrs": dict(manifest or {}),
+        }
+    )
+    previous = activate(ctx)
+    try:
+        yield ctx
+    finally:
+        activate(previous)
+        ctx.emit({"type": "metrics", "snapshot": registry.snapshot()})
+        ctx.close()

@@ -1,0 +1,215 @@
+"""Event sinks: in-memory, JSONL file, and live progress rendering.
+
+A sink is anything callable as ``sink(record: dict)``; the tracer calls
+every configured sink with each finished span / point event, and the
+session adds ``manifest`` and ``metrics`` records around them.
+
+:class:`InMemorySink`
+    Collects records in a list (tests, programmatic consumers).
+
+:class:`JsonlSink`
+    One JSON object per line, append-only — the durable run trace that
+    ``repro-experiments obs summary`` and ``obs tail`` read back.
+
+:class:`ProgressSink`
+    Human-readable live reporting for the experiment runner: listens for
+    ``study_start`` / ``cell_start`` / ``cell_finish`` events and renders
+    per-cell progress with an ETA extrapolated from completed-cell
+    durations.  It doubles as the CLI's verbosity-aware console
+    (``result``/``info``/``detail``), so `print()` never appears outside
+    ``cli.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO, Mapping
+
+
+def _json_default(obj: object) -> object:
+    """Serialize numpy scalars/arrays and other stragglers."""
+    for attr in ("item",):  # numpy scalar -> python scalar
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            try:
+                return fn()
+            except (TypeError, ValueError):
+                break
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return repr(obj)
+
+
+class InMemorySink:
+    """Collect every record in ``self.events``."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, object]] = []
+
+    def __call__(self, record: Mapping[str, object]) -> None:
+        self.events.append(dict(record))
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Write records to ``path`` as one JSON object per line.
+
+    Truncates by default — a trace file is one run's event log; pass
+    ``mode="a"`` to accumulate several sessions into one file.
+    """
+
+    def __init__(self, path: str | Path, *, mode: str = "w") -> None:
+        if mode not in ("w", "a"):
+            raise ValueError("mode must be 'w' or 'a'")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = self.path.open(mode, encoding="utf-8")
+        self.n_written = 0
+
+    def __call__(self, record: Mapping[str, object]) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"JsonlSink({self.path}) is closed")
+        self._handle.write(json.dumps(record, default=_json_default) + "\n")
+        self.n_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+    """Load a JSONL trace back into a list of event dicts.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number (a truncated final line from a killed run is the
+    common case, so that one is dropped silently instead).
+    """
+    events: list[dict[str, object]] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn tail write from an interrupted run
+            raise ValueError(f"{path}:{lineno}: invalid JSONL: {exc}") from exc
+    return events
+
+
+#: Verbosity levels for :class:`ProgressSink`.
+QUIET, NORMAL, VERBOSE = 0, 1, 2
+
+
+class ProgressSink:
+    """Verbosity-aware console + live study progress with per-cell ETA.
+
+    Results (the exhibits themselves) always go to ``out`` (stdout);
+    informational lines respect the verbosity; progress lines go to
+    ``err`` (stderr) so piped stdout stays clean.
+    """
+
+    def __init__(
+        self,
+        verbosity: int = NORMAL,
+        *,
+        out: IO[str] | None = None,
+        err: IO[str] | None = None,
+    ) -> None:
+        self.verbosity = verbosity
+        self._out = out if out is not None else sys.stdout
+        self._err = err if err is not None else sys.stderr
+        # Study progress state, keyed by study label.
+        self._totals: dict[str, int] = {}
+        self._done: dict[str, int] = {}
+        self._durations: dict[str, list[float]] = {}
+        self._started: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Console API (replaces bare print() outside cli.py)
+    # ------------------------------------------------------------------
+    def result(self, text: str = "") -> None:
+        """Exhibit output: always printed, even under --quiet."""
+        self._out.write(text + "\n")
+
+    def info(self, text: str) -> None:
+        if self.verbosity >= NORMAL:
+            self._out.write(text + "\n")
+
+    def detail(self, text: str) -> None:
+        if self.verbosity >= VERBOSE:
+            self._out.write(text + "\n")
+
+    # ------------------------------------------------------------------
+    # Event sink API
+    # ------------------------------------------------------------------
+    def __call__(self, record: Mapping[str, object]) -> None:
+        if record.get("type") != "event":
+            return
+        name = record.get("name")
+        attrs = record.get("attrs")
+        attrs = attrs if isinstance(attrs, Mapping) else {}
+        if name == "study_start":
+            study = str(attrs.get("study", "study"))
+            self._totals[study] = int(attrs.get("n_cells", 0))  # type: ignore[arg-type]
+            self._done[study] = 0
+            self._durations[study] = []
+            self._started[study] = time.perf_counter()
+            self._progress(f"[{study}] {self._totals[study]} cells queued")
+        elif name == "cell_start":
+            study = str(attrs.get("study", "study"))
+            if self.verbosity >= VERBOSE:
+                self._progress(f"[{study}] cell {attrs.get('cell', '?')} started")
+        elif name == "cell_finish":
+            self._on_cell_finish(attrs)
+        elif name == "study_finish":
+            study = str(attrs.get("study", "study"))
+            elapsed = time.perf_counter() - self._started.get(study, time.perf_counter())
+            self._progress(f"[{study}] done in {elapsed:.1f}s")
+
+    def _on_cell_finish(self, attrs: Mapping[str, object]) -> None:
+        study = str(attrs.get("study", "study"))
+        seconds = float(attrs.get("seconds", 0.0))  # type: ignore[arg-type]
+        self._done[study] = self._done.get(study, 0) + 1
+        self._durations.setdefault(study, []).append(seconds)
+        done, total = self._done[study], self._totals.get(study, 0)
+        eta = self.eta_seconds(study)
+        eta_text = f"  eta {eta:.0f}s" if eta is not None else ""
+        self._progress(
+            f"[{study}] {done}/{total or '?'} cells  "
+            f"({attrs.get('cell', '?')}: {seconds:.1f}s){eta_text}"
+        )
+
+    def eta_seconds(self, study: str) -> float | None:
+        """Remaining-cells estimate from mean completed-cell duration."""
+        durations = self._durations.get(study) or []
+        total = self._totals.get(study, 0)
+        done = self._done.get(study, 0)
+        if not durations or total <= done:
+            return None
+        return (total - done) * (sum(durations) / len(durations))
+
+    def _progress(self, text: str) -> None:
+        if self.verbosity >= NORMAL:
+            self._err.write(text + "\n")
+            self._err.flush()
+
+    def close(self) -> None:
+        pass

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import runtime as obs_runtime
 from repro.storm.acker import AckerModel
 from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
@@ -177,6 +178,21 @@ class AnalyticPerformanceModel:
         ``details["limiting_cap"]``; infeasible deployments (executor
         capacity, batch timeout, memory) fail with zero throughput.
         """
+        ctx = obs_runtime.current()
+        with ctx.tracer.span("engine.analytic.evaluate") as span:
+            run = self._evaluate_mechanics(config)
+            if run.failed:
+                span.set_attribute("failed", True)
+                ctx.tracer.event(
+                    "engine.failure", engine="analytic", reason=run.failure_reason
+                )
+            else:
+                span.set_attribute(
+                    "limiting_cap", run.details.get("limiting_cap", "")
+                )
+            return run
+
+    def _evaluate_mechanics(self, config: TopologyConfig) -> MeasuredRun:
         topo = self.topology
         cluster = self.cluster
         cal = self.calibration

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Literal, Mapping
 
+from repro.obs import runtime as obs_runtime
 from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
 from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
@@ -84,6 +85,10 @@ class StormObjective:
         self._cache: dict[bytes, MeasuredRun] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: The most recent measurement (cached or fresh) — read by
+        #: :class:`~repro.core.loop.TuningLoop` to propagate failure
+        #: reasons and bottleneck detail into the run history.
+        self.last_measured: MeasuredRun | None = None
 
     def _cache_key(self, params: Mapping[str, object]) -> bytes:
         """Stable key: the unit-cube encoding of the proposal."""
@@ -91,19 +96,31 @@ class StormObjective:
 
     def measure(self, params: Mapping[str, object]) -> MeasuredRun:
         """Full metrics for one proposal (throughput, network, latency)."""
+        ctx = obs_runtime.current()
         self.n_evaluations += 1
-        if self.memoize:
-            key = self._cache_key(params)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-            self.cache_misses += 1
-        config = self.codec.decode(params)
-        self.n_engine_evaluations += 1
-        run = self.engine.evaluate(config)
-        if self.memoize:
-            self._cache[key] = run
+        with ctx.tracer.span("objective.measure", fidelity=self.fidelity) as span:
+            if self.memoize:
+                key = self._cache_key(params)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    span.set_attribute("cache_hit", True)
+                    self.last_measured = cached
+                    return cached
+                self.cache_misses += 1
+            config = self.codec.decode(params)
+            self.n_engine_evaluations += 1
+            run = self.engine.evaluate(config)
+            if run.failed:
+                span.set_attribute("failed", True)
+                ctx.tracer.event(
+                    "objective.failure",
+                    fidelity=self.fidelity,
+                    reason=run.failure_reason,
+                )
+            if self.memoize:
+                self._cache[key] = run
+        self.last_measured = run
         return run
 
     def measure_config(self, config: TopologyConfig) -> MeasuredRun:
@@ -111,7 +128,9 @@ class StormObjective:
         concrete configuration."""
         self.n_evaluations += 1
         self.n_engine_evaluations += 1
-        return self.engine.evaluate(config)
+        run = self.engine.evaluate(config)
+        self.last_measured = run
+        return run
 
     def cache_info(self) -> dict[str, object]:
         """Evaluation-cache telemetry (threaded into result metadata)."""

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import runtime as obs_runtime
 from repro.storm.acker import AckerModel
 from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
 from repro.storm.cluster import ClusterSpec
@@ -201,6 +202,21 @@ class DiscreteEventSimulator:
     # ------------------------------------------------------------------
     def evaluate_noise_free(self, config: TopologyConfig) -> MeasuredRun:
         """Event-by-event simulation of one configuration's window."""
+        ctx = obs_runtime.current()
+        with ctx.tracer.span("engine.des.evaluate") as span:
+            run = self._evaluate_mechanics(config)
+            if run.failed:
+                span.set_attribute("failed", True)
+                ctx.tracer.event(
+                    "engine.failure", engine="des", reason=run.failure_reason
+                )
+            else:
+                span.set_attribute(
+                    "completed_batches", run.details.get("completed_batches", 0)
+                )
+            return run
+
+    def _evaluate_mechanics(self, config: TopologyConfig) -> MeasuredRun:
         topo = self.topology
         cluster = self.cluster
         cal = self.calibration
