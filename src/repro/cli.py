@@ -3,8 +3,8 @@
 Usage::
 
     repro-experiments table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all
-        [--full] [--seed N] [--jobs N] [--save DIR] [--load DIR]
-        [--trace RUN.jsonl] [--verbose|--quiet]
+        [--full] [--seed N] [--jobs N] [--workers N] [--batch-size Q]
+        [--save DIR] [--load DIR] [--trace RUN.jsonl] [--verbose|--quiet]
 
     repro-experiments obs summary RUN.jsonl
     repro-experiments obs tail RUN.jsonl [-n N] [--follow]
@@ -44,7 +44,13 @@ def _synthetic_study(args: argparse.Namespace) -> SyntheticStudy:
         assert isinstance(study, SyntheticStudy)
         return study
     budget = full_budget() if args.full else default_budget()
-    study = SyntheticStudy(budget, seed=args.seed, n_jobs=args.jobs).run()
+    study = SyntheticStudy(
+        budget,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    ).run()
     if args.save:
         from pathlib import Path
 
@@ -63,7 +69,13 @@ def _sundog_study(args: argparse.Namespace) -> SundogStudy:
         assert isinstance(study, SundogStudy)
         return study
     budget = full_budget() if args.full else default_budget()
-    study = SundogStudy(budget, seed=args.seed, n_jobs=args.jobs).run()
+    study = SundogStudy(
+        budget,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    ).run()
     if args.save:
         from pathlib import Path
 
@@ -195,6 +207,21 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, help="process-parallel study cells"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="total worker budget, split between cell processes and "
+        "in-loop concurrent evaluations (overrides --jobs; see "
+        "EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="in-flight proposals per tuning loop (default: the loop's "
+        "worker share of --workers)",
+    )
+    parser.add_argument(
         "--save", default=None, help="directory to export study runs to"
     )
     parser.add_argument(
@@ -273,6 +300,8 @@ def main(argv: list[str] | None = None) -> int:
         "exhibit": args.exhibit,
         "seed": args.seed,
         "jobs": args.jobs,
+        "workers": args.workers,
+        "batch_size": args.batch_size,
         "budget": "full" if args.full else "default",
     }
     with obs.session(

@@ -18,7 +18,12 @@ A from-scratch Spearmint-style optimizer (paper §III-C):
 * :mod:`repro.core.informed` — "informed" variants built on base
   parallelism weights (§V-A),
 * :mod:`repro.core.loop` — the experiment driver measuring per-step
-  wall time and re-running best configurations.
+  wall time and re-running best configurations,
+* :mod:`repro.core.executor` — pluggable evaluation executors (serial,
+  thread pool, process pool) that let the loop keep several proposals
+  in flight,
+* :mod:`repro.core.seeding` — deterministic per-stream seed derivation
+  shared by the executors and the experiment runner.
 """
 
 from repro.core.acquisition import (
@@ -32,6 +37,14 @@ from repro.core.baselines import (
     Optimizer,
     ParallelLinearAscent,
     RandomSearchOptimizer,
+)
+from repro.core.executor import (
+    EvaluationExecutor,
+    EvaluationOutcome,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
 )
 from repro.core.gp import GaussianProcess
 from repro.core.history import Observation, TuningResult
@@ -49,11 +62,14 @@ from repro.core.parameters import (
     Parameter,
     ParameterSpace,
 )
+from repro.core.seeding import derive_seed
 
 __all__ = [
     "AcquisitionOptimizer",
     "BayesianOptimizer",
     "CategoricalParameter",
+    "EvaluationExecutor",
+    "EvaluationOutcome",
     "FloatParameter",
     "GaussianProcess",
     "GridAscentOptimizer",
@@ -66,12 +82,17 @@ __all__ = [
     "ParallelLinearAscent",
     "Parameter",
     "ParameterSpace",
+    "ProcessPoolExecutor",
     "RBF",
     "RandomSearchOptimizer",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
     "TuningLoop",
     "TuningResult",
     "base_parallelism_weights",
+    "derive_seed",
     "expected_improvement",
+    "make_executor",
     "probability_of_improvement",
     "upper_confidence_bound",
 ]

@@ -19,7 +19,31 @@ from repro.core.parameters import ParameterSpace
 
 
 class Optimizer(abc.ABC):
-    """The ask/tell protocol every strategy implements."""
+    """The ask/tell protocol every strategy implements.
+
+    The core contract is single-point: :meth:`ask` proposes one
+    configuration (idempotent until the matching :meth:`tell`),
+    :meth:`tell` reports its measured value.  Two batch extensions let
+    an evaluation executor keep several proposals in flight at once
+    (see :mod:`repro.core.executor`):
+
+    :meth:`ask_batch`
+        Propose up to ``n`` configurations for concurrent evaluation.
+        The default shim issues ``n`` plain :meth:`ask` calls (marking
+        each via :meth:`tell_pending`), so a strategy that implements
+        nothing new behaves exactly like ``n x ask()`` — for an
+        idempotent single-point optimizer that means ``n`` copies of
+        the same proposal, which a memoizing objective deduplicates.
+        Strategies with naturally independent probes (grid schedules,
+        random search) or pending-aware surrogates (the Bayesian
+        optimizer's fantasies) override it to emit distinct points.
+
+    :meth:`tell_pending`
+        Mark a proposal as submitted-but-unmeasured.  The default is a
+        no-op; pending-aware strategies use it to condition future
+        proposals away from in-flight ones.  Every pending proposal
+        must eventually be resolved by a matching :meth:`tell`.
+    """
 
     @abc.abstractmethod
     def ask(self) -> dict[str, object]:
@@ -37,6 +61,30 @@ class Optimizer(abc.ABC):
     @abc.abstractmethod
     def best(self) -> tuple[dict[str, object], float]:
         """Best (config, value) observed so far."""
+
+    # ------------------------------------------------------------------
+    # Batch extensions (default shims keep single-point strategies
+    # working unchanged; see the class docstring).
+    # ------------------------------------------------------------------
+    def ask_batch(self, n: int) -> list[dict[str, object]]:
+        """Propose up to ``n`` configurations for concurrent evaluation.
+
+        May return fewer than ``n`` (or an empty list) when the
+        strategy is exhausted mid-batch.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        batch: list[dict[str, object]] = []
+        for _ in range(n):
+            if self.done:
+                break
+            config = self.ask()
+            self.tell_pending(config)
+            batch.append(config)
+        return batch
+
+    def tell_pending(self, config: Mapping[str, object]) -> None:
+        """Mark ``config`` as submitted for evaluation (default no-op)."""
 
 
 class GridAscentOptimizer(Optimizer):
@@ -60,6 +108,10 @@ class GridAscentOptimizer(Optimizer):
             raise ValueError("stop_after_zeros must be >= 1")
         self.stop_after_zeros = stop_after_zeros
         self._cursor = 0
+        #: Configurations handed out by :meth:`ask_batch` beyond the
+        #: cursor, awaiting their :meth:`tell`.  A plain :meth:`ask`
+        #: peeks without issuing, staying idempotent.
+        self._issued = 0
         self._consecutive_zeros = 0
         self._stopped = False
         self.history: list[tuple[dict[str, object], float]] = []
@@ -67,11 +119,26 @@ class GridAscentOptimizer(Optimizer):
     def ask(self) -> dict[str, object]:
         if self.done:
             raise RuntimeError("optimizer is exhausted")
-        return dict(self.configs[self._cursor])
+        return dict(self.configs[self._cursor + self._issued])
+
+    def ask_batch(self, n: int) -> list[dict[str, object]]:
+        """The next ``n`` schedule entries — a grid's probes are fixed
+        in advance, so they are naturally independent and can run
+        concurrently.  Returns fewer when the schedule runs out."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if self._stopped:
+            return []
+        start = self._cursor + self._issued
+        batch = [dict(c) for c in self.configs[start : start + n]]
+        self._issued += len(batch)
+        return batch
 
     def tell(self, config: Mapping[str, object], value: float) -> None:
         self.history.append((dict(config), float(value)))
         self._cursor += 1
+        if self._issued > 0:
+            self._issued -= 1
         if value <= 0.0:
             self._consecutive_zeros += 1
             if self._consecutive_zeros >= self.stop_after_zeros:
@@ -81,7 +148,7 @@ class GridAscentOptimizer(Optimizer):
 
     @property
     def done(self) -> bool:
-        return self._stopped or self._cursor >= len(self.configs)
+        return self._stopped or self._cursor + self._issued >= len(self.configs)
 
     def best(self) -> tuple[dict[str, object], float]:
         if not self.history:
@@ -126,6 +193,16 @@ class RandomSearchOptimizer(Optimizer):
         if self._pending is None:
             self._pending = self.space.sample(self._rng)
         return dict(self._pending)
+
+    def ask_batch(self, n: int) -> list[dict[str, object]]:
+        """``n`` fresh independent draws — random search has no state
+        to condition on, so batching is free.  Draws are consumed from
+        the seeded stream in submission order, making the batch
+        deterministic regardless of evaluation completion order."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self._pending = None
+        return [self.space.sample(self._rng) for _ in range(n)]
 
     def tell(self, config: Mapping[str, object], value: float) -> None:
         self.history.append((dict(config), float(value)))

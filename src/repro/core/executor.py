@@ -1,0 +1,381 @@
+"""Pluggable evaluation executors: run objective evaluations in flight.
+
+The tuning loop (:class:`~repro.core.loop.TuningLoop`) is an ask /
+evaluate / tell cycle; this module decouples *where* the evaluate phase
+runs from the loop's control flow.  An executor is bound to one
+objective at construction and exposes a submit/collect interface:
+
+``submit(eval_id, config, seed)``
+    Queue one evaluation.  ``seed``, when given, selects an independent
+    observation-noise stream for exactly this evaluation (derive it
+    with :func:`repro.core.seeding.derive_seed` from the run seed and
+    the evaluation index), which makes a concurrent run's observations
+    a *set-equal, bitwise-identical* replay of the serial run — values
+    depend only on (config, seed), never on completion order.
+
+``wait_one()``
+    Block until some submitted evaluation finishes and return its
+    :class:`EvaluationOutcome`.  Completion order is unspecified for
+    the concurrent executors.
+
+Three interchangeable backends:
+
+:class:`SerialExecutor`
+    FIFO, runs each evaluation inline inside ``wait_one`` on the
+    calling thread.  The zero-dependency default — a loop using it is
+    step-for-step identical to the classic serial loop.
+
+:class:`ThreadPoolExecutor`
+    Worker threads.  Right whenever evaluations spend wall-clock time
+    off the GIL — real cluster runs, simulated measurement windows,
+    NumPy-heavy engines — which is precisely the paper's regime of
+    multi-minute cluster evaluations.
+
+:class:`ProcessPoolExecutor`
+    Worker processes; the objective is pickled once into each worker
+    (observability is disabled there — worker metrics come home inside
+    the returned outcomes, see docs/OBSERVABILITY.md).  Right for
+    CPU-bound evaluation engines such as the discrete-event simulator.
+
+Objectives are called through one duck-typed contract: objects with a
+``measure(params, seed=...)`` method (e.g. :class:`~repro.storm.
+objective.StormObjective`) return their full measurement record, which
+the loop uses for failure diagnosis; plain callables are invoked as
+``objective(config)`` and yield only the scalar.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+import pickle
+import time
+from concurrent import futures as _futures
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+Objective = Callable[[Mapping[str, object]], float]
+
+#: Executor kinds accepted by :func:`make_executor`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """One finished evaluation, as returned by ``wait_one``."""
+
+    eval_id: int
+    config: dict[str, object]
+    value: float
+    #: The objective's full measurement record (a ``MeasuredRun`` for
+    #: Storm objectives), or None for plain-callable objectives.
+    run: object | None
+    #: In-worker evaluation wall time.
+    seconds: float
+    #: Submit-to-collect wall time on the caller's clock (includes
+    #: queueing); the queue wait is approximately ``turnaround_seconds
+    #: - seconds``.
+    turnaround_seconds: float
+    seed: int | None = None
+
+
+@dataclass
+class _Ticket:
+    """Book-keeping for one submitted evaluation."""
+
+    eval_id: int
+    config: dict[str, object]
+    seed: int | None
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+def _accepts_seed(fn: object) -> bool:
+    try:
+        return "seed" in inspect.signature(fn).parameters  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return False
+
+
+def call_objective(
+    objective: Objective, config: Mapping[str, object], seed: int | None
+) -> tuple[float, object | None, float]:
+    """Evaluate ``config``, returning (value, measurement record, seconds).
+
+    Prefers ``objective.measure(config, seed=...)`` when available so
+    the full measurement record (failure reason, bottleneck detail)
+    travels back with the scalar; falls back to plain ``__call__`` —
+    in which case ``seed`` is ignored, because a bare callable offers
+    nowhere to thread it.
+    """
+    t0 = time.perf_counter()
+    measure = getattr(objective, "measure", None)
+    if callable(measure):
+        if seed is not None and _accepts_seed(measure):
+            run = measure(config, seed=seed)
+        else:
+            run = measure(config)
+        value = float(run.throughput_tps)
+    else:
+        run = None
+        value = float(objective(config))
+    return value, run, time.perf_counter() - t0
+
+
+class EvaluationExecutor(abc.ABC):
+    """Submit/collect interface over one objective.
+
+    Context-manager use closes the backend (and cancels anything still
+    queued) on exit.
+    """
+
+    #: Backend name ("serial" / "thread" / "process"), for telemetry.
+    kind: str = "serial"
+
+    def __init__(self, objective: Objective, *, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.objective = objective
+        self.max_workers = max_workers
+
+    @abc.abstractmethod
+    def submit(
+        self,
+        eval_id: int,
+        config: Mapping[str, object],
+        seed: int | None = None,
+    ) -> None:
+        """Queue one evaluation of ``config``."""
+
+    @abc.abstractmethod
+    def wait_one(self) -> EvaluationOutcome:
+        """Block until some submitted evaluation finishes; return it.
+
+        Raises ``RuntimeError`` if nothing is pending; re-raises the
+        objective's exception if the evaluation failed with one.
+        """
+
+    @property
+    @abc.abstractmethod
+    def n_pending(self) -> int:
+        """Evaluations submitted but not yet collected."""
+
+    def cancel_pending(self) -> int:
+        """Cancel not-yet-started evaluations; returns how many."""
+        return 0
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "EvaluationExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel_pending()
+        self.close()
+
+
+class SerialExecutor(EvaluationExecutor):
+    """FIFO inline execution on the calling thread.
+
+    ``submit`` only queues; the evaluation runs inside ``wait_one``, so
+    a loop driving this executor is operation-for-operation identical
+    to the classic serial ask/evaluate/tell cycle (same objective call
+    order, same shared-RNG draw order, same tracer span nesting).
+    """
+
+    kind = "serial"
+
+    def __init__(self, objective: Objective, *, max_workers: int = 1) -> None:
+        super().__init__(objective, max_workers=1)
+        self._queue: list[_Ticket] = []
+
+    def submit(
+        self,
+        eval_id: int,
+        config: Mapping[str, object],
+        seed: int | None = None,
+    ) -> None:
+        self._queue.append(_Ticket(eval_id, dict(config), seed))
+
+    def wait_one(self) -> EvaluationOutcome:
+        if not self._queue:
+            raise RuntimeError("no pending evaluations")
+        ticket = self._queue.pop(0)
+        value, run, seconds = call_objective(
+            self.objective, ticket.config, ticket.seed
+        )
+        return EvaluationOutcome(
+            eval_id=ticket.eval_id,
+            config=ticket.config,
+            value=value,
+            run=run,
+            seconds=seconds,
+            turnaround_seconds=time.perf_counter() - ticket.submitted_at,
+            seed=ticket.seed,
+        )
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._queue)
+
+    def cancel_pending(self) -> int:
+        cancelled = len(self._queue)
+        self._queue.clear()
+        return cancelled
+
+
+class _PoolExecutor(EvaluationExecutor):
+    """Shared future-juggling for the thread and process backends."""
+
+    def __init__(self, objective: Objective, *, max_workers: int = 4) -> None:
+        super().__init__(objective, max_workers=max_workers)
+        self._pool = self._make_pool(max_workers)
+        self._tickets: dict[_futures.Future, _Ticket] = {}
+
+    @abc.abstractmethod
+    def _make_pool(self, max_workers: int) -> _futures.Executor: ...
+
+    @abc.abstractmethod
+    def _submit_to_pool(
+        self, config: Mapping[str, object], seed: int | None
+    ) -> _futures.Future: ...
+
+    def submit(
+        self,
+        eval_id: int,
+        config: Mapping[str, object],
+        seed: int | None = None,
+    ) -> None:
+        config = dict(config)
+        future = self._submit_to_pool(config, seed)
+        self._tickets[future] = _Ticket(eval_id, config, seed)
+
+    def wait_one(self) -> EvaluationOutcome:
+        if not self._tickets:
+            raise RuntimeError("no pending evaluations")
+        done, _ = _futures.wait(
+            self._tickets, return_when=_futures.FIRST_COMPLETED
+        )
+        # Among simultaneously-finished futures, collect the earliest
+        # submission — a stable choice that keeps replay drift small.
+        future = min(done, key=lambda f: self._tickets[f].eval_id)
+        ticket = self._tickets.pop(future)
+        value, run, seconds = future.result()  # re-raises worker errors
+        return EvaluationOutcome(
+            eval_id=ticket.eval_id,
+            config=ticket.config,
+            value=value,
+            run=run,
+            seconds=seconds,
+            turnaround_seconds=time.perf_counter() - ticket.submitted_at,
+            seed=ticket.seed,
+        )
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._tickets)
+
+    def cancel_pending(self) -> int:
+        cancelled = 0
+        for future in list(self._tickets):
+            if future.cancel():
+                del self._tickets[future]
+                cancelled += 1
+        return cancelled
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _evaluate_task(
+    objective: Objective, config: dict[str, object], seed: int | None
+) -> tuple[float, object | None, float]:
+    """Thread-pool task body (module level for symmetry and testing)."""
+    return call_objective(objective, config, seed)
+
+
+class ThreadPoolExecutor(_PoolExecutor):
+    """Evaluations on worker threads sharing the objective object.
+
+    The objective must be concurrency-safe under threading (Storm
+    objectives lock their memo cache and counters).  Worker threads
+    share the process-wide observability context, so per-evaluation
+    spans from inside the engines may interleave in the trace; the
+    loop-level span tree stays correct because the loop itself always
+    runs on one thread (see docs/OBSERVABILITY.md).
+    """
+
+    kind = "thread"
+
+    def _make_pool(self, max_workers: int) -> _futures.Executor:
+        return _futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-eval"
+        )
+
+    def _submit_to_pool(
+        self, config: Mapping[str, object], seed: int | None
+    ) -> _futures.Future:
+        return self._pool.submit(_evaluate_task, self.objective, dict(config), seed)
+
+
+#: Per-process objective installed by the process-pool initializer.
+_WORKER_OBJECTIVE: Objective | None = None
+
+
+def _process_worker_init(objective_bytes: bytes) -> None:
+    """Unpickle the objective once per worker and disable obs there.
+
+    Under the fork start method a worker would inherit the parent's
+    live observability context — including any JSONL sink file handle,
+    whose shared offset makes concurrent writes interleave.  Workers
+    run with obs disabled and report timings home through their
+    :class:`EvaluationOutcome`.
+    """
+    global _WORKER_OBJECTIVE
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.deactivate()
+    _WORKER_OBJECTIVE = pickle.loads(objective_bytes)
+
+
+def _process_evaluate(
+    config: dict[str, object], seed: int | None
+) -> tuple[float, object | None, float]:
+    assert _WORKER_OBJECTIVE is not None, "worker initializer did not run"
+    return call_objective(_WORKER_OBJECTIVE, config, seed)
+
+
+class ProcessPoolExecutor(_PoolExecutor):
+    """Evaluations in worker processes (objective pickled once each).
+
+    Each worker holds its own copy of the objective, so per-objective
+    state (memo cache, evaluation counters) is per-worker and does not
+    aggregate back — values and measurement records do.
+    """
+
+    kind = "process"
+
+    def _make_pool(self, max_workers: int) -> _futures.Executor:
+        return _futures.ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_process_worker_init,
+            initargs=(pickle.dumps(self.objective),),
+        )
+
+    def _submit_to_pool(
+        self, config: Mapping[str, object], seed: int | None
+    ) -> _futures.Future:
+        return self._pool.submit(_process_evaluate, dict(config), seed)
+
+
+def make_executor(
+    kind: str, objective: Objective, *, max_workers: int = 1
+) -> EvaluationExecutor:
+    """Factory over the three backends ("serial" | "thread" | "process")."""
+    if kind == "serial":
+        return SerialExecutor(objective)
+    if kind == "thread":
+        return ThreadPoolExecutor(objective, max_workers=max_workers)
+    if kind == "process":
+        return ProcessPoolExecutor(objective, max_workers=max_workers)
+    raise ValueError(f"unknown executor kind {kind!r}; use one of {EXECUTOR_KINDS}")

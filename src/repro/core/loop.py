@@ -6,10 +6,23 @@ optimizer wall time recorded (Figure 7); the best configuration
 re-measured ``repeat_best`` times at the end (30 in the paper) to give
 the mean/min/max bars of Figures 4 and 8.
 
+The loop is a *pending-set event loop* over a pluggable evaluation
+executor (:mod:`repro.core.executor`): a fill phase tops the in-flight
+set up to ``batch_size`` proposals (via the optimizer's batch ask/tell
+protocol), then a collect phase waits for any one evaluation to finish
+and tells its result back.  With the default serial executor and
+``batch_size=1`` this degenerates to the classic one-ask/one-evaluate/
+one-tell cycle — identical objective call order, identical results.
+With a concurrent executor the suggest and evaluate phases overlap, the
+way the paper's Spearmint driver proposed configurations while earlier
+cluster runs were still in flight.
+
 Every run reports through :mod:`repro.obs`: the whole pass runs inside
-a ``tuning.run`` span with per-step ``tuning.suggest`` /
-``tuning.evaluate`` / ``tuning.tell`` child spans, and per-step timings
-are recorded into a per-run metrics registry whose snapshot lands in
+a ``tuning.run`` span; each fill emits a ``tuning.suggest`` span and
+each completion a ``tuning.step`` span wrapping ``tuning.evaluate`` /
+``tuning.tell``.  Per-step timings, the in-flight gauge
+(``tuning.pending``) and executor queue histograms land in a per-run
+metrics registry whose snapshot becomes
 ``TuningResult.metadata["obs_metrics"]`` (and merges into the active
 session registry, so studies aggregate across cells).  With no session
 active all of this is the no-op fast path.
@@ -22,7 +35,9 @@ import time
 from typing import Callable, Mapping
 
 from repro.core.baselines import Optimizer
+from repro.core.executor import EvaluationExecutor, SerialExecutor
 from repro.core.history import Observation, TuningResult
+from repro.core.seeding import derive_seed
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
 
@@ -48,16 +63,15 @@ def _coerce_telemetry(telemetry: object) -> dict[str, object] | None:
         return None
 
 
-def _failure_fields(objective: object) -> dict[str, object]:
-    """Diagnosable failure detail from the objective's last measurement.
+def _failure_fields(run: object) -> dict[str, object]:
+    """Diagnosable failure detail from one measurement record.
 
-    Reads ``objective.last_measured`` (a :class:`~repro.storm.metrics.
-    MeasuredRun` when the objective is a :class:`~repro.storm.objective.
-    StormObjective`) and extracts the failure reason plus the bottleneck
-    detail the engine reported — the argmax of per-operator stage times
-    when available, else the binding throughput cap.
+    ``run`` is the record the evaluation returned alongside its scalar
+    (a :class:`~repro.storm.metrics.MeasuredRun` for Storm objectives;
+    None for plain callables).  Extracts the failure reason plus the
+    bottleneck detail the engine reported — the argmax of per-operator
+    stage times when available, else the binding throughput cap.
     """
-    run = getattr(objective, "last_measured", None)
     if run is None:
         return {}
     fields: dict[str, object] = {}
@@ -82,6 +96,17 @@ class TuningLoop:
     that many consecutive steps — a convergence cut-off for production
     use.  The paper's experiments always spend the full budget
     (``patience=None``), which Figure 5 then analyses post hoc.
+
+    ``executor`` selects where evaluations run (default: inline on the
+    calling thread).  ``batch_size`` bounds the in-flight proposal set;
+    it defaults to the executor's worker count, so a threaded executor
+    with 4 workers keeps 4 evaluations in flight.  At ``batch_size=1``
+    proposals come from plain ``ask()`` — bit-identical to the classic
+    serial loop; larger batches use ``ask_batch`` and the optimizer's
+    pending-point machinery.  ``seed`` enables per-evaluation noise
+    seeds (derived per submission index via
+    :func:`~repro.core.seeding.derive_seed`), which make a concurrent
+    run's observations an order-independent replay of the serial run.
     """
 
     def __init__(
@@ -94,6 +119,9 @@ class TuningLoop:
         strategy_name: str | None = None,
         patience: int | None = None,
         min_improvement: float = 0.01,
+        executor: EvaluationExecutor | None = None,
+        batch_size: int | None = None,
+        seed: int | None = None,
     ) -> None:
         if max_steps < 1:
             raise ValueError("max_steps must be >= 1")
@@ -103,6 +131,8 @@ class TuningLoop:
             raise ValueError("patience must be >= 1")
         if min_improvement < 0:
             raise ValueError("min_improvement must be >= 0")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.objective = objective
         self.optimizer = optimizer
         self.max_steps = max_steps
@@ -110,77 +140,135 @@ class TuningLoop:
         self.strategy_name = strategy_name or type(optimizer).__name__
         self.patience = patience
         self.min_improvement = min_improvement
+        self.executor = executor
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def _eval_seed(self, stream: str, index: int) -> int | None:
+        if self.seed is None:
+            return None
+        return derive_seed(self.seed, stream, index)
 
     def run(self) -> TuningResult:
         ctx = obs_runtime.current()
         tracer = ctx.tracer
         run_metrics = MetricsRegistry()
         result = TuningResult(strategy=self.strategy_name)
+        executor = self.executor
+        if executor is None:
+            # The loop owns this one; SerialExecutor.close() is a no-op
+            # so no try/finally plumbing is needed.
+            executor = SerialExecutor(self.objective)
+        batch_size = self.batch_size or max(1, executor.max_workers)
         with tracer.span(
-            "tuning.run", strategy=self.strategy_name, max_steps=self.max_steps
+            "tuning.run",
+            strategy=self.strategy_name,
+            max_steps=self.max_steps,
+            executor=executor.kind,
+            batch_size=batch_size,
         ) as run_span:
             best_seen = float("-inf")
             stale_steps = 0
-            for step in range(self.max_steps):
-                if self.optimizer.done:
-                    break
-                if self.patience is not None and stale_steps >= self.patience:
+            issued = 0
+            completed = 0
+            stop_issuing = False
+            #: eval_id -> (amortized suggest seconds) for in-flight work.
+            pending: dict[int, float] = {}
+            while completed < self.max_steps:
+                can_issue = (
+                    not stop_issuing
+                    and issued < self.max_steps
+                    and not self.optimizer.done
+                )
+                if (
+                    can_issue
+                    and self.patience is not None
+                    and stale_steps >= self.patience
+                ):
                     tracer.event(
-                        "tuning.early_stop", step=step, patience=self.patience
+                        "tuning.early_stop", step=completed, patience=self.patience
                     )
+                    stop_issuing = True
+                    can_issue = False
+                if can_issue:
+                    want = min(self.max_steps - issued, batch_size - len(pending))
+                    if want > 0:
+                        t0 = time.perf_counter()
+                        with tracer.span("tuning.suggest", want=want):
+                            if batch_size == 1:
+                                # Exact legacy path: plain ask() keeps
+                                # single-point optimizers on the same
+                                # code trajectory as the serial loop.
+                                batch = [self.optimizer.ask()]
+                            else:
+                                batch = self.optimizer.ask_batch(want)
+                        suggest_seconds = (time.perf_counter() - t0) / max(
+                            1, len(batch)
+                        )
+                        for config in batch:
+                            executor.submit(
+                                issued, config, seed=self._eval_seed("eval", issued)
+                            )
+                            pending[issued] = suggest_seconds
+                            issued += 1
+                        run_metrics.counter("executor.submitted").inc(len(batch))
+                        run_metrics.gauge("tuning.pending").set(len(pending))
+                if not pending:
                     break
-                with tracer.span("tuning.step", step=step):
-                    t0 = time.perf_counter()
-                    with tracer.span("tuning.suggest"):
-                        config = self.optimizer.ask()
-                    suggest_seconds = time.perf_counter() - t0
-
-                    t1 = time.perf_counter()
-                    with tracer.span("tuning.evaluate"):
-                        value = float(self.objective(config))
-                    evaluate_seconds = time.perf_counter() - t1
-
+                with tracer.span("tuning.step", step=completed):
+                    with tracer.span("tuning.evaluate", pending=len(pending)):
+                        outcome = executor.wait_one()
+                    suggest_seconds = pending.pop(outcome.eval_id)
                     t2 = time.perf_counter()
                     with tracer.span("tuning.tell"):
-                        self.optimizer.tell(config, value)
+                        self.optimizer.tell(outcome.config, outcome.value)
                     tell_seconds = time.perf_counter() - t2
-                failure = _failure_fields(self.objective)
+                run_metrics.gauge("tuning.pending").set(len(pending))
+                failure = _failure_fields(outcome.run)
                 if failure.get("failed"):
                     run_metrics.counter("tuning.failed_evaluations").inc()
                     tracer.event(
                         "tuning.evaluation_failure",
-                        step=step,
+                        step=completed,
                         reason=failure.get("failure_reason", ""),
                         bottleneck=failure.get("bottleneck", ""),
                     )
                 run_metrics.counter("tuning.steps").inc()
+                run_metrics.counter("executor.completed").inc()
                 run_metrics.histogram("tuning.suggest_seconds").record(
                     suggest_seconds
                 )
                 run_metrics.histogram("tuning.evaluate_seconds").record(
-                    evaluate_seconds
+                    outcome.seconds
                 )
                 run_metrics.histogram("tuning.tell_seconds").record(tell_seconds)
+                run_metrics.histogram("executor.run_seconds").record(
+                    outcome.seconds
+                )
+                run_metrics.histogram("executor.turnaround_seconds").record(
+                    outcome.turnaround_seconds
+                )
                 result.observations.append(
                     Observation(
-                        step=step,
-                        config=config,
-                        value=value,
+                        step=completed,
+                        config=outcome.config,
+                        value=outcome.value,
                         suggest_seconds=suggest_seconds,
-                        evaluate_seconds=evaluate_seconds,
+                        evaluate_seconds=outcome.seconds,
                         failed=bool(failure.get("failed", False)),
                         failure_reason=str(failure.get("failure_reason", "")),
                         bottleneck=str(failure.get("bottleneck", "")),
                     )
                 )
+                completed += 1
                 # Staleness counts off the thresholded comparison, while
                 # best_seen always tracks the running max: a run of
                 # sub-threshold gains must neither reset patience nor leave
                 # the baseline stale below the actual best.
-                improved = best_seen == float("-inf") or value > (
+                improved = best_seen == float("-inf") or outcome.value > (
                     best_seen + abs(best_seen) * self.min_improvement
                 )
-                best_seen = max(best_seen, value)
+                best_seen = max(best_seen, outcome.value)
                 if improved:
                     stale_steps = 0
                 else:
@@ -189,10 +277,16 @@ class TuningLoop:
                 raise RuntimeError("optimizer produced no observations")
             if self.repeat_best > 0:
                 best_config = result.best_config
+                for i in range(self.repeat_best):
+                    executor.submit(
+                        self.max_steps + i,
+                        best_config,
+                        seed=self._eval_seed("rerun", i),
+                    )
                 reruns: list[float] = []
                 for _ in range(self.repeat_best):
                     with tracer.span("tuning.evaluate", rerun=True):
-                        reruns.append(float(self.objective(best_config)))
+                        reruns.append(executor.wait_one().value)
                 result.best_rerun_values = reruns
             run_span.set_attribute("steps_run", result.n_steps)
             run_span.set_attribute("best_value", result.best_value)
@@ -202,6 +296,8 @@ class TuningLoop:
                 "steps_run": result.n_steps,
                 "repeat_best": self.repeat_best,
                 "stopped_early": result.n_steps < self.max_steps,
+                "executor": executor.kind,
+                "batch_size": batch_size,
             }
         )
         # Thread per-run telemetry from the optimizer (GP fit timing,

@@ -58,6 +58,20 @@ class BayesianOptimizer(Optimizer):
         behaviour.
     maximize:
         True for throughput-style objectives.
+    liar:
+        Fantasy strategy for pending (submitted-but-unmeasured)
+        proposals, used by :meth:`ask_batch` to emit ``q > 1`` diverse
+        suggestions per batch.  ``"constant"`` (the constant liar of
+        Ginsbourger et al.): pending points are imputed the *worst*
+        observed value, deterring the acquisition from re-proposing
+        nearby while keeping it honest about unexplored regions.
+        ``"mean"`` (the kriging believer): pending points are imputed
+        the GP posterior mean, which collapses predictive variance at
+        the pending point without biasing the mean surface.  Either
+        way the surrogate is reconditioned (hyperparameters frozen) so
+        the next proposal steers away from in-flight configurations —
+        the Spearmint pending-job machinery the paper leaned on for
+        cluster-scale evaluations (§III-C).
     hyper_inference:
         ``"ml2"`` (default): point-estimate hyperparameters by marginal
         likelihood.  ``"mcmc"``: slice-sample the hyperparameter
@@ -78,6 +92,7 @@ class BayesianOptimizer(Optimizer):
         refit_every: int = 5,
         n_restarts: int = 2,
         maximize: bool = True,
+        liar: str = "constant",
         seed: int | None = None,
         acq_candidates: int = 1024,
         hyper_inference: str = "ml2",
@@ -119,6 +134,9 @@ class BayesianOptimizer(Optimizer):
         self.refit_every = refit_every
         self.n_restarts = n_restarts
         self.maximize = maximize
+        if liar not in ("constant", "mean"):
+            raise ValueError(f"unknown liar {liar!r}; use 'constant' or 'mean'")
+        self.liar = liar
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.X: list[np.ndarray] = []
@@ -129,6 +147,13 @@ class BayesianOptimizer(Optimizer):
             self._initial_configs.append(space.encode(config))
         self._init_design: list[np.ndarray] = []
         self._pending: np.ndarray | None = None
+        #: In-flight proposals and their imputed (fantasy) values, in
+        #: raw objective units.  Transient batch state — not serialized
+        #: by :meth:`state_dict`, since the evaluations they stand in
+        #: for cannot survive a pause/resume anyway.
+        self._pending_X: list[np.ndarray] = []
+        self._pending_y: list[float] = []
+        self._n_fantasies_total = 0
         self._steps_since_refit = 0
         self._fit_seconds_total = 0.0
         self._last_pool_size = 0
@@ -149,31 +174,100 @@ class BayesianOptimizer(Optimizer):
 
         Order: seeded ``initial_configs``, then the Latin-hypercube
         design, then acquisition maximization over the GP posterior.
+        In-flight proposals registered via :meth:`tell_pending` count
+        toward the warm-up budget, so a batch drawn during warm-up
+        hands out *distinct* design points rather than one point ``q``
+        times.
         """
         if self._pending is not None:
             return self.space.decode(self._pending)
         n_seeded = len(self._initial_configs)
-        if len(self.X) < n_seeded:
-            x = self._initial_configs[len(self.X)]
-        elif len(self.X) < n_seeded + self.init_points:
+        n_known = len(self.X) + len(self._pending_X)
+        if n_known < n_seeded:
+            x = self._initial_configs[n_known]
+        elif n_known < n_seeded + self.init_points:
             if not self._init_design:
                 design = self.space.latin_hypercube(self.init_points, self._rng)
                 self._init_design = [row for row in design]
-            x = self._init_design[len(self.X) - n_seeded]
+            x = self._init_design[n_known - n_seeded]
+        elif not self.gp.is_fitted:
+            # Whole warm-up still in flight (large batch, no tells yet):
+            # explore randomly rather than consult an unfitted surrogate.
+            x = self.space.round_trip(self._rng.random(self.space.dim))
         else:
             x = self._propose()
         self._pending = np.asarray(x, dtype=float)
         return self.space.decode(self._pending)
+
+    def ask_batch(self, n: int) -> list[dict[str, object]]:
+        """Propose ``n`` diverse configurations for concurrent evaluation.
+
+        Each proposal is conditioned on the previous ones through the
+        ``liar`` fantasy strategy, so one batch spreads across the
+        acquisition landscape instead of piling onto its argmax.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        batch: list[dict[str, object]] = []
+        for _ in range(n):
+            config = self.ask()
+            self.tell_pending(config)
+            batch.append(config)
+        return batch
+
+    def tell_pending(self, config: Mapping[str, object]) -> None:
+        """Register an in-flight proposal with a fantasized value.
+
+        The surrogate is reconditioned on observations + fantasies
+        (hyperparameters frozen) whenever it is past warm-up, so the
+        next :meth:`ask` proposes away from pending points.  The
+        fantasy is retired by the matching :meth:`tell`.
+        """
+        self.space.validate(config)
+        x = np.asarray(self.space.encode(config), dtype=float)
+        self._pending_X.append(x)
+        self._pending_y.append(self._fantasy_value(x))
+        self._n_fantasies_total += 1
+        self._pending = None
+        past_warmup = len(self.X) >= len(self._initial_configs) + self.init_points
+        if past_warmup and len(self.X) >= 2:
+            with obs_runtime.current().tracer.span(
+                "gp.fantasy_condition", n_pending=len(self._pending_X)
+            ):
+                self._fit_gp(optimize_hyperparams=False)
+
+    def _fantasy_value(self, x: np.ndarray) -> float:
+        """Imputed objective value for a pending point (raw units)."""
+        if not self.y:
+            return 0.0
+        if self.liar == "mean" and self.gp.is_fitted:
+            mean = float(self.gp.predict(x[None, :], return_std=False)[0])
+            return mean if self.maximize else -mean
+        # Constant liar: the worst observed value (also the "mean"
+        # fallback while the GP is unfitted).
+        return min(self.y) if self.maximize else max(self.y)
+
+    def _remove_pending(self, x: np.ndarray) -> bool:
+        """Retire the fantasy matching ``x``, if one is in flight."""
+        for i, pending in enumerate(self._pending_X):
+            if np.allclose(pending, x):
+                del self._pending_X[i]
+                del self._pending_y[i]
+                return True
+        return False
 
     def tell(self, config: Mapping[str, object], value: float) -> None:
         """Record a measurement and refresh the GP.
 
         Full ML-II refits follow the ``refit_every`` schedule; other
         steps fold the new observation into the cached Cholesky factor
-        in O(n²) (:meth:`GaussianProcess.update`).
+        in O(n²) (:meth:`GaussianProcess.update`).  While fantasies are
+        active the posterior mixes real and imputed targets, so those
+        steps recondition on everything instead of rank-1 updating.
         """
         self.space.validate(config)
         x = self.space.encode(config)
+        self._remove_pending(np.asarray(x, dtype=float))
         self.X.append(x)
         self.y.append(float(value))
         self._pending = None
@@ -192,12 +286,13 @@ class BayesianOptimizer(Optimizer):
             self._steps_since_refit = 0
             with tracer.span("gp.refit", n_obs=len(self.X), warmup=in_warmup):
                 self._fit_gp(optimize_hyperparams=True)
-        elif self.gp.n_observations == len(self.X) - 1:
+        elif not self._pending_X and self.gp.n_observations == len(self.X) - 1:
             with tracer.span("gp.rank1_update", n_obs=len(self.X)):
                 self.gp.update(x, float(value) if self.maximize else -float(value))
         else:
-            # History and posterior out of sync (manual surgery on X/y):
-            # recondition on everything without touching hyperparameters.
+            # Posterior covers fantasies, or history and posterior are
+            # out of sync (manual surgery on X/y): recondition on
+            # everything without touching hyperparameters.
             with tracer.span("gp.recondition", n_obs=len(self.X)):
                 self._fit_gp(optimize_hyperparams=False)
         self._fit_seconds_total += time.perf_counter() - t0
@@ -227,6 +322,9 @@ class BayesianOptimizer(Optimizer):
             "n_proposals": self._n_proposals,
             "acq_refined_total": self._refined_total,
             "acq_refine_iterations_total": self._refine_iterations_total,
+            "liar": self.liar,
+            "fantasies_active": len(self._pending_X),
+            "fantasies_total": self._n_fantasies_total,
         }
 
     def best(self) -> tuple[dict[str, object], float]:
@@ -242,11 +340,17 @@ class BayesianOptimizer(Optimizer):
         y = np.asarray(self.y, dtype=float)
         return y if self.maximize else -y
 
+    def _signed_pending_y(self) -> np.ndarray:
+        y = np.asarray(self._pending_y, dtype=float)
+        return y if self.maximize else -y
+
     def _fit_gp(self, *, optimize_hyperparams: bool) -> None:
-        X = np.vstack(self.X)
+        """Condition the GP on real observations plus active fantasies."""
+        X = np.vstack(self.X + self._pending_X)
+        y = np.concatenate([self._signed_y(), self._signed_pending_y()])
         self.gp.fit(
             X,
-            self._signed_y(),
+            y,
             optimize_hyperparams=optimize_hyperparams,
             n_restarts=self.n_restarts,
             rng=self._rng,
@@ -292,15 +396,17 @@ class BayesianOptimizer(Optimizer):
         self._refined_total += proposal.n_refined
         self._refine_iterations_total += proposal.refine_iterations
         x = proposal.x
-        # Avoid re-sampling an already-measured grid point exactly:
-        # perturb one coordinate if the proposal duplicates history.
-        if any(np.allclose(x, seen) for seen in self.X):
+        # Avoid re-sampling an already-measured grid point (or one
+        # already in flight) exactly: perturb if the proposal
+        # duplicates history or the pending set.
+        seen_points = self.X + self._pending_X
+        if any(np.allclose(x, seen) for seen in seen_points):
             for _ in range(16):
                 jittered = np.clip(
                     x + self._rng.normal(0.0, 0.1, size=self.space.dim), 0.0, 1.0
                 )
                 jittered = self.space.round_trip(jittered)
-                if not any(np.allclose(jittered, seen) for seen in self.X):
+                if not any(np.allclose(jittered, seen) for seen in seen_points):
                     return jittered
             return self.space.round_trip(self._rng.random(self.space.dim))
         return x
@@ -319,6 +425,7 @@ class BayesianOptimizer(Optimizer):
             "refit_every": self.refit_every,
             "n_restarts": self.n_restarts,
             "maximize": self.maximize,
+            "liar": self.liar,
             "seed": self._seed,
             "acq_candidates": self.acq.n_candidates,
             "hyper_inference": self.hyper_inference,
@@ -348,6 +455,7 @@ class BayesianOptimizer(Optimizer):
             refit_every=int(state["refit_every"]),  # type: ignore[arg-type]
             n_restarts=int(state["n_restarts"]),  # type: ignore[arg-type]
             maximize=bool(state["maximize"]),
+            liar=str(state.get("liar", "constant")),
             seed=state["seed"],  # type: ignore[arg-type]
             acq_candidates=int(state["acq_candidates"]),  # type: ignore[arg-type]
             hyper_inference=str(state.get("hyper_inference", "ml2")),

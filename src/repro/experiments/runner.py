@@ -12,16 +12,17 @@ execution of independent cells.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.baselines import Optimizer, ParallelLinearAscent
+from repro.core.executor import make_executor
 from repro.core.history import TuningResult, best_of
 from repro.core.loop import TuningLoop
 from repro.core.optimizer import BayesianOptimizer
+from repro.core.seeding import derive_seed
 from repro.obs import runtime as obs_runtime
 from repro.experiments.presets import (
     MEASUREMENT_NOISE_SIGMA,
@@ -60,15 +61,30 @@ SUNDOG_PLA_BEST_HINT = 11
 def cell_seed(base_seed: int, *identity: object) -> int:
     """Derive an independent seed stream for one study cell.
 
-    Mixes a stable (process- and ``PYTHONHASHSEED``-independent) hash of
-    the cell identity into the base seed, so every ``(condition, size,
-    strategy)`` cell gets its own optimizer/measurement-noise stream —
-    a plain ``seed * K + pass`` scheme hands every cell of the grid the
-    *same* streams and correlates noise across the whole study.
+    Thin alias for :func:`repro.core.seeding.derive_seed` (the shared
+    blake2b scheme the evaluation executors also use), kept under the
+    study-level name: every ``(condition, size, strategy)`` cell gets
+    its own optimizer/measurement-noise stream — a plain ``seed * K +
+    pass`` scheme hands every cell of the grid the *same* streams and
+    correlates noise across the whole study.
     """
-    label = "|".join(str(part) for part in identity)
-    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
-    return base_seed * 10_007 + int.from_bytes(digest, "big")
+    return derive_seed(base_seed, *identity)
+
+
+def split_worker_budget(workers: int, n_cells: int) -> tuple[int, int]:
+    """Split one worker budget between cell processes and loop threads.
+
+    Returns ``(n_jobs, loop_workers)``: cells are fully independent, so
+    the budget goes to cell-level process parallelism first; whatever
+    head-room remains (budget beyond the cell count) is spent *inside*
+    each cell as concurrent in-loop evaluations.  ``workers=8`` over 24
+    cells → 8 cell processes, serial loops; over 2 cells → 2 processes
+    with 4 in-flight evaluations each.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    n_jobs = min(workers, max(1, n_cells))
+    return n_jobs, max(1, workers // n_jobs)
 
 
 def _worker_obs_off() -> None:
@@ -224,7 +240,13 @@ def make_synthetic_optimizer(
 
 @dataclass(frozen=True)
 class SyntheticCellSpec:
-    """One (size, condition, strategy) cell of the synthetic grid."""
+    """One (size, condition, strategy) cell of the synthetic grid.
+
+    ``loop_workers`` > 1 runs the cell's tuning loops over a concurrent
+    evaluation executor (``loop_executor`` kind, ``batch_size``
+    in-flight proposals — default the worker count); per-evaluation
+    seeds keep the observations order-independent.
+    """
 
     size: str
     condition: TopologyCondition
@@ -232,6 +254,9 @@ class SyntheticCellSpec:
     budget: Budget
     seed: int = 0
     fidelity: str = "analytic"
+    loop_workers: int = 1
+    loop_executor: str = "thread"
+    batch_size: int | None = None
 
 
 def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
@@ -260,14 +285,28 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
             noise=GaussianNoise(MEASUREMENT_NOISE_SIGMA),
             seed=pass_seed + 777,
         )
-        loop = TuningLoop(
-            objective,
-            optimizer,
-            max_steps=steps,
-            repeat_best=spec.budget.repeat_best,
-            strategy_name=spec.strategy,
+        executor = (
+            make_executor(
+                spec.loop_executor, objective, max_workers=spec.loop_workers
+            )
+            if spec.loop_workers > 1
+            else None
         )
-        result = loop.run()
+        try:
+            loop = TuningLoop(
+                objective,
+                optimizer,
+                max_steps=steps,
+                repeat_best=spec.budget.repeat_best,
+                strategy_name=spec.strategy,
+                executor=executor,
+                batch_size=spec.batch_size,
+                seed=None if executor is None else pass_seed + 991,
+            )
+            result = loop.run()
+        finally:
+            if executor is not None:
+                executor.close()
         result.metadata.update(
             {
                 "size": spec.size,
@@ -283,7 +322,13 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
 
 
 class SyntheticStudy:
-    """The Figure 4–7 grid over synthetic topologies."""
+    """The Figure 4–7 grid over synthetic topologies.
+
+    ``n_jobs`` controls cell-level process parallelism directly;
+    ``workers``, when given, is a *total* budget split between cell
+    processes and in-loop evaluation concurrency via
+    :func:`split_worker_budget` (overriding ``n_jobs``).
+    """
 
     def __init__(
         self,
@@ -295,6 +340,8 @@ class SyntheticStudy:
         seed: int = 0,
         fidelity: str = "analytic",
         n_jobs: int = 1,
+        workers: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         self.budget = budget or default_budget()
         self.conditions = tuple(conditions)
@@ -302,7 +349,14 @@ class SyntheticStudy:
         self.strategies = tuple(strategies)
         self.seed = seed
         self.fidelity = fidelity
-        self.n_jobs = max(1, n_jobs)
+        self.workers = workers
+        self.batch_size = batch_size
+        if workers is not None:
+            n_cells = len(self.conditions) * len(self.sizes) * len(self.strategies)
+            self.n_jobs, self.loop_workers = split_worker_budget(workers, n_cells)
+        else:
+            self.n_jobs = max(1, n_jobs)
+            self.loop_workers = 1
         self.results: dict[
             tuple[TopologyCondition, str, str], list[TuningResult]
         ] = {}
@@ -316,6 +370,8 @@ class SyntheticStudy:
                 budget=self.budget,
                 seed=self.seed,
                 fidelity=self.fidelity,
+                loop_workers=self.loop_workers,
+                batch_size=self.batch_size,
             )
             for condition in self.conditions
             for size in self.sizes
@@ -356,6 +412,9 @@ class SundogArmSpec:
     budget: Budget
     seed: int = 0
     fidelity: str = "analytic"
+    loop_workers: int = 1
+    loop_executor: str = "thread"
+    batch_size: int | None = None
 
     @property
     def label(self) -> str:
@@ -424,14 +483,28 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
             noise=GaussianNoise(MEASUREMENT_NOISE_SIGMA),
             seed=pass_seed + 131,
         )
-        loop = TuningLoop(
-            objective,
-            optimizer,
-            max_steps=steps,
-            repeat_best=spec.budget.repeat_best,
-            strategy_name=spec.label,
+        executor = (
+            make_executor(
+                spec.loop_executor, objective, max_workers=spec.loop_workers
+            )
+            if spec.loop_workers > 1
+            else None
         )
-        result = loop.run()
+        try:
+            loop = TuningLoop(
+                objective,
+                optimizer,
+                max_steps=steps,
+                repeat_best=spec.budget.repeat_best,
+                strategy_name=spec.label,
+                executor=executor,
+                batch_size=spec.batch_size,
+                seed=None if executor is None else pass_seed + 991,
+            )
+            result = loop.run()
+        finally:
+            if executor is not None:
+                executor.close()
         result.metadata.update(
             {
                 "param_set": spec.param_set,
@@ -490,12 +563,22 @@ class SundogStudy:
         seed: int = 0,
         fidelity: str = "analytic",
         n_jobs: int = 1,
+        workers: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         self.budget = budget or default_budget()
         self.arms = tuple(arms)
         self.seed = seed
         self.fidelity = fidelity
-        self.n_jobs = max(1, n_jobs)
+        self.workers = workers
+        self.batch_size = batch_size
+        if workers is not None:
+            self.n_jobs, self.loop_workers = split_worker_budget(
+                workers, len(self.arms)
+            )
+        else:
+            self.n_jobs = max(1, n_jobs)
+            self.loop_workers = 1
         self.results: dict[tuple[str, str], list[TuningResult]] = {}
 
     def specs(self) -> list[SundogArmSpec]:
@@ -506,6 +589,8 @@ class SundogStudy:
                 budget=self.budget,
                 seed=self.seed,
                 fidelity=self.fidelity,
+                loop_workers=self.loop_workers,
+                batch_size=self.batch_size,
             )
             for strategy, param_set in self.arms
         ]

@@ -135,12 +135,15 @@ def summarize_trace(events: Iterable[Mapping[str, object]]) -> TraceSummary:
                 for key, value in dict(snap.get("counters", {})).items():  # type: ignore[union-attr]
                     counters[key] = counters.get(key, 0) + int(value)
     step_stats = spans.get("tuning.step")
+    # Prefer the per-completion step spans; fall back to the loop's
+    # tuning.steps counter for traces that carry only metrics snapshots.
+    n_steps = step_stats.count if step_stats else counters.get("tuning.steps", 0)
     return TraceSummary(
         spans=spans,
         wall_seconds=wall,
         phase_seconds=phase_seconds,
         n_runs=root.count if root else 0,
-        n_steps=step_stats.count if step_stats else 0,
+        n_steps=n_steps,
         failures=failures,
         counters=counters,
     )

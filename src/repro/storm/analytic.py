@@ -38,7 +38,7 @@ from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
 from repro.storm.grouping import effective_parallelism, remote_fraction
 from repro.storm.metrics import MeasuredRun
-from repro.storm.noise import NoiseModel, NoNoise
+from repro.storm.noise import NoiseModel, NoNoise, draw_observation
 from repro.storm.topology import Topology, effective_cost
 
 
@@ -161,10 +161,17 @@ class AnalyticPerformanceModel:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def evaluate(self, config: TopologyConfig) -> MeasuredRun:
-        """Deterministic mechanics plus the configured observation noise."""
+    def evaluate(
+        self, config: TopologyConfig, *, seed: int | None = None
+    ) -> MeasuredRun:
+        """Deterministic mechanics plus the configured observation noise.
+
+        ``seed`` draws the noise from a per-evaluation stream instead
+        of the engine's shared one (see
+        :func:`repro.storm.noise.draw_observation`).
+        """
         run = self.evaluate_noise_free(config)
-        observed = self.noise(run.throughput_tps, self._rng)
+        observed = draw_observation(self.noise, run.throughput_tps, self._rng, seed)
         return run.with_throughput(observed)
 
     def __call__(self, config: TopologyConfig) -> float:

@@ -5,10 +5,19 @@ execution engine (analytic model or discrete-event simulator) into the
 callable the paper treats as its unknown function *f*: "the actual
 system performance of our distributed stream processor, given all the
 configuration parameters chosen" (§III-C).
+
+The objective is concurrency-safe: counters and the memo cache are
+guarded by a lock, and every call returns its own
+:class:`~repro.storm.metrics.MeasuredRun` (immutable) rather than
+stashing it on shared state, so worker threads of an evaluation
+executor (:mod:`repro.core.executor`) can call :meth:`measure`
+simultaneously.  For process executors the objective pickles; the lock
+is recreated on unpickle.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Literal, Mapping
 
 from repro.obs import runtime as obs_runtime
@@ -80,37 +89,66 @@ class StormObjective:
         else:
             raise ValueError(f"unknown fidelity {fidelity!r}")
         self.memoize = (noise is None) if memoize is None else bool(memoize)
+        self._noisy = noise is not None
         self.n_evaluations = 0
         self.n_engine_evaluations = 0
         self._cache: dict[bytes, MeasuredRun] = {}
         self.cache_hits = 0
         self.cache_misses = 0
-        #: The most recent measurement (cached or fresh) — read by
-        #: :class:`~repro.core.loop.TuningLoop` to propagate failure
-        #: reasons and bottleneck detail into the run history.
-        self.last_measured: MeasuredRun | None = None
+        self._lock = threading.Lock()
 
-    def _cache_key(self, params: Mapping[str, object]) -> bytes:
-        """Stable key: the unit-cube encoding of the proposal."""
-        return self.codec.space.encode(params).tobytes()
+    def __getstate__(self) -> dict[str, object]:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle; recreated on load
+        return state
 
-    def measure(self, params: Mapping[str, object]) -> MeasuredRun:
-        """Full metrics for one proposal (throughput, network, latency)."""
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _cache_key(self, params: Mapping[str, object], seed: int | None) -> bytes:
+        """Stable key: the unit-cube encoding of the proposal.
+
+        For noisy objectives the per-evaluation seed joins the key —
+        two draws of the same configuration under different seeds are
+        different observations and must not collide.  Deterministic
+        objectives keep the bare encoding so revisits always hit.
+        """
+        key = self.codec.space.encode(params).tobytes()
+        if self._noisy and seed is not None:
+            key += b"|" + str(seed).encode("ascii")
+        return key
+
+    def measure(
+        self, params: Mapping[str, object], *, seed: int | None = None
+    ) -> MeasuredRun:
+        """Full metrics for one proposal (throughput, network, latency).
+
+        ``seed``, when given, draws this evaluation's observation noise
+        from its own stream instead of the engine's shared one — the
+        value becomes a pure function of (params, seed), so concurrent
+        evaluations replay identically regardless of completion order.
+        """
         ctx = obs_runtime.current()
-        self.n_evaluations += 1
+        with self._lock:
+            self.n_evaluations += 1
         with ctx.tracer.span("objective.measure", fidelity=self.fidelity) as span:
+            key = None
             if self.memoize:
-                key = self._cache_key(params)
-                cached = self._cache.get(key)
+                key = self._cache_key(params, seed)
+                with self._lock:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self.cache_hits += 1
+                    else:
+                        self.cache_misses += 1
                 if cached is not None:
-                    self.cache_hits += 1
                     span.set_attribute("cache_hit", True)
-                    self.last_measured = cached
                     return cached
-                self.cache_misses += 1
             config = self.codec.decode(params)
-            self.n_engine_evaluations += 1
-            run = self.engine.evaluate(config)
+            with self._lock:
+                self.n_engine_evaluations += 1
+            run = self.engine.evaluate(config, seed=seed)
             if run.failed:
                 span.set_attribute("failed", True)
                 ctx.tracer.event(
@@ -118,31 +156,34 @@ class StormObjective:
                     fidelity=self.fidelity,
                     reason=run.failure_reason,
                 )
-            if self.memoize:
-                self._cache[key] = run
-        self.last_measured = run
+            if key is not None:
+                with self._lock:
+                    self._cache[key] = run
         return run
 
-    def measure_config(self, config: TopologyConfig) -> MeasuredRun:
+    def measure_config(
+        self, config: TopologyConfig, *, seed: int | None = None
+    ) -> MeasuredRun:
         """Bypass the codec (and the evaluation cache) and measure a
         concrete configuration."""
-        self.n_evaluations += 1
-        self.n_engine_evaluations += 1
-        run = self.engine.evaluate(config)
-        self.last_measured = run
-        return run
+        with self._lock:
+            self.n_evaluations += 1
+            self.n_engine_evaluations += 1
+        return self.engine.evaluate(config, seed=seed)
 
     def cache_info(self) -> dict[str, object]:
         """Evaluation-cache telemetry (threaded into result metadata)."""
-        return {
-            "enabled": self.memoize,
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "size": len(self._cache),
-        }
+        with self._lock:
+            return {
+                "enabled": self.memoize,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "size": len(self._cache),
+            }
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __call__(self, params: Mapping[str, object]) -> float:
         return self.measure(params).throughput_tps

@@ -43,7 +43,7 @@ from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
 from repro.storm.grouping import load_fractions, remote_fraction
 from repro.storm.metrics import MeasuredRun
-from repro.storm.noise import NoiseModel, NoNoise
+from repro.storm.noise import NoiseModel, NoNoise, draw_observation
 from repro.storm.scheduler import Assignment, EvenScheduler, SchedulingError
 from repro.storm.topology import Topology, effective_cost
 
@@ -190,10 +190,17 @@ class DiscreteEventSimulator:
         )
 
     # ------------------------------------------------------------------
-    def evaluate(self, config: TopologyConfig) -> MeasuredRun:
-        """Simulate one measurement window, with observation noise."""
+    def evaluate(
+        self, config: TopologyConfig, *, seed: int | None = None
+    ) -> MeasuredRun:
+        """Simulate one measurement window, with observation noise.
+
+        ``seed`` draws the noise from a per-evaluation stream instead
+        of the engine's shared one (see
+        :func:`repro.storm.noise.draw_observation`).
+        """
         run = self.evaluate_noise_free(config)
-        observed = self.noise(run.throughput_tps, self._rng)
+        observed = draw_observation(self.noise, run.throughput_tps, self._rng, seed)
         return run.with_throughput(observed)
 
     def __call__(self, config: TopologyConfig) -> float:
