@@ -4,7 +4,8 @@ Usage::
 
     repro-experiments table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all
         [--full] [--seed N] [--jobs N] [--workers N] [--batch-size Q]
-        [--save DIR] [--load DIR] [--trace RUN.jsonl] [--verbose|--quiet]
+        [--save DIR] [--load DIR] [--resume DIR] [--trace RUN.jsonl]
+        [--verbose|--quiet]
 
     repro-experiments obs summary RUN.jsonl
     repro-experiments obs tail RUN.jsonl [-n N] [--follow]
@@ -13,8 +14,16 @@ Usage::
 re-runs); the default is a scaled-down budget suitable for a laptop.
 ``--save DIR`` exports the underlying study runs as JSON;
 ``--load DIR`` re-renders figures from a previous export instead of
-re-running.  ``--trace`` records the run as a JSONL observability trace
-(docs/OBSERVABILITY.md) that the ``obs`` subcommands aggregate.
+re-running.  ``--resume DIR`` checkpoints every study cell into DIR
+after each observation and, when re-invoked with the same DIR after a
+crash, resumes from exactly where the campaign died
+(docs/ROBUSTNESS.md).  ``--trace`` records the run as a JSONL
+observability trace (docs/OBSERVABILITY.md) that the ``obs``
+subcommands aggregate.
+
+Exit status: 0 on success; 1 when any study cell raised or any tuning
+run finished without a single successful evaluation (both cases print
+a failure table first).
 
 All reporting routes through :class:`repro.obs.ProgressSink`: exhibit
 output always prints, informational lines respect ``--quiet``, and live
@@ -31,8 +40,13 @@ from typing import Callable
 from repro import obs
 from repro.experiments import figures
 from repro.experiments.presets import default_budget, full_budget
-from repro.experiments.report import render_figure
-from repro.experiments.runner import SundogStudy, SyntheticStudy
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import (
+    StudyError,
+    SundogStudy,
+    SyntheticStudy,
+    evaluation_failure_rows,
+)
 from repro.obs.sinks import NORMAL, QUIET, VERBOSE
 
 
@@ -50,6 +64,7 @@ def _synthetic_study(args: argparse.Namespace) -> SyntheticStudy:
         n_jobs=args.jobs,
         workers=args.workers,
         batch_size=args.batch_size,
+        checkpoint_dir=args.resume,
     ).run()
     if args.save:
         from pathlib import Path
@@ -75,6 +90,7 @@ def _sundog_study(args: argparse.Namespace) -> SundogStudy:
         n_jobs=args.jobs,
         workers=args.workers,
         batch_size=args.batch_size,
+        checkpoint_dir=args.resume,
     ).run()
     if args.save:
         from pathlib import Path
@@ -228,6 +244,14 @@ def main(argv: list[str] | None = None) -> int:
         "--load", default=None, help="directory to re-render study runs from"
     )
     parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="checkpoint study cells into DIR after every observation "
+        "and resume any partial runs already there (crash-safe "
+        "campaigns; see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
         "--csv", default=None, help="directory to write exhibit CSVs to"
     )
     parser.add_argument(
@@ -303,48 +327,80 @@ def main(argv: list[str] | None = None) -> int:
         "workers": args.workers,
         "batch_size": args.batch_size,
         "budget": "full" if args.full else "default",
+        "resume": args.resume,
     }
+    exit_code = 0
     with obs.session(
         jsonl_path=args.trace, progress=progress, manifest=manifest
     ):
         synthetic: SyntheticStudy | None = None
         sundog: SundogStudy | None = None
-        for exhibit in exhibits:
-            if exhibit == "sensitivity":
-                progress.result(_sensitivity_report())
-            elif exhibit == "claims":
-                from repro.experiments.claims import evaluate_claims, render_claims
+        try:
+            for exhibit in exhibits:
+                if exhibit == "sensitivity":
+                    progress.result(_sensitivity_report())
+                elif exhibit == "claims":
+                    from repro.experiments.claims import (
+                        evaluate_claims,
+                        render_claims,
+                    )
 
-                if synthetic is None:
-                    synthetic = _synthetic_study(args)
-                if sundog is None:
-                    sundog = _sundog_study(args)
-                progress.result(render_claims(evaluate_claims(synthetic, sundog)))
-            elif exhibit in static:
-                emit(static[exhibit]())
-            elif exhibit in ("fig4", "fig5", "fig6", "fig7"):
-                if synthetic is None:
-                    synthetic = _synthetic_study(args)
-                builder = {
-                    "fig4": figures.figure4_throughput,
-                    "fig5": figures.figure5_convergence,
-                    "fig6": figures.figure6_loess_traces,
-                    "fig7": figures.figure7_step_time,
-                }[exhibit]
-                emit(builder(synthetic))
-            elif exhibit == "fig8":
-                if sundog is None:
-                    sundog = _sundog_study(args)
-                emit(figures.figure8a_sundog_throughput(sundog))
-                emit(figures.figure8b_sundog_convergence(sundog))
+                    if synthetic is None:
+                        synthetic = _synthetic_study(args)
+                    if sundog is None:
+                        sundog = _sundog_study(args)
+                    progress.result(
+                        render_claims(evaluate_claims(synthetic, sundog))
+                    )
+                elif exhibit in static:
+                    emit(static[exhibit]())
+                elif exhibit in ("fig4", "fig5", "fig6", "fig7"):
+                    if synthetic is None:
+                        synthetic = _synthetic_study(args)
+                    builder = {
+                        "fig4": figures.figure4_throughput,
+                        "fig5": figures.figure5_convergence,
+                        "fig6": figures.figure6_loess_traces,
+                        "fig7": figures.figure7_step_time,
+                    }[exhibit]
+                    emit(builder(synthetic))
+                elif exhibit == "fig8":
+                    if sundog is None:
+                        sundog = _sundog_study(args)
+                    emit(figures.figure8a_sundog_throughput(sundog))
+                    emit(figures.figure8b_sundog_convergence(sundog))
+                    progress.result(
+                        f"speedup of tuned configuration over pla hints-only: "
+                        f"{figures.speedup_over_pla(sundog):.2f}x (paper: 2.8x)"
+                    )
+                progress.result()
+        except StudyError as err:
+            rows = [
+                {"cell": label, "error": detail}
+                for label, detail in err.failures
+            ]
+            progress.result(f"== {err.study} study: failed cells ==")
+            progress.result(render_table(rows))
+            if args.resume:
                 progress.result(
-                    f"speedup of tuned configuration over pla hints-only: "
-                    f"{figures.speedup_over_pla(sundog):.2f}x (paper: 2.8x)"
+                    f"(re-run with --resume {args.resume} to pick up "
+                    f"from the last checkpoint)"
                 )
-            progress.result()
+            exit_code = 1
+        else:
+            failed_runs = []
+            for study in (synthetic, sundog):
+                if study is not None:
+                    failed_runs.extend(evaluation_failure_rows(study))
+            if failed_runs:
+                progress.result(
+                    "== runs with no successful evaluation =="
+                )
+                progress.result(render_table(failed_runs))
+                exit_code = 1
     if args.trace:
         progress.info(f"(wrote trace {args.trace})")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -86,6 +86,17 @@ class Optimizer(abc.ABC):
     def tell_pending(self, config: Mapping[str, object]) -> None:
         """Mark ``config`` as submitted for evaluation (default no-op)."""
 
+    def tell_failure(self, config: Mapping[str, object], reason: str = "") -> None:
+        """Report a failed evaluation of a proposed configuration.
+
+        The default records it as a zero measurement — exactly how the
+        paper's parallel linear ascent perceives a crashed deployment
+        (its three-consecutive-zeros stop rule, §V-A).  Surrogate-based
+        strategies override this to keep failures out of their model's
+        target statistics (see ``BayesianOptimizer.tell_failure``).
+        """
+        self.tell(config, 0.0)
+
 
 class GridAscentOptimizer(Optimizer):
     """Walk a fixed sequence of configurations in order.

@@ -151,8 +151,32 @@ class EvaluationExecutor(abc.ABC):
         """Block until some submitted evaluation finishes; return it.
 
         Raises ``RuntimeError`` if nothing is pending; re-raises the
-        objective's exception if the evaluation failed with one.
+        objective's exception if the evaluation failed with one.  A
+        re-raised worker exception carries its submission on a
+        ``_repro_ticket`` attribute (a :class:`_Ticket`) so wrappers
+        like :class:`~repro.core.resilience.ResilientExecutor` can tell
+        *which* evaluation died.
         """
+
+    def try_wait_one(self, timeout: float | None = None) -> EvaluationOutcome | None:
+        """``wait_one`` with a deadline; None when nothing finished.
+
+        The default implementation blocks: inline backends (serial)
+        cannot observe an evaluation mid-flight, so their timeouts are
+        necessarily post-hoc — the resilience layer compares the
+        outcome's in-worker seconds against the budget after the fact.
+        """
+        return self.wait_one()
+
+    def abandon(self, eval_id: int) -> bool:
+        """Detach a submitted evaluation; its result is discarded.
+
+        Returns whether the evaluation was found and detached.  The
+        backend reclaims the worker if it can (a process backend kills
+        and respawns a hung worker; a thread backend can only orphan
+        the running thread).
+        """
+        return False
 
     @property
     @abc.abstractmethod
@@ -201,9 +225,16 @@ class SerialExecutor(EvaluationExecutor):
         if not self._queue:
             raise RuntimeError("no pending evaluations")
         ticket = self._queue.pop(0)
-        value, run, seconds = call_objective(
-            self.objective, ticket.config, ticket.seed
-        )
+        try:
+            value, run, seconds = call_objective(
+                self.objective, ticket.config, ticket.seed
+            )
+        except Exception as exc:
+            try:
+                exc._repro_ticket = ticket  # let wrappers identify the victim
+            except AttributeError:  # pragma: no cover - exotic exceptions
+                pass
+            raise
         return EvaluationOutcome(
             eval_id=ticket.eval_id,
             config=ticket.config,
@@ -217,6 +248,13 @@ class SerialExecutor(EvaluationExecutor):
     @property
     def n_pending(self) -> int:
         return len(self._queue)
+
+    def abandon(self, eval_id: int) -> bool:
+        for i, ticket in enumerate(self._queue):
+            if ticket.eval_id == eval_id:
+                del self._queue[i]
+                return True
+        return False
 
     def cancel_pending(self) -> int:
         cancelled = len(self._queue)
@@ -251,16 +289,30 @@ class _PoolExecutor(EvaluationExecutor):
         self._tickets[future] = _Ticket(eval_id, config, seed)
 
     def wait_one(self) -> EvaluationOutcome:
+        outcome = self.try_wait_one(None)
+        assert outcome is not None  # timeout=None blocks until done
+        return outcome
+
+    def try_wait_one(self, timeout: float | None = None) -> EvaluationOutcome | None:
         if not self._tickets:
             raise RuntimeError("no pending evaluations")
         done, _ = _futures.wait(
-            self._tickets, return_when=_futures.FIRST_COMPLETED
+            self._tickets, timeout=timeout, return_when=_futures.FIRST_COMPLETED
         )
+        if not done:
+            return None
         # Among simultaneously-finished futures, collect the earliest
         # submission — a stable choice that keeps replay drift small.
         future = min(done, key=lambda f: self._tickets[f].eval_id)
         ticket = self._tickets.pop(future)
-        value, run, seconds = future.result()  # re-raises worker errors
+        try:
+            value, run, seconds = future.result()  # re-raises worker errors
+        except Exception as exc:
+            try:
+                exc._repro_ticket = ticket  # let wrappers identify the victim
+            except AttributeError:  # pragma: no cover - exotic exceptions
+                pass
+            raise
         return EvaluationOutcome(
             eval_id=ticket.eval_id,
             config=ticket.config,
@@ -274,6 +326,21 @@ class _PoolExecutor(EvaluationExecutor):
     @property
     def n_pending(self) -> int:
         return len(self._tickets)
+
+    def abandon(self, eval_id: int) -> bool:
+        """Detach one evaluation; cancel it if it has not started.
+
+        A running evaluation cannot be interrupted at this layer: its
+        ticket is dropped so the result (whenever it arrives) is
+        discarded.  The process backend overrides this to also reclaim
+        the hung worker.
+        """
+        for future, ticket in list(self._tickets.items()):
+            if ticket.eval_id == eval_id:
+                future.cancel()
+                del self._tickets[future]
+                return True
+        return False
 
     def cancel_pending(self) -> int:
         cancelled = 0
@@ -366,6 +433,47 @@ class ProcessPoolExecutor(_PoolExecutor):
         self, config: Mapping[str, object], seed: int | None
     ) -> _futures.Future:
         return self._pool.submit(_process_evaluate, dict(config), seed)
+
+    def abandon(self, eval_id: int) -> bool:
+        """Detach one evaluation, killing its worker if it is running.
+
+        A hung worker process holds a pool slot forever; the only way
+        to reclaim it is to kill the worker.  ``ProcessPoolExecutor``
+        offers no per-worker surgery, so the whole pool is torn down
+        (already-finished results are kept — they survive shutdown) and
+        rebuilt, with every other in-flight evaluation resubmitted to
+        the fresh pool under its original ticket.
+        """
+        target = None
+        for future, ticket in self._tickets.items():
+            if ticket.eval_id == eval_id:
+                target = future
+                break
+        if target is None:
+            return False
+        del self._tickets[target]
+        if target.cancel() or target.done():
+            return True  # never started, or finished while we looked
+        self._kill_and_respawn()
+        return True
+
+    def _kill_and_respawn(self) -> None:
+        resubmit: list[_Ticket] = []
+        for future, ticket in list(self._tickets.items()):
+            if future.done():
+                continue  # results of finished futures survive shutdown
+            del self._tickets[future]
+            resubmit.append(ticket)
+        processes = getattr(self._pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.kill()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool(self.max_workers)
+        # Original tickets (ids, seeds, submit times) ride along, so a
+        # respawn is invisible to the caller beyond the added latency.
+        for ticket in resubmit:
+            future = self._submit_to_pool(ticket.config, ticket.seed)
+            self._tickets[future] = ticket
 
 
 def make_executor(

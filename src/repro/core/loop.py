@@ -31,12 +31,20 @@ active all of this is the no-op fast path.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
+from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.core.baselines import Optimizer
+from repro.core.checkpoint import (
+    TuningCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.executor import EvaluationExecutor, SerialExecutor
 from repro.core.history import Observation, TuningResult
+from repro.core.resilience import ResilientExecutor, RetryPolicy
 from repro.core.seeding import derive_seed
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
@@ -122,6 +130,8 @@ class TuningLoop:
         executor: EvaluationExecutor | None = None,
         batch_size: int | None = None,
         seed: int | None = None,
+        resilience: RetryPolicy | None = None,
+        checkpoint_path: str | Path | None = None,
     ) -> None:
         if max_steps < 1:
             raise ValueError("max_steps must be >= 1")
@@ -143,11 +153,73 @@ class TuningLoop:
         self.executor = executor
         self.batch_size = batch_size
         self.seed = seed
+        #: When set, evaluations run under retry/timeout/circuit-breaker
+        #: policy (:mod:`repro.core.resilience`): the loop wraps its
+        #: executor in a :class:`ResilientExecutor`.
+        self.resilience = resilience
+        #: When set, the loop checkpoints history + optimizer state to
+        #: this JSONL file (atomic rename) after every tell, and resumes
+        #: from it when it already exists (docs/ROBUSTNESS.md).
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
 
     def _eval_seed(self, stream: str, index: int) -> int | None:
         if self.seed is None:
             return None
         return derive_seed(self.seed, stream, index)
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing (docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def _resume(self, result: TuningResult) -> int:
+        """Restore state from ``checkpoint_path``; completed step count.
+
+        Exact resume when the checkpoint carries an optimizer snapshot
+        and the optimizer type can rebuild from it (same RNG stream,
+        same surrogate state — the next proposal is the one the
+        uninterrupted run would have made); otherwise every completed
+        observation is re-told into the fresh optimizer (replay
+        resume).  Per-evaluation seeds key off the *issued index*, so
+        post-resume evaluations draw the same noise and fault streams
+        either way.
+        """
+        if self.checkpoint_path is None:
+            return 0
+        checkpoint = load_checkpoint(self.checkpoint_path)
+        if checkpoint is None or not checkpoint.observations:
+            return 0
+        restored = False
+        if checkpoint.optimizer_state is not None:
+            from_state = getattr(type(self.optimizer), "from_state_dict", None)
+            if callable(from_state):
+                self.optimizer = from_state(checkpoint.optimizer_state)
+                restored = True
+        if not restored:
+            for obs in checkpoint.observations:
+                if obs.failed:
+                    self.optimizer.tell_failure(
+                        obs.config, reason=obs.failure_reason
+                    )
+                else:
+                    self.optimizer.tell(obs.config, obs.value)
+        result.observations.extend(checkpoint.observations)
+        return len(checkpoint.observations)
+
+    def _write_checkpoint(self, result: TuningResult) -> None:
+        state_dict = getattr(self.optimizer, "state_dict", None)
+        save_checkpoint(
+            self.checkpoint_path,
+            TuningCheckpoint(
+                strategy=self.strategy_name,
+                seed=self.seed,
+                max_steps=self.max_steps,
+                observations=list(result.observations),
+                optimizer_state=(
+                    dict(state_dict()) if callable(state_dict) else None
+                ),
+            ),
+        )
 
     def run(self) -> TuningResult:
         ctx = obs_runtime.current()
@@ -159,6 +231,12 @@ class TuningLoop:
             # The loop owns this one; SerialExecutor.close() is a no-op
             # so no try/finally plumbing is needed.
             executor = SerialExecutor(self.objective)
+        if self.resilience is not None and not isinstance(
+            executor, ResilientExecutor
+        ):
+            executor = ResilientExecutor(
+                executor, self.resilience, seed=self.seed
+            )
         batch_size = self.batch_size or max(1, executor.max_workers)
         with tracer.span(
             "tuning.run",
@@ -172,6 +250,24 @@ class TuningLoop:
             issued = 0
             completed = 0
             stop_issuing = False
+            resumed = self._resume(result)
+            if resumed:
+                tracer.event(
+                    "tuning.resume",
+                    completed=resumed,
+                    checkpoint=str(self.checkpoint_path),
+                )
+                run_metrics.counter("tuning.resumed_steps").inc(resumed)
+                issued = completed = resumed
+                # Rebuild the patience state the uninterrupted run would
+                # have reached, so resuming never changes when (or if)
+                # early stopping fires.
+                for obs in result.observations:
+                    improved = best_seen == float("-inf") or obs.value > (
+                        best_seen + abs(best_seen) * self.min_improvement
+                    )
+                    best_seen = max(best_seen, obs.value)
+                    stale_steps = 0 if improved else stale_steps + 1
             #: eval_id -> (amortized suggest seconds) for in-flight work.
             pending: dict[int, float] = {}
             while completed < self.max_steps:
@@ -219,12 +315,30 @@ class TuningLoop:
                     with tracer.span("tuning.evaluate", pending=len(pending)):
                         outcome = executor.wait_one()
                     suggest_seconds = pending.pop(outcome.eval_id)
+                    failure = _failure_fields(outcome.run)
+                    value = outcome.value
+                    if not math.isfinite(value):
+                        # Never feed NaN/inf to a surrogate: it poisons
+                        # the GP through the normalization statistics.
+                        failure = {
+                            "failed": True,
+                            "failure_reason": (
+                                f"non_finite: objective returned {value!r}"
+                            ),
+                            "bottleneck": failure.get("bottleneck", ""),
+                        }
+                        value = 0.0
                     t2 = time.perf_counter()
                     with tracer.span("tuning.tell"):
-                        self.optimizer.tell(outcome.config, outcome.value)
+                        if failure.get("failed"):
+                            self.optimizer.tell_failure(
+                                outcome.config,
+                                reason=str(failure.get("failure_reason", "")),
+                            )
+                        else:
+                            self.optimizer.tell(outcome.config, value)
                     tell_seconds = time.perf_counter() - t2
                 run_metrics.gauge("tuning.pending").set(len(pending))
-                failure = _failure_fields(outcome.run)
                 if failure.get("failed"):
                     run_metrics.counter("tuning.failed_evaluations").inc()
                     tracer.event(
@@ -252,7 +366,7 @@ class TuningLoop:
                     Observation(
                         step=completed,
                         config=outcome.config,
-                        value=outcome.value,
+                        value=value,
                         suggest_seconds=suggest_seconds,
                         evaluate_seconds=outcome.seconds,
                         failed=bool(failure.get("failed", False)),
@@ -261,14 +375,16 @@ class TuningLoop:
                     )
                 )
                 completed += 1
+                if self.checkpoint_path is not None:
+                    self._write_checkpoint(result)
                 # Staleness counts off the thresholded comparison, while
                 # best_seen always tracks the running max: a run of
                 # sub-threshold gains must neither reset patience nor leave
                 # the baseline stale below the actual best.
-                improved = best_seen == float("-inf") or outcome.value > (
+                improved = best_seen == float("-inf") or value > (
                     best_seen + abs(best_seen) * self.min_improvement
                 )
-                best_seen = max(best_seen, outcome.value)
+                best_seen = max(best_seen, value)
                 if improved:
                     stale_steps = 0
                 else:
@@ -300,6 +416,14 @@ class TuningLoop:
                 "batch_size": batch_size,
             }
         )
+        if resumed:
+            result.metadata["resumed_steps"] = resumed
+        resilience_stats = getattr(executor, "stats", None)
+        if isinstance(resilience_stats, dict):
+            result.metadata["resilience"] = dict(resilience_stats)
+            for name, count in resilience_stats.items():
+                if count:
+                    run_metrics.counter(f"resilience.{name}").inc(int(count))
         # Thread per-run telemetry from the optimizer (GP fit timing,
         # refit-vs-update counts, candidate-pool sizes) and the
         # objective (evaluation-cache hit rate) into the result so

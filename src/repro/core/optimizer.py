@@ -141,6 +141,14 @@ class BayesianOptimizer(Optimizer):
         self._rng = np.random.default_rng(seed)
         self.X: list[np.ndarray] = []
         self.y: list[float] = []
+        #: Aligned with ``y``: True where the target is a penalized
+        #: imputation of a failed evaluation rather than a measurement.
+        #: Imputations condition the GP (EI steers away from crash-prone
+        #: regions) but are excluded from the statistics future
+        #: imputations derive from — otherwise each failure would drag
+        #: the "worst seen" down and spiral.
+        self._failure_mask: list[bool] = []
+        self._last_failure_reason = ""
         self._initial_configs: list[np.ndarray] = []
         for config in initial_configs or []:
             space.validate(config)
@@ -264,12 +272,53 @@ class BayesianOptimizer(Optimizer):
         in O(n²) (:meth:`GaussianProcess.update`).  While fantasies are
         active the posterior mixes real and imputed targets, so those
         steps recondition on everything instead of rank-1 updating.
+
+        A non-finite ``value`` is never fed to the GP — NaNs poison the
+        whole posterior through the normalization statistics — and is
+        rerouted to :meth:`tell_failure` instead.
         """
+        if not np.isfinite(value):
+            self.tell_failure(
+                config, reason=f"non_finite: objective returned {value!r}"
+            )
+            return
+        self._record(config, float(value), failed=False)
+
+    def tell_failure(self, config: Mapping[str, object], reason: str = "") -> None:
+        """Record a failed evaluation as a penalized imputation.
+
+        The config enters the GP with the worst *real* observation
+        minus a margin (plus, for minimization) — a finite, smooth
+        penalty that steers EI away from crash-prone regions without
+        the pathologies of the alternatives: dropping failures leaves
+        the optimizer re-proposing them forever, and telling a literal
+        0.0 wrecks the target normalization when real throughputs live
+        in the millions (ContTune-style failures-as-signals treatment).
+        """
+        self._last_failure_reason = str(reason)
+        self._record(config, self._failure_imputation(), failed=True)
+
+    def _failure_imputation(self) -> float:
+        """Penalized target for a failed evaluation (raw units)."""
+        real = [v for v, bad in zip(self.y, self._failure_mask) if not bad]
+        if not real:
+            # Nothing measured yet: no scale to impute from.  Zero is
+            # the natural floor for throughput-style objectives.
+            return 0.0
+        worst = min(real) if self.maximize else max(real)
+        spread = max(real) - min(real)
+        margin = 0.1 * spread if spread > 0 else max(1.0, 0.1 * abs(worst))
+        return worst - margin if self.maximize else worst + margin
+
+    def _record(
+        self, config: Mapping[str, object], value: float, *, failed: bool
+    ) -> None:
         self.space.validate(config)
         x = self.space.encode(config)
         self._remove_pending(np.asarray(x, dtype=float))
         self.X.append(x)
         self.y.append(float(value))
+        self._failure_mask.append(failed)
         self._pending = None
         if len(self.X) < 2:
             return
@@ -325,6 +374,8 @@ class BayesianOptimizer(Optimizer):
             "liar": self.liar,
             "fantasies_active": len(self._pending_X),
             "fantasies_total": self._n_fantasies_total,
+            "failed_observations": sum(self._failure_mask),
+            "last_failure_reason": self._last_failure_reason,
         }
 
     def best(self) -> tuple[dict[str, object], float]:
@@ -433,6 +484,7 @@ class BayesianOptimizer(Optimizer):
             "mcmc_burn_in": self.mcmc_burn_in,
             "X": [list(map(float, x)) for x in self.X],
             "y": list(map(float, self.y)),
+            "failure_mask": [bool(b) for b in self._failure_mask],
             "initial_configs": [list(map(float, x)) for x in self._initial_configs],
             "init_design": [list(map(float, x)) for x in self._init_design],
             "rng_state": self._rng.bit_generator.state,
@@ -464,6 +516,10 @@ class BayesianOptimizer(Optimizer):
         )
         optimizer.X = [np.asarray(x, dtype=float) for x in state["X"]]  # type: ignore[union-attr]
         optimizer.y = [float(v) for v in state["y"]]  # type: ignore[union-attr]
+        optimizer._failure_mask = [
+            bool(b)
+            for b in state.get("failure_mask", [False] * len(optimizer.y))  # type: ignore[arg-type]
+        ]
         optimizer._initial_configs = [
             np.asarray(x, dtype=float) for x in state.get("initial_configs", [])  # type: ignore[union-attr]
         ]

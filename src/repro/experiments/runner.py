@@ -12,12 +12,16 @@ execution of independent cells.
 
 from __future__ import annotations
 
+import json
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.baselines import Optimizer, ParallelLinearAscent
+from repro.core.checkpoint import atomic_write_text
 from repro.core.executor import make_executor
 from repro.core.history import TuningResult, best_of
 from repro.core.loop import TuningLoop
@@ -87,6 +91,81 @@ def split_worker_budget(workers: int, n_cells: int) -> tuple[int, int]:
     return n_jobs, max(1, workers // n_jobs)
 
 
+class StudyError(RuntimeError):
+    """One or more study cells raised instead of returning results.
+
+    Raised by :func:`_run_cells` *after* every cell has been attempted,
+    so a single bad cell cannot waste the others' compute.  ``failures``
+    is a list of ``(cell_label, error_description)`` pairs the CLI
+    renders as a table before exiting nonzero.
+    """
+
+    def __init__(self, study: str, failures: Sequence[tuple[str, str]]) -> None:
+        self.study = study
+        self.failures = list(failures)
+        cells = ", ".join(label for label, _ in self.failures)
+        super().__init__(
+            f"{len(self.failures)} {study} cell(s) failed: {cells}"
+        )
+
+
+def _result_label(key: object) -> str:
+    if isinstance(key, tuple):
+        return "/".join(
+            getattr(part, "label", None) or str(part) for part in key
+        )
+    return getattr(key, "label", None) or str(key)
+
+
+def evaluation_failure_rows(study: object) -> list[dict[str, object]]:
+    """Runs whose evaluations *all* failed, as CLI-table rows.
+
+    A run that never produced a single successful measurement has no
+    best configuration worth reporting — the paper's procedure (graph
+    the best pass, re-measure the winner) is meaningless for it.  The
+    CLI prints these rows and exits nonzero so automation notices.
+    """
+    rows: list[dict[str, object]] = []
+    results_by_key = getattr(study, "results", {})
+    for key, results in results_by_key.items():
+        label = _result_label(key)
+        for result in results:
+            obs = result.observations
+            if not obs or not all(o.failed for o in obs):
+                continue
+            rows.append(
+                {
+                    "cell": label,
+                    "pass": result.metadata.get("pass", ""),
+                    "failed_steps": len(obs),
+                    "last_reason": obs[-1].failure_reason or "unknown",
+                }
+            )
+    return rows
+
+
+def _sanitize_label(label: str) -> str:
+    """Cell labels contain ``/`` and spaces; make them path-safe."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label)
+
+
+def _load_done_cell(path: Path) -> list[TuningResult] | None:
+    """Load a completed cell's cached results; None when absent/bad."""
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        return [TuningResult.from_dict(entry) for entry in payload]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+
+
+def _save_done_cell(path: Path, results: list[TuningResult]) -> None:
+    atomic_write_text(
+        path, json.dumps([r.as_dict() for r in results], default=str)
+    )
+
+
 def _worker_obs_off() -> None:
     """Disable obs in pool workers (module-level for picklability).
 
@@ -115,6 +194,10 @@ def _run_cells(
     worker cell's metrics snapshot back into the session registry —
     worker processes carry their own (disabled) obs state, so their
     per-run registries come home inside ``TuningResult.metadata``.
+
+    A cell that raises is recorded (``cell_error`` event) while the
+    remaining cells keep running; once every cell has been attempted a
+    :class:`StudyError` aggregating the failures is raised.
     """
     ctx = obs_runtime.current()
     ctx.tracer.event(
@@ -124,6 +207,15 @@ def _run_cells(
         budget=asdict(budget),
     )
     outcomes: list[list[TuningResult]] = [[] for _ in specs]
+    failures: list[tuple[str, str]] = []
+
+    def cell_failed(i: int, exc: Exception) -> None:
+        detail = f"{type(exc).__name__}: {exc}"
+        failures.append((labels[i], detail))
+        ctx.tracer.event(
+            "cell_error", study=study_name, cell=labels[i], error=detail
+        )
+
     if n_jobs > 1:
         submitted = time.perf_counter()
         with ProcessPoolExecutor(
@@ -140,7 +232,11 @@ def _run_cells(
                 futures[pool.submit(cell_fn, spec)] = i
             for future in as_completed(futures):
                 i = futures[future]
-                outcomes[i] = future.result()
+                try:
+                    outcomes[i] = future.result()
+                except Exception as exc:
+                    cell_failed(i, exc)
+                    continue
                 seconds = _cell_seconds(outcomes[i], time.perf_counter() - submitted)
                 for result in outcomes[i]:
                     snap = result.metadata.get("obs_metrics")
@@ -162,7 +258,11 @@ def _run_cells(
                 seed=getattr(spec, "seed", None),
             )
             t0 = time.perf_counter()
-            outcomes[i] = cell_fn(spec)
+            try:
+                outcomes[i] = cell_fn(spec)
+            except Exception as exc:
+                cell_failed(i, exc)
+                continue
             ctx.tracer.event(
                 "cell_finish",
                 study=study_name,
@@ -170,7 +270,14 @@ def _run_cells(
                 seconds=time.perf_counter() - t0,
                 best=max(r.best_value for r in outcomes[i]),
             )
-    ctx.tracer.event("study_finish", study=study_name, n_cells=len(specs))
+    ctx.tracer.event(
+        "study_finish",
+        study=study_name,
+        n_cells=len(specs),
+        n_failed_cells=len(failures),
+    )
+    if failures:
+        raise StudyError(study_name, failures)
     return outcomes
 
 
@@ -246,6 +353,11 @@ class SyntheticCellSpec:
     evaluation executor (``loop_executor`` kind, ``batch_size``
     in-flight proposals — default the worker count); per-evaluation
     seeds keep the observations order-independent.
+
+    ``checkpoint_dir`` makes the cell crash-safe: each pass checkpoints
+    its tuning loop to ``<dir>/<cell>.pass<N>.jsonl`` after every
+    ``tell``, and a finished cell writes ``<dir>/<cell>.done.json`` so
+    a resumed study skips it entirely (see docs/ROBUSTNESS.md).
     """
 
     size: str
@@ -257,10 +369,22 @@ class SyntheticCellSpec:
     loop_workers: int = 1
     loop_executor: str = "thread"
     batch_size: int | None = None
+    checkpoint_dir: str | None = None
 
 
 def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
     """Run all passes of one cell (module-level for process pools)."""
+    ckpt_dir = Path(spec.checkpoint_dir) if spec.checkpoint_dir else None
+    cell_stem = _sanitize_label(
+        f"{spec.condition.label}/{spec.size}/{spec.strategy}"
+    )
+    done_path = None
+    if ckpt_dir is not None:
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        done_path = ckpt_dir / f"{cell_stem}.done.json"
+        cached = _load_done_cell(done_path)
+        if cached is not None:
+            return cached
     topology = make_topology(spec.size, spec.condition)
     cluster = default_cluster()
     if spec.strategy == "bo180":
@@ -274,6 +398,11 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
     cell_t0 = time.perf_counter()
     for pass_idx in range(spec.budget.passes):
         pass_seed = base + pass_idx
+        checkpoint_path = (
+            ckpt_dir / f"{cell_stem}.pass{pass_idx}.jsonl"
+            if ckpt_dir is not None
+            else None
+        )
         optimizer, codec = make_synthetic_optimizer(
             spec.strategy, topology, cluster, SYNTHETIC_BASE_CONFIG, steps, pass_seed
         )
@@ -301,7 +430,15 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
                 strategy_name=spec.strategy,
                 executor=executor,
                 batch_size=spec.batch_size,
-                seed=None if executor is None else pass_seed + 991,
+                # Checkpointed passes always get per-evaluation seeds:
+                # resuming mid-pass in a fresh process must replay the
+                # same noise streams the uninterrupted run would draw.
+                seed=(
+                    pass_seed + 991
+                    if executor is not None or checkpoint_path is not None
+                    else None
+                ),
+                checkpoint_path=checkpoint_path,
             )
             result = loop.run()
         finally:
@@ -318,6 +455,8 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
         )
         cell_t0 = time.perf_counter()
         results.append(result)
+    if done_path is not None:
+        _save_done_cell(done_path, results)
     return results
 
 
@@ -342,6 +481,7 @@ class SyntheticStudy:
         n_jobs: int = 1,
         workers: int | None = None,
         batch_size: int | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.budget = budget or default_budget()
         self.conditions = tuple(conditions)
@@ -351,6 +491,7 @@ class SyntheticStudy:
         self.fidelity = fidelity
         self.workers = workers
         self.batch_size = batch_size
+        self.checkpoint_dir = checkpoint_dir
         if workers is not None:
             n_cells = len(self.conditions) * len(self.sizes) * len(self.strategies)
             self.n_jobs, self.loop_workers = split_worker_budget(workers, n_cells)
@@ -372,6 +513,7 @@ class SyntheticStudy:
                 fidelity=self.fidelity,
                 loop_workers=self.loop_workers,
                 batch_size=self.batch_size,
+                checkpoint_dir=self.checkpoint_dir,
             )
             for condition in self.conditions
             for size in self.sizes
@@ -415,6 +557,7 @@ class SundogArmSpec:
     loop_workers: int = 1
     loop_executor: str = "thread"
     batch_size: int | None = None
+    checkpoint_dir: str | None = None
 
     @property
     def label(self) -> str:
@@ -444,6 +587,15 @@ def _sundog_codec(
 
 def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
     """Run all passes of one Figure 8 arm."""
+    ckpt_dir = Path(spec.checkpoint_dir) if spec.checkpoint_dir else None
+    cell_stem = _sanitize_label(f"sundog_{spec.label}")
+    done_path = None
+    if ckpt_dir is not None:
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        done_path = ckpt_dir / f"{cell_stem}.done.json"
+        cached = _load_done_cell(done_path)
+        if cached is not None:
+            return cached
     topology = sundog_topology()
     cluster = default_cluster()
     base_config = sundog_default_config(cluster.total_workers)
@@ -458,6 +610,11 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
     cell_t0 = time.perf_counter()
     for pass_idx in range(spec.budget.passes):
         pass_seed = base + pass_idx
+        checkpoint_path = (
+            ckpt_dir / f"{cell_stem}.pass{pass_idx}.jsonl"
+            if ckpt_dir is not None
+            else None
+        )
         if spec.strategy == "pla":
             if spec.param_set != "h":
                 raise ValueError(
@@ -499,7 +656,12 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
                 strategy_name=spec.label,
                 executor=executor,
                 batch_size=spec.batch_size,
-                seed=None if executor is None else pass_seed + 991,
+                seed=(
+                    pass_seed + 991
+                    if executor is not None or checkpoint_path is not None
+                    else None
+                ),
+                checkpoint_path=checkpoint_path,
             )
             result = loop.run()
         finally:
@@ -516,6 +678,8 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
         )
         cell_t0 = time.perf_counter()
         results.append(result)
+    if done_path is not None:
+        _save_done_cell(done_path, results)
     return results
 
 
@@ -565,6 +729,7 @@ class SundogStudy:
         n_jobs: int = 1,
         workers: int | None = None,
         batch_size: int | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.budget = budget or default_budget()
         self.arms = tuple(arms)
@@ -572,6 +737,7 @@ class SundogStudy:
         self.fidelity = fidelity
         self.workers = workers
         self.batch_size = batch_size
+        self.checkpoint_dir = checkpoint_dir
         if workers is not None:
             self.n_jobs, self.loop_workers = split_worker_budget(
                 workers, len(self.arms)
@@ -591,6 +757,7 @@ class SundogStudy:
                 fidelity=self.fidelity,
                 loop_workers=self.loop_workers,
                 batch_size=self.batch_size,
+                checkpoint_dir=self.checkpoint_dir,
             )
             for strategy, param_set in self.arms
         ]

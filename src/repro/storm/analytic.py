@@ -36,6 +36,7 @@ from repro.obs import runtime as obs_runtime
 from repro.storm.acker import AckerModel
 from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
+from repro.storm.faults import FaultPlan, inject_faults
 from repro.storm.grouping import effective_parallelism, remote_fraction
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel, NoNoise, draw_observation
@@ -140,11 +141,13 @@ class AnalyticPerformanceModel:
         calibration: CalibrationParams | None = None,
         noise: NoiseModel | None = None,
         seed: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.topology = topology
         self.cluster = cluster
         self.calibration = calibration or CalibrationParams()
         self.noise = noise or NoNoise()
+        self.faults = faults
         self._rng = np.random.default_rng(seed)
         self._acker_model = AckerModel(ack_cost_units=self.calibration.ack_cost_units)
         # Topology-derived constants, independent of the configuration.
@@ -164,13 +167,23 @@ class AnalyticPerformanceModel:
     def evaluate(
         self, config: TopologyConfig, *, seed: int | None = None
     ) -> MeasuredRun:
-        """Deterministic mechanics plus the configured observation noise.
+        """Deterministic mechanics plus faults and observation noise.
 
-        ``seed`` draws the noise from a per-evaluation stream instead
+        ``seed`` draws the noise (and any injected fault decision, see
+        :mod:`repro.storm.faults`) from a per-evaluation stream instead
         of the engine's shared one (see
         :func:`repro.storm.noise.draw_observation`).
         """
-        run = self.evaluate_noise_free(config)
+        run = inject_faults(
+            self.faults,
+            lambda: self.evaluate_noise_free(config),
+            config_key=repr(config),
+            seed=seed,
+            tracer=obs_runtime.current().tracer,
+            engine="analytic",
+        )
+        if run.failed:
+            return run
         observed = draw_observation(self.noise, run.throughput_tps, self._rng, seed)
         return run.with_throughput(observed)
 

@@ -24,6 +24,7 @@ from repro.obs import runtime as obs_runtime
 from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
 from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
+from repro.storm.faults import FaultPlan
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel
 from repro.storm.simulation import DiscreteEventSimulator
@@ -47,13 +48,19 @@ class StormObjective:
         ``"des"`` (event-by-event simulation).
     noise:
         Observation noise model shared by both engines.
+    faults:
+        Optional :class:`~repro.storm.faults.FaultPlan` making the
+        substrate misbehave deterministically (docs/ROBUSTNESS.md).
+        An active plan makes the objective stochastic for caching
+        purposes: a retried crash must not hit a memoized failure.
     memoize:
         Cache :meth:`measure` results keyed on the encoded
         configuration.  Defaults to on for deterministic objectives
-        (``noise=None``) — grid ascent and BO revisit configurations,
-        and ``repeat_best`` re-runs of a deterministic fidelity are
-        pure waste — and off for noisy ones, where each call must
-        draw a fresh observation.  Pass an explicit bool to override.
+        (``noise=None`` and no active faults) — grid ascent and BO
+        revisit configurations, and ``repeat_best`` re-runs of a
+        deterministic fidelity are pure waste — and off for
+        stochastic ones, where each call must draw a fresh
+        observation.  Pass an explicit bool to override.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class StormObjective:
         noise: NoiseModel | None = None,
         seed: int | None = None,
         des_kwargs: Mapping[str, object] | None = None,
+        faults: FaultPlan | None = None,
         memoize: bool | None = None,
     ) -> None:
         self.topology = topology
@@ -75,7 +83,12 @@ class StormObjective:
         self.fidelity = fidelity
         if fidelity == "analytic":
             self.engine = AnalyticPerformanceModel(
-                topology, cluster, calibration=calibration, noise=noise, seed=seed
+                topology,
+                cluster,
+                calibration=calibration,
+                noise=noise,
+                seed=seed,
+                faults=faults,
             )
         elif fidelity == "des":
             self.engine = DiscreteEventSimulator(
@@ -84,12 +97,16 @@ class StormObjective:
                 calibration=calibration,
                 noise=noise,
                 seed=seed,
+                faults=faults,
                 **dict(des_kwargs or {}),
             )
         else:
             raise ValueError(f"unknown fidelity {fidelity!r}")
-        self.memoize = (noise is None) if memoize is None else bool(memoize)
-        self._noisy = noise is not None
+        faulty = faults is not None and faults.active
+        self.memoize = (
+            (noise is None and not faulty) if memoize is None else bool(memoize)
+        )
+        self._noisy = noise is not None or faulty
         self.n_evaluations = 0
         self.n_engine_evaluations = 0
         self._cache: dict[bytes, MeasuredRun] = {}

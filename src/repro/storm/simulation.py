@@ -41,6 +41,7 @@ from repro.storm.acker import AckerModel
 from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
 from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
+from repro.storm.faults import FaultPlan, inject_faults
 from repro.storm.grouping import load_fractions, remote_fraction
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel, NoNoise, draw_observation
@@ -169,6 +170,7 @@ class DiscreteEventSimulator:
         max_sim_time_ms: float = 120_000.0,
         max_batches: int = 200,
         warmup_batches: int = 3,
+        faults: FaultPlan | None = None,
     ) -> None:
         if max_batches < 2:
             raise ValueError("max_batches must be >= 2")
@@ -178,6 +180,7 @@ class DiscreteEventSimulator:
         self.cluster = cluster
         self.calibration = calibration or CalibrationParams()
         self.noise = noise or NoNoise()
+        self.faults = faults
         self._rng = np.random.default_rng(seed)
         self.max_sim_time_ms = max_sim_time_ms
         self.max_batches = max_batches
@@ -193,13 +196,23 @@ class DiscreteEventSimulator:
     def evaluate(
         self, config: TopologyConfig, *, seed: int | None = None
     ) -> MeasuredRun:
-        """Simulate one measurement window, with observation noise.
+        """Simulate one measurement window, with faults and noise.
 
-        ``seed`` draws the noise from a per-evaluation stream instead
+        ``seed`` draws the noise (and any injected fault decision, see
+        :mod:`repro.storm.faults`) from a per-evaluation stream instead
         of the engine's shared one (see
         :func:`repro.storm.noise.draw_observation`).
         """
-        run = self.evaluate_noise_free(config)
+        run = inject_faults(
+            self.faults,
+            lambda: self.evaluate_noise_free(config),
+            config_key=repr(config),
+            seed=seed,
+            tracer=obs_runtime.current().tracer,
+            engine="des",
+        )
+        if run.failed:
+            return run
         observed = draw_observation(self.noise, run.throughput_tps, self._rng, seed)
         return run.with_throughput(observed)
 
