@@ -12,6 +12,7 @@ All functions are phrased for **maximization** of the objective.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 from scipy import optimize as sopt
@@ -78,6 +79,7 @@ class Proposal:
     n_candidates: int = 0  # size of the scored candidate pool
     n_refined: int = 0  # top candidates handed to L-BFGS-B refinement
     refine_iterations: int = 0  # total L-BFGS-B iterations across them
+    n_screened_out: int = 0  # candidates the feasibility screener rejected
 
 
 class AcquisitionOptimizer:
@@ -103,6 +105,7 @@ class AcquisitionOptimizer:
         n_candidates: int = 1024,
         n_refine: int = 5,
         xi: float = 0.0,
+        screen: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         if acquisition not in ACQUISITIONS:
             raise ValueError(
@@ -115,6 +118,14 @@ class AcquisitionOptimizer:
         self.n_candidates = n_candidates
         self.n_refine = n_refine
         self.xi = xi
+        #: Optional feasibility screen: ``(M, dim)`` unit-cube candidate
+        #: matrix -> boolean keep-mask.  Screened-out candidates are
+        #: dropped from the acquisition ranking (and from gradient
+        #: refinement) *before* any is chosen — cheap model-side
+        #: screening of known-infeasible configurations, e.g.
+        #: :func:`repro.storm.analytic_batch.make_analytic_screener`.
+        #: Opt-in: ``None`` (the default) leaves proposals untouched.
+        self.screen = screen
 
     # ------------------------------------------------------------------
     def score(
@@ -148,6 +159,15 @@ class AcquisitionOptimizer:
             candidates.append(self._neighbourhood(space, best_x, rng))
         candidates = np.vstack(candidates)
         scores = self.score(gp, candidates, best_y)
+        n_screened_out = 0
+        if self.screen is not None:
+            keep = np.asarray(self.screen(candidates), dtype=bool)
+            # Only apply a usable verdict: if the screen rejects the
+            # entire pool the ranking falls back to unscreened scores
+            # (the optimizer must still propose *something*).
+            if keep.shape == (candidates.shape[0],) and bool(keep.any()):
+                n_screened_out = int((~keep).sum())
+                scores = np.where(keep, scores, -np.inf)
         order = np.argsort(scores)[::-1]
         best_idx = int(order[0])
         best_point = candidates[best_idx]
@@ -158,6 +178,8 @@ class AcquisitionOptimizer:
         refine_iterations = 0
         if has_continuous and self.n_refine > 0 and gp.is_fitted:
             for idx in order[: self.n_refine]:
+                if not np.isfinite(scores[int(idx)]):
+                    continue  # screened out — don't refine from it
                 refined, value, iterations = self._refine(
                     gp, space, candidates[int(idx)], best_y
                 )
@@ -172,6 +194,7 @@ class AcquisitionOptimizer:
             n_candidates=candidates.shape[0],
             n_refined=n_refined,
             refine_iterations=refine_iterations,
+            n_screened_out=n_screened_out,
         )
 
     def _neighbourhood(

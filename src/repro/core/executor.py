@@ -50,9 +50,10 @@ import abc
 import inspect
 import pickle
 import time
+from collections import deque
 from concurrent import futures as _futures
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 Objective = Callable[[Mapping[str, object]], float]
 
@@ -119,6 +120,45 @@ def call_objective(
         run = None
         value = float(objective(config))
     return value, run, time.perf_counter() - t0
+
+
+def supports_batch_measurement(objective: object) -> bool:
+    """Whether ``objective`` advertises a vectorized ``measure_batch``.
+
+    The executor fast paths only engage when the objective both has the
+    method *and* declares it a true fast path
+    (``supports_batch_fast_path``) — a DES objective could implement
+    ``measure_batch`` as a loop, where batching would only serialize
+    work a pool should overlap.
+    """
+    return bool(getattr(objective, "supports_batch_fast_path", False)) and callable(
+        getattr(objective, "measure_batch", None)
+    )
+
+
+def _batch_outcomes(
+    tickets: Sequence[_Ticket], runs: Sequence[object], seconds: float
+) -> list[EvaluationOutcome]:
+    """Zip a batch's runs back onto their tickets.
+
+    The batch's wall time is amortized evenly across its outcomes so
+    aggregate ``seconds`` telemetry stays comparable with the scalar
+    path.
+    """
+    per_eval = seconds / len(tickets)
+    now = time.perf_counter()
+    return [
+        EvaluationOutcome(
+            eval_id=ticket.eval_id,
+            config=ticket.config,
+            value=float(run.throughput_tps),  # type: ignore[attr-defined]
+            run=run,
+            seconds=per_eval,
+            turnaround_seconds=now - ticket.submitted_at,
+            seed=ticket.seed,
+        )
+        for ticket, run in zip(tickets, runs)
+    ]
 
 
 class EvaluationExecutor(abc.ABC):
@@ -205,6 +245,17 @@ class SerialExecutor(EvaluationExecutor):
     a loop driving this executor is operation-for-operation identical
     to the classic serial ask/evaluate/tell cycle (same objective call
     order, same shared-RNG draw order, same tracer span nesting).
+
+    **Batch fast path** — when the objective advertises a vectorized
+    ``measure_batch`` (see :func:`supports_batch_measurement`) and more
+    than one evaluation is queued, ``wait_one`` drains the whole queue
+    through a single batch call and serves the outcomes FIFO.  Values
+    are bit-identical to the scalar path (the batch engine's
+    equivalence contract), so this is purely a throughput win for
+    batch-emitting optimizers (grid/random/pla ``ask_batch``).  If a
+    batch call raises, the queue is restored, batching is disabled for
+    this executor, and evaluation falls back to the scalar path so the
+    exception is re-raised with its precise ticket attribution.
     """
 
     kind = "serial"
@@ -212,6 +263,8 @@ class SerialExecutor(EvaluationExecutor):
     def __init__(self, objective: Objective, *, max_workers: int = 1) -> None:
         super().__init__(objective, max_workers=1)
         self._queue: list[_Ticket] = []
+        self._completed: deque[EvaluationOutcome] = deque()
+        self._batch_disabled = False
 
     def submit(
         self,
@@ -222,8 +275,30 @@ class SerialExecutor(EvaluationExecutor):
         self._queue.append(_Ticket(eval_id, dict(config), seed))
 
     def wait_one(self) -> EvaluationOutcome:
+        if self._completed:
+            return self._completed.popleft()
         if not self._queue:
             raise RuntimeError("no pending evaluations")
+        if (
+            len(self._queue) > 1
+            and not self._batch_disabled
+            and supports_batch_measurement(self.objective)
+        ):
+            tickets = list(self._queue)
+            t0 = time.perf_counter()
+            try:
+                runs = self.objective.measure_batch(  # type: ignore[attr-defined]
+                    [t.config for t in tickets], seeds=[t.seed for t in tickets]
+                )
+            except Exception:
+                # Replay serially below for exact ticket attribution.
+                self._batch_disabled = True
+            else:
+                self._queue.clear()
+                self._completed.extend(
+                    _batch_outcomes(tickets, runs, time.perf_counter() - t0)
+                )
+                return self._completed.popleft()
         ticket = self._queue.pop(0)
         try:
             value, run, seconds = call_objective(
@@ -247,12 +322,16 @@ class SerialExecutor(EvaluationExecutor):
 
     @property
     def n_pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._completed)
 
     def abandon(self, eval_id: int) -> bool:
         for i, ticket in enumerate(self._queue):
             if ticket.eval_id == eval_id:
                 del self._queue[i]
+                return True
+        for i, outcome in enumerate(self._completed):
+            if outcome.eval_id == eval_id:
+                del self._completed[i]
                 return True
         return False
 
@@ -361,6 +440,17 @@ def _evaluate_task(
     return call_objective(objective, config, seed)
 
 
+def _evaluate_batch_task(
+    objective: Objective,
+    configs: list[dict[str, object]],
+    seeds: list[int | None],
+) -> tuple[list[object], float]:
+    """Thread-pool task body for one homogeneous analytic batch."""
+    t0 = time.perf_counter()
+    runs = objective.measure_batch(configs, seeds=seeds)  # type: ignore[attr-defined]
+    return runs, time.perf_counter() - t0
+
+
 class ThreadPoolExecutor(_PoolExecutor):
     """Evaluations on worker threads sharing the objective object.
 
@@ -370,9 +460,27 @@ class ThreadPoolExecutor(_PoolExecutor):
     spans from inside the engines may interleave in the trace; the
     loop-level span tree stays correct because the loop itself always
     runs on one thread (see docs/OBSERVABILITY.md).
+
+    **Batch fast path** — for objectives advertising a vectorized
+    ``measure_batch``, submissions are buffered instead of dispatched
+    one future per evaluation; the first collect flushes the buffer as
+    a *single* pool task that evaluates the whole batch in one
+    vectorized pass.  With per-evaluation seeds the values are a pure
+    function of (config, seed), so outcomes are bit-identical to the
+    one-future-per-eval path — there are just N-1 fewer task hops.  A
+    failed batch disables the fast path and resubmits its tickets as
+    singles, preserving per-ticket exception attribution.
     """
 
     kind = "thread"
+
+    def __init__(self, objective: Objective, *, max_workers: int = 4) -> None:
+        super().__init__(objective, max_workers=max_workers)
+        self._buffer: list[_Ticket] = []
+        self._ready: deque[EvaluationOutcome] = deque()
+        self._batch_tickets: dict[_futures.Future, list[_Ticket]] = {}
+        self._abandoned: set[int] = set()
+        self._batch_disabled = False
 
     def _make_pool(self, max_workers: int) -> _futures.Executor:
         return _futures.ThreadPoolExecutor(
@@ -383,6 +491,136 @@ class ThreadPoolExecutor(_PoolExecutor):
         self, config: Mapping[str, object], seed: int | None
     ) -> _futures.Future:
         return self._pool.submit(_evaluate_task, self.objective, dict(config), seed)
+
+    def submit(
+        self,
+        eval_id: int,
+        config: Mapping[str, object],
+        seed: int | None = None,
+    ) -> None:
+        if not self._batch_disabled and supports_batch_measurement(self.objective):
+            self._buffer.append(_Ticket(eval_id, dict(config), seed))
+        else:
+            super().submit(eval_id, config, seed)
+
+    def _flush_buffer(self) -> None:
+        if not self._buffer:
+            return
+        tickets, self._buffer = self._buffer, []
+        if len(tickets) == 1:
+            ticket = tickets[0]
+            future = self._submit_to_pool(ticket.config, ticket.seed)
+            self._tickets[future] = ticket
+            return
+        future = self._pool.submit(
+            _evaluate_batch_task,
+            self.objective,
+            [t.config for t in tickets],
+            [t.seed for t in tickets],
+        )
+        self._batch_tickets[future] = tickets
+
+    def _collect_batch(self, future: _futures.Future) -> None:
+        tickets = self._batch_tickets.pop(future)
+        try:
+            runs, seconds = future.result()
+        except Exception:
+            # Disable batching and replay the batch as singles so the
+            # failing evaluation re-raises with its own ticket attached.
+            self._batch_disabled = True
+            for ticket in tickets:
+                new_future = self._submit_to_pool(ticket.config, ticket.seed)
+                self._tickets[new_future] = ticket
+            return
+        for outcome in _batch_outcomes(tickets, runs, seconds):
+            if outcome.eval_id in self._abandoned:
+                self._abandoned.discard(outcome.eval_id)
+                continue
+            self._ready.append(outcome)
+
+    def try_wait_one(self, timeout: float | None = None) -> EvaluationOutcome | None:
+        if self._ready:
+            return self._ready.popleft()
+        self._flush_buffer()
+        if not self._tickets and not self._batch_tickets:
+            raise RuntimeError("no pending evaluations")
+        while True:
+            pending = list(self._tickets) + list(self._batch_tickets)
+            done, _ = _futures.wait(
+                pending, timeout=timeout, return_when=_futures.FIRST_COMPLETED
+            )
+            if not done:
+                return None
+            batch_done = [f for f in done if f in self._batch_tickets]
+            for future in batch_done:
+                self._collect_batch(future)
+            if self._ready:
+                return self._ready.popleft()
+            singles = [f for f in done if f in self._tickets]
+            if singles:
+                return self._collect_single(
+                    min(singles, key=lambda f: self._tickets[f].eval_id)
+                )
+            if not self._tickets and not self._batch_tickets:
+                raise RuntimeError("no pending evaluations")
+            # A batch completed but every outcome was abandoned (or it
+            # failed and was resubmitted as singles) — wait again.
+
+    def _collect_single(self, future: _futures.Future) -> EvaluationOutcome:
+        ticket = self._tickets.pop(future)
+        try:
+            value, run, seconds = future.result()  # re-raises worker errors
+        except Exception as exc:
+            try:
+                exc._repro_ticket = ticket  # let wrappers identify the victim
+            except AttributeError:  # pragma: no cover - exotic exceptions
+                pass
+            raise
+        return EvaluationOutcome(
+            eval_id=ticket.eval_id,
+            config=ticket.config,
+            value=value,
+            run=run,
+            seconds=seconds,
+            turnaround_seconds=time.perf_counter() - ticket.submitted_at,
+            seed=ticket.seed,
+        )
+
+    @property
+    def n_pending(self) -> int:
+        in_batches = sum(len(t) for t in self._batch_tickets.values())
+        return (
+            len(self._tickets)
+            + len(self._buffer)
+            + in_batches
+            + len(self._ready)
+        )
+
+    def abandon(self, eval_id: int) -> bool:
+        for i, ticket in enumerate(self._buffer):
+            if ticket.eval_id == eval_id:
+                del self._buffer[i]
+                return True
+        for i, outcome in enumerate(self._ready):
+            if outcome.eval_id == eval_id:
+                del self._ready[i]
+                return True
+        for tickets in self._batch_tickets.values():
+            for ticket in tickets:
+                if ticket.eval_id == eval_id:
+                    # The batch cannot be interrupted mid-flight; its
+                    # outcome for this id is discarded on arrival.
+                    self._abandoned.add(eval_id)
+                    return True
+        return super().abandon(eval_id)
+
+    def cancel_pending(self) -> int:
+        cancelled = len(self._buffer)
+        self._buffer.clear()
+        for future in list(self._batch_tickets):
+            if future.cancel():
+                cancelled += len(self._batch_tickets.pop(future))
+        return cancelled + super().cancel_pending()
 
 
 #: Per-process objective installed by the process-pool initializer.

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -77,6 +77,19 @@ class BayesianOptimizer(Optimizer):
         likelihood.  ``"mcmc"``: slice-sample the hyperparameter
         posterior and average the acquisition over ``mcmc_samples``
         draws — Spearmint's integrated acquisition (§III-C's toolkit).
+    screener:
+        Optional candidate feasibility screen forwarded to the
+        acquisition optimizer: a callable mapping the ``(M, dim)``
+        unit-cube candidate pool to a boolean keep-mask, applied after
+        acquisition scoring and *before* ranking/refinement.  Use
+        :func:`repro.storm.analytic_batch.make_analytic_screener` to
+        drop configurations the batch analytic model proves infeasible
+        (executor capacity, batch timeout, memory) without spending GP
+        refinement on them.  Opt-in and deliberately not serialized:
+        :meth:`state_dict` round-trips produce an unscreened optimizer
+        (reattach via ``optimizer.acq.screen = ...`` after
+        :meth:`from_state_dict`), so checkpoint/resume behaviour of
+        existing studies is unchanged.
     """
 
     def __init__(
@@ -98,6 +111,7 @@ class BayesianOptimizer(Optimizer):
         hyper_inference: str = "ml2",
         mcmc_samples: int = 5,
         mcmc_burn_in: int = 10,
+        screener: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         self.space = space
         if ard is None:
@@ -116,11 +130,15 @@ class BayesianOptimizer(Optimizer):
             from repro.core.mcmc import IntegratedAcquisitionOptimizer
 
             self.acq: AcquisitionOptimizer = IntegratedAcquisitionOptimizer(
-                acquisition=acquisition, n_candidates=acq_candidates
+                acquisition=acquisition,
+                n_candidates=acq_candidates,
+                screen=screener,
             )
         else:
             self.acq = AcquisitionOptimizer(
-                acquisition=acquisition, n_candidates=acq_candidates
+                acquisition=acquisition,
+                n_candidates=acq_candidates,
+                screen=screener,
             )
         self.init_points = (
             init_points

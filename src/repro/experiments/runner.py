@@ -309,8 +309,25 @@ def make_synthetic_optimizer(
     base_config: TopologyConfig,
     steps: int,
     seed: int,
+    *,
+    fidelity: str | None = None,
 ) -> tuple[Optimizer, ConfigCodec]:
-    """Optimizer + codec pair for one synthetic strategy."""
+    """Optimizer + codec pair for one synthetic strategy.
+
+    When ``fidelity`` is ``"analytic"``, the Bayesian strategies get a
+    batch-analytic feasibility screener
+    (:func:`repro.storm.analytic_batch.make_analytic_screener`): their
+    snapped candidate pools are scored in one vectorized pass and
+    infeasible configurations are dropped before gradient refinement.
+    """
+
+    def _screener(codec: ConfigCodec):
+        if fidelity != "analytic":
+            return None
+        from repro.storm.analytic_batch import make_analytic_screener
+
+        return make_analytic_screener(codec, topology, cluster)
+
     if strategy == "pla":
         codec = UniformHintCodec(topology, cluster, base_config)
         return (
@@ -329,11 +346,14 @@ def make_synthetic_optimizer(
             codec.space,
             seed=seed,
             initial_configs=[_default_hint_config(codec)],
+            screener=_screener(codec),
         )
         return optimizer, codec
     if strategy == "ibo":
         codec = InformedMultiplierCodec(topology, cluster, base_config)
-        optimizer = BayesianOptimizer(codec.space, seed=seed)
+        optimizer = BayesianOptimizer(
+            codec.space, seed=seed, screener=_screener(codec)
+        )
         return optimizer, codec
     if strategy == "rs":
         # Random-search control (not in the paper's Figure 4; used by
@@ -404,7 +424,13 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
             else None
         )
         optimizer, codec = make_synthetic_optimizer(
-            spec.strategy, topology, cluster, SYNTHETIC_BASE_CONFIG, steps, pass_seed
+            spec.strategy,
+            topology,
+            cluster,
+            SYNTHETIC_BASE_CONFIG,
+            steps,
+            pass_seed,
+            fidelity=spec.fidelity,
         )
         objective = StormObjective(
             topology,

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -41,6 +42,9 @@ from repro.storm.grouping import effective_parallelism, remote_fraction
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel, NoNoise, draw_observation
 from repro.storm.topology import Topology, effective_cost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.storm.analytic_batch import AnalyticBatchModel
 
 
 @dataclass(frozen=True)
@@ -160,6 +164,36 @@ class AnalyticPerformanceModel:
             ]
             for name in self._order
         }
+        # Hoisted per-evaluation invariants (PR 5): grouping skew and
+        # network/memory demand coefficients depend only on the topology
+        # and cluster, so compute them once instead of per evaluation.
+        # The stored factors are deliberately kept *unreduced* (volume,
+        # selectivity, fraction, bytes as separate terms) so the
+        # per-evaluation arithmetic performs the exact same float
+        # operations, in the same order, as the original inline code —
+        # bit-for-bit identical results.
+        self._parallelism_cache: dict[tuple[str, int], float] = {}
+        self._ack_demand_units = self._acker_model.demand_units_per_source_tuple(
+            topology
+        )
+        self._edge_terms = tuple(
+            (
+                self._volumes[edge.src],
+                topology.operator(edge.src).selectivity,
+                remote_fraction(edge.grouping, cluster.n_machines),
+                topology.operator(edge.src).tuple_bytes,
+            )
+            for edge in topology.edges
+        )
+        self._ingest_terms = tuple(
+            (self._volumes[s], topology.operator(s).tuple_bytes)
+            for s in topology.sources()
+        )
+        self._inflight_bytes_per_batch_unit = sum(
+            self._volumes[name] * topology.operator(name).tuple_bytes
+            for name in self._order
+        )
+        self._batch_model: AnalyticBatchModel | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -212,6 +246,97 @@ class AnalyticPerformanceModel:
                 )
             return run
 
+    @property
+    def batch_model(self) -> AnalyticBatchModel:
+        """Vectorized evaluator sharing this model's hoisted structures.
+
+        Built lazily so pickled models (process-pool executors) stay
+        small; the batch model is reconstructed on first use.
+        """
+        if self._batch_model is None:
+            from repro.storm.analytic_batch import AnalyticBatchModel
+
+            self._batch_model = AnalyticBatchModel(
+                self.topology, self.cluster, self.calibration
+            )
+        return self._batch_model
+
+    def evaluate_noise_free_batch(
+        self, configs: Sequence[TopologyConfig]
+    ) -> list[MeasuredRun]:
+        """Batch counterpart of :meth:`evaluate_noise_free`.
+
+        One vectorized pass over all ``configs`` (span
+        ``engine.analytic.evaluate_batch``), bit-identical to calling
+        :meth:`evaluate_noise_free` per config.
+        """
+        batch = self.batch_model.evaluate(configs)
+        tracer = obs_runtime.current().tracer
+        runs = batch.runs()
+        for run in runs:
+            if run.failed:
+                tracer.event(
+                    "engine.failure", engine="analytic", reason=run.failure_reason
+                )
+        return runs
+
+    def evaluate_batch(
+        self,
+        configs: Sequence[TopologyConfig],
+        *,
+        seeds: Sequence[int | None] | None = None,
+    ) -> list[MeasuredRun]:
+        """Batch counterpart of :meth:`evaluate`: mechanics + faults + noise.
+
+        The deterministic mechanics run as one vectorized pass; fault
+        decisions and noise draws then replay per evaluation in list
+        order, exactly as a serial loop over :meth:`evaluate` would
+        (same per-seed streams, same shared-RNG draw order), so the
+        observations are bit-identical.  :class:`~repro.storm.noise.NoNoise`
+        short-circuits the per-row draw entirely — the vectorized fast
+        path for the common deterministic-objective case.
+        """
+        if seeds is not None and len(seeds) != len(configs):
+            raise ValueError("seeds must match configs in length")
+        batch = self.batch_model.evaluate(configs)
+        tracer = obs_runtime.current().tracer
+        noiseless = type(self.noise) is NoNoise
+        out: list[MeasuredRun] = []
+        for i, config in enumerate(configs):
+            seed = seeds[i] if seeds is not None else None
+
+            def mechanics(index: int = i) -> MeasuredRun:
+                run = batch.run(index)
+                if run.failed:
+                    tracer.event(
+                        "engine.failure",
+                        engine="analytic",
+                        reason=run.failure_reason,
+                    )
+                return run
+
+            run = inject_faults(
+                self.faults,
+                mechanics,
+                config_key=repr(config),
+                seed=seed,
+                tracer=tracer,
+                engine="analytic",
+            )
+            if run.failed:
+                out.append(run)
+                continue
+            if noiseless:
+                # NoNoise returns max(0.0, value) == value for the
+                # non-negative throughputs the engine produces.
+                out.append(run.with_throughput(run.throughput_tps))
+                continue
+            observed = draw_observation(
+                self.noise, run.throughput_tps, self._rng, seed
+            )
+            out.append(run.with_throughput(observed))
+        return out
+
     def _evaluate_mechanics(self, config: TopologyConfig) -> MeasuredRun:
         topo = self.topology
         cluster = self.cluster
@@ -256,7 +381,7 @@ class AnalyticPerformanceModel:
             stage_times[name] = compute_time + cal.stage_overhead_ms
 
         # Acker work rides along on the CPU budget.
-        ack_work = B * self._acker_model.demand_units_per_source_tuple(topo)
+        ack_work = B * self._ack_demand_units
         total_work += ack_work
 
         # Layer times and batch latency.
@@ -284,9 +409,18 @@ class AnalyticPerformanceModel:
         cap_cpu = (
             batches_to_tps(cluster_rate / total_work) if total_work > 0 else math.inf
         )
-        cap_acker = self._acker_model.max_throughput_tps(
-            topo, n_ackers, machine.core_speed * eta
-        )
+        # Inlined AckerModel.max_throughput_tps with the demand term
+        # hoisted to __init__ (same operations, same order).
+        if n_ackers == 0 or self._ack_demand_units <= 0:
+            cap_acker = math.inf
+        else:
+            cap_acker = (
+                self._acker_model.capacity_units_per_ms(
+                    n_ackers, machine.core_speed * eta
+                )
+                * 1000.0
+                / self._ack_demand_units
+            )
         remote_tuples, remote_bytes, ingest_bytes = self._network_demand(B, hints)
         cap_receiver = self._receiver_cap(config, remote_tuples, B)
         cap_nic = self._nic_cap(remote_bytes + ingest_bytes, B)
@@ -363,29 +497,32 @@ class AnalyticPerformanceModel:
         groupings induce (a FIELDS consumer is held back by its hottest
         key partition; GLOBAL pins everything on one task).
         """
+        key = (name, n_tasks)
+        cached = self._parallelism_cache.get(key)
+        if cached is not None:
+            return cached
         groupings = self._edge_min_parallelism_grouping[name]
         if not groupings:
-            return float(n_tasks)
-        return min(effective_parallelism(g, n_tasks) for g in groupings)
+            value = float(n_tasks)
+        else:
+            value = min(effective_parallelism(g, n_tasks) for g in groupings)
+        self._parallelism_cache[key] = value
+        return value
 
     def _network_demand(
         self, batch_size: float, hints: dict[str, int]
     ) -> tuple[float, float, float]:
         """Remote tuples, remote bytes and source-ingest bytes per batch."""
-        topo = self.topology
-        n_machines = self.cluster.n_machines
         wire = 1.0 + self.calibration.wire_overhead
         remote_tuples = 0.0
         remote_bytes = 0.0
-        for edge in topo.edges:
-            src_op = topo.operator(edge.src)
-            emitted = batch_size * self._volumes[edge.src] * src_op.selectivity
-            frac = remote_fraction(edge.grouping, n_machines)
+        for volume, selectivity, frac, tuple_bytes in self._edge_terms:
+            emitted = batch_size * volume * selectivity
             remote_tuples += emitted * frac
-            remote_bytes += emitted * frac * src_op.tuple_bytes * wire
+            remote_bytes += emitted * frac * tuple_bytes * wire
         ingest_bytes = sum(
-            batch_size * self._volumes[s] * topo.operator(s).tuple_bytes * wire
-            for s in topo.sources()
+            batch_size * volume * tuple_bytes * wire
+            for volume, tuple_bytes in self._ingest_terms
         )
         return remote_tuples, remote_bytes, ingest_bytes
 
@@ -416,17 +553,9 @@ class AnalyticPerformanceModel:
     ) -> str | None:
         cal = self.calibration
         cluster = self.cluster
-        topo = self.topology
         executors_per_machine = total_executors / cluster.n_machines
         task_mb = executors_per_machine * cal.per_task_memory_mb
-        inflight_bytes = (
-            B
-            * P
-            * sum(
-                self._volumes[name] * topo.operator(name).tuple_bytes
-                for name in self._order
-            )
-        )
+        inflight_bytes = B * P * self._inflight_bytes_per_batch_unit
         data_mb = inflight_bytes / cluster.n_machines / 1e6
         budget = cluster.machine.memory_mb * cal.usable_memory_fraction
         if task_mb + data_mb > budget:

@@ -18,7 +18,8 @@ is recreated on unpickle.
 from __future__ import annotations
 
 import threading
-from typing import Literal, Mapping
+from collections import OrderedDict
+from typing import Literal, Mapping, Sequence
 
 from repro.obs import runtime as obs_runtime
 from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
@@ -61,6 +62,11 @@ class StormObjective:
         deterministic fidelity are pure waste — and off for
         stochastic ones, where each call must draw a fresh
         observation.  Pass an explicit bool to override.
+    cache_max_entries:
+        Memo-cache bound (least-recently-used eviction).  A long study
+        with per-seed keys would otherwise grow the cache without
+        bound; ``None`` disables the bound.  Evictions are reported in
+        :meth:`cache_info`.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class StormObjective:
         des_kwargs: Mapping[str, object] | None = None,
         faults: FaultPlan | None = None,
         memoize: bool | None = None,
+        cache_max_entries: int | None = 50_000,
     ) -> None:
         self.topology = topology
         self.cluster = cluster
@@ -109,9 +116,13 @@ class StormObjective:
         self._noisy = noise is not None or faulty
         self.n_evaluations = 0
         self.n_engine_evaluations = 0
-        self._cache: dict[bytes, MeasuredRun] = {}
+        if cache_max_entries is not None and cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be >= 1 or None")
+        self.cache_max_entries = cache_max_entries
+        self._cache: OrderedDict[bytes, MeasuredRun] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self._lock = threading.Lock()
 
     def __getstate__(self) -> dict[str, object]:
@@ -122,6 +133,30 @@ class StormObjective:
     def __setstate__(self, state: dict[str, object]) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        # Checkpoints from before the bounded cache: upgrade in place.
+        if not isinstance(self._cache, OrderedDict):
+            self._cache = OrderedDict(self._cache)
+        if not hasattr(self, "cache_max_entries"):
+            self.cache_max_entries = 50_000
+        if not hasattr(self, "cache_evictions"):
+            self.cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Memo cache (LRU); callers hold self._lock.
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: bytes) -> MeasuredRun | None:
+        run = self._cache.get(key)
+        if run is not None:
+            self._cache.move_to_end(key)
+        return run
+
+    def _cache_put(self, key: bytes, run: MeasuredRun) -> None:
+        self._cache[key] = run
+        self._cache.move_to_end(key)
+        if self.cache_max_entries is not None:
+            while len(self._cache) > self.cache_max_entries:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
 
     def _cache_key(self, params: Mapping[str, object], seed: int | None) -> bytes:
         """Stable key: the unit-cube encoding of the proposal.
@@ -154,7 +189,7 @@ class StormObjective:
             if self.memoize:
                 key = self._cache_key(params, seed)
                 with self._lock:
-                    cached = self._cache.get(key)
+                    cached = self._cache_get(key)
                     if cached is not None:
                         self.cache_hits += 1
                     else:
@@ -175,8 +210,128 @@ class StormObjective:
                 )
             if key is not None:
                 with self._lock:
-                    self._cache[key] = run
+                    self._cache_put(key, run)
         return run
+
+    @property
+    def supports_batch_fast_path(self) -> bool:
+        """Whether :meth:`measure_batch` is one vectorized engine pass.
+
+        True only for the analytic fidelity — the executors use this to
+        route homogeneous batches through a single call instead of N
+        submits.  The DES has no vectorized form; batching it would
+        serialize what a thread pool could overlap.
+        """
+        return self.fidelity == "analytic"
+
+    def measure_batch(
+        self,
+        params_list: Sequence[Mapping[str, object]],
+        *,
+        seeds: Sequence[int | None] | None = None,
+    ) -> list[MeasuredRun]:
+        """Measure many proposals in one pass; returns runs in order.
+
+        Semantically identical to ``[measure(p, seed=s) for p, s in
+        zip(params_list, seeds)]`` — same cache hit/miss accounting,
+        same per-evaluation noise/fault streams, bit-identical
+        observations — but the engine mechanics run as one vectorized
+        batch (span ``engine.analytic.evaluate_batch``) when the engine
+        supports it.  Duplicate proposals within a batch are evaluated
+        once and counted as a miss then hits, exactly as a serial loop
+        over the memo cache would.
+        """
+        params_list = list(params_list)
+        n = len(params_list)
+        if seeds is not None:
+            seeds = list(seeds)
+            if len(seeds) != n:
+                raise ValueError("seeds must match params_list in length")
+        if n == 0:
+            return []
+        ctx = obs_runtime.current()
+        with self._lock:
+            self.n_evaluations += n
+        with ctx.tracer.span(
+            "objective.measure_batch", fidelity=self.fidelity, n=n
+        ) as span:
+            results: list[MeasuredRun | None] = [None] * n
+            keys: list[bytes | None] = [None] * n
+            misses: list[int] = []
+            dup_of: dict[int, int] = {}
+            if self.memoize:
+                first_for_key: dict[bytes, int] = {}
+                hits = 0
+                with self._lock:
+                    for i, params in enumerate(params_list):
+                        key = self._cache_key(
+                            params, seeds[i] if seeds is not None else None
+                        )
+                        keys[i] = key
+                        cached = self._cache_get(key)
+                        if cached is not None:
+                            self.cache_hits += 1
+                            hits += 1
+                            results[i] = cached
+                        elif key in first_for_key:
+                            # A serial loop would have cached the first
+                            # occurrence by now; count the revisit as a
+                            # hit and share its result.
+                            self.cache_hits += 1
+                            hits += 1
+                            dup_of[i] = first_for_key[key]
+                        else:
+                            self.cache_misses += 1
+                            first_for_key[key] = i
+                            misses.append(i)
+                span.set_attribute("cache_hits", hits)
+            else:
+                misses = list(range(n))
+
+            if misses:
+                configs = []
+                for i in misses:
+                    try:
+                        configs.append(self.codec.decode(params_list[i]))
+                    except Exception as exc:
+                        # Let batch callers attribute the failure to the
+                        # right submission (see executor fast paths).
+                        exc._repro_batch_index = i  # type: ignore[attr-defined]
+                        raise
+                miss_seeds = (
+                    [seeds[i] for i in misses] if seeds is not None else None
+                )
+                with self._lock:
+                    self.n_engine_evaluations += len(misses)
+                engine_batch = getattr(self.engine, "evaluate_batch", None)
+                if callable(engine_batch):
+                    runs = engine_batch(configs, seeds=miss_seeds)
+                else:
+                    runs = [
+                        self.engine.evaluate(
+                            config,
+                            seed=miss_seeds[k] if miss_seeds is not None else None,
+                        )
+                        for k, config in enumerate(configs)
+                    ]
+                for k, i in enumerate(misses):
+                    run = runs[k]
+                    results[i] = run
+                    if run.failed:
+                        ctx.tracer.event(
+                            "objective.failure",
+                            fidelity=self.fidelity,
+                            reason=run.failure_reason,
+                        )
+                if self.memoize:
+                    with self._lock:
+                        for i in misses:
+                            assert keys[i] is not None and results[i] is not None
+                            self._cache_put(keys[i], results[i])
+            for i, j in dup_of.items():
+                results[i] = results[j]
+        assert all(run is not None for run in results)
+        return results  # type: ignore[return-value]
 
     def measure_config(
         self, config: TopologyConfig, *, seed: int | None = None
@@ -196,6 +351,8 @@ class StormObjective:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "size": len(self._cache),
+                "evictions": self.cache_evictions,
+                "max_entries": self.cache_max_entries,
             }
 
     def clear_cache(self) -> None:

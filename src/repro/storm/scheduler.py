@@ -9,6 +9,7 @@ footprints, and which traffic is machine-local.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.storm.cluster import ClusterSpec, WorkerSlot
@@ -130,14 +131,19 @@ class EvenScheduler:
             )
 
         slots = cluster.worker_slots()
-        load = {slot: 0 for slot in slots}
         assignment = Assignment(topology=topology, cluster=cluster, config=config)
+        # ``worker_slots()`` is sorted ascending, so "least loaded slot,
+        # ties by slot order" is exactly a heap of (load, slot index) —
+        # O(log S) per placement instead of a full O(S) scan.
+        heap = [(0, i) for i in range(len(slots))]
 
         def place(operator: str, count: int, into: list[TaskInstance]) -> None:
             for index in range(count):
-                slot = min(slots, key=lambda s: (load[s], s))
-                load[slot] += 1
-                into.append(TaskInstance(operator=operator, index=index, slot=slot))
+                load, i = heapq.heappop(heap)
+                heapq.heappush(heap, (load + 1, i))
+                into.append(
+                    TaskInstance(operator=operator, index=index, slot=slots[i])
+                )
 
         for name in topology.topological_order():
             place(name, hints[name], assignment.tasks)

@@ -49,18 +49,6 @@ from repro.storm.scheduler import Assignment, EvenScheduler, SchedulingError
 from repro.storm.topology import Topology, effective_cost
 
 
-@dataclass
-class _Job:
-    """A unit of work: one task's share of one batch at one operator."""
-
-    job_id: int
-    batch_id: int
-    operator: str
-    machine_id: int
-    work: float  # compute-unit milliseconds (single-core equivalent)
-    target_virtual: float = 0.0  # machine virtual time at which it completes
-
-
 class _Machine:
     """Processor-sharing server with a virtual-time progress counter.
 
@@ -68,7 +56,23 @@ class _Machine:
     virtual time ``v`` with work ``w`` completes when ``virtual`` reaches
     ``v + w``.  Because all jobs on a machine share the same rate, a
     single counter orders completions correctly.
+
+    The active set is a heap of ``(target_virtual, job_id)`` pairs; job
+    identity/payload lives in the event loop's ``job_index`` so heap
+    operations compare plain floats and ints only.
     """
+
+    __slots__ = (
+        "machine_id",
+        "usable_cores",
+        "core_speed",
+        "efficiency",
+        "_speed",
+        "virtual",
+        "last_update",
+        "active",
+        "n_active",
+    )
 
     def __init__(
         self,
@@ -81,48 +85,70 @@ class _Machine:
         self.usable_cores = usable_cores
         self.core_speed = core_speed
         self.efficiency = efficiency
+        self._speed = core_speed * efficiency  # rate when cores are not shared
         self.virtual = 0.0
         self.last_update = 0.0
-        self.active: list[tuple[float, int, _Job]] = []  # heap by target_virtual
+        self.active: list[tuple[float, int]] = []  # heap by target_virtual
         self.n_active = 0
 
     def rate(self) -> float:
         """Service rate per job in compute units per ms."""
-        if self.n_active == 0:
+        n = self.n_active
+        if n == 0:
             return 0.0
-        share = min(1.0, self.usable_cores / self.n_active)
-        return self.core_speed * share * self.efficiency
+        if n <= self.usable_cores:
+            return self._speed
+        return self._speed * (self.usable_cores / n)
 
     def advance_to(self, now: float) -> None:
         if now > self.last_update:
             self.virtual += self.rate() * (now - self.last_update)
             self.last_update = now
 
-    def add_job(self, job: _Job, now: float) -> None:
+    def add_job(self, job, now: float) -> None:
+        """Admit a job object (reads ``.job_id``/``.work``, stamps
+        ``.target_virtual``).  The event loop uses :meth:`add_work`."""
         self.advance_to(now)
-        job.target_virtual = self.virtual + job.work
-        heapq.heappush(self.active, (job.target_virtual, job.job_id, job))
+        target = self.virtual + job.work
+        job.target_virtual = target
+        heapq.heappush(self.active, (target, job.job_id))
+        self.n_active += 1
+
+    def add_work(self, job_id: int, work: float, now: float) -> None:
+        self.advance_to(now)
+        heapq.heappush(self.active, (self.virtual + work, job_id))
         self.n_active += 1
 
     def next_completion_time(self, now: float) -> float:
+        """Absolute time the earliest active job completes.
+
+        Pure peek: machine state (``virtual``/``last_update``) is NOT
+        mutated, so callers may probe freely — the clock only advances
+        through :meth:`advance_to` (or admitting/draining jobs, which
+        advance explicitly).  The projection ``virtual + rate * dt`` is
+        exactly what :meth:`advance_to` would commit, so the returned
+        time is identical to the old peek-that-advanced behaviour.
+        """
         if not self.active:
             return math.inf
-        self.advance_to(now)
-        target, _, _ = self.active[0]
         rate = self.rate()
         if rate <= 0:
             return math.inf
-        return now + max(0.0, (target - self.virtual)) / rate
+        virtual = self.virtual
+        if now > self.last_update:
+            virtual += rate * (now - self.last_update)
+        return now + max(0.0, self.active[0][0] - virtual) / rate
 
-    def pop_completed(self, now: float) -> _Job | None:
+    def pop_completed(self, now: float) -> int | None:
+        """Drain one due job, returning its ``job_id`` (or ``None``)."""
         if not self.active:
             return None
         self.advance_to(now)
-        target, _, job = self.active[0]
+        target, job_id = self.active[0]
         if target <= self.virtual + 1e-9:
             heapq.heappop(self.active)
             self.n_active -= 1
-            return job
+            return job_id
         return None
 
 
@@ -257,26 +283,49 @@ class DiscreteEventSimulator:
             return MeasuredRun.failure(mem_fail, total_tasks=sum(hints.values()))
 
         machines = self._build_machines(config, assignment)
-        task_machines = {
-            name: [t.slot.machine_id for t in assignment.tasks_of(name)]
-            for name in topo
-        }
-        acker_machines = [t.slot.machine_id for t in assignment.acker_tasks]
 
         volumes = topo.volumes()
         B = float(config.batch_size)
         P = int(config.batch_parallelism)
-        job_work: dict[str, np.ndarray] = {}
+        #: Per-operator spawn plan, computed once per evaluation: the
+        #: exact ``(machine, work)`` list one batch spawns, plus the
+        #: distinct machines touched (one heap event per machine per
+        #: spawn instead of one per job).
+        spawn_plan: dict[str, tuple[list[tuple[_Machine, float]], list[_Machine]]] = {}
         for name in topo:
             op = topo.operator(name)
             n_tasks = hints[name]
             cost = effective_cost(op, n_tasks)
             total_work = B * volumes[name] * cost
             fractions = self._load_split(name, n_tasks)
-            job_work[name] = total_work * fractions
+            works = (total_work * fractions).tolist()
+            placements = [t.slot.machine_id for t in assignment.tasks_of(name)]
+            entries = [
+                (machines[mid], float(work))
+                for mid, work in zip(placements, works)
+            ]
+            distinct = [machines[mid] for mid in dict.fromkeys(placements)]
+            spawn_plan[name] = (entries, distinct)
 
         ack_demand = B * self._acker_model.demand_units_per_source_tuple(topo)
+        acker_machines = [t.slot.machine_id for t in assignment.acker_tasks]
+        if acker_machines:
+            per_task = ack_demand / len(acker_machines)
+            spawn_plan["__acker__"] = (
+                [(machines[mid], per_task) for mid in acker_machines],
+                [machines[mid] for mid in dict.fromkeys(acker_machines)],
+            )
         edge_delay = self._edge_transfer_delays(B)
+
+        # Hoisted invariants for the hot loop.
+        children = {name: list(topo.children(name)) for name in topo}
+        n_parents = {name: len(topo.parents(name)) for name in topo}
+        sources = list(topo.sources())
+        stage_overhead = cal.stage_overhead_ms
+        batch_overhead = cal.batch_overhead_ms
+        max_batches = self.max_batches
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         # --- event loop state ----------------------------------------
         job_ids = itertools.count()
@@ -299,13 +348,18 @@ class DiscreteEventSimulator:
         operator_busy["__acker__"] = False
         operator_queue: dict[str, list[int]] = {name: [] for name in operator_busy}
 
-        def push(time: float, kind: str, payload: object) -> None:
-            heapq.heappush(events, (time, next(seq), kind, payload))
-
-        def machine_event(machine: _Machine, now: float) -> None:
-            t = machine.next_completion_time(now)
-            if t < math.inf:
-                push(t, "machine", machine.machine_id)
+        def _spawn_jobs(batch: _BatchState, operator: str, now: float) -> None:
+            entries, distinct = spawn_plan[operator]
+            batch_id = batch.batch_id
+            batch.pending_jobs[operator] = len(entries)
+            for machine, work in entries:
+                job_id = next(job_ids)
+                job_index[job_id] = (batch_id, operator)
+                machine.add_work(job_id, work, now)
+            for machine in distinct:
+                t = machine.next_completion_time(now)
+                if t < math.inf:
+                    heappush(events, (t, next(seq), "machine", machine))
 
         def request_operator(batch_id: int, operator: str, now: float) -> None:
             if operator_busy[operator]:
@@ -315,61 +369,24 @@ class DiscreteEventSimulator:
             if batch is None:
                 return
             operator_busy[operator] = True
-            if operator == "__acker__":
-                _spawn_acker_jobs(batch, now)
-            else:
-                _spawn_operator_jobs(batch, operator, now)
+            _spawn_jobs(batch, operator, now)
 
         def release_operator(operator: str, now: float) -> None:
             operator_busy[operator] = False
-            while operator_queue[operator]:
-                batch_id = operator_queue[operator].pop(0)
+            queue = operator_queue[operator]
+            while queue:
+                batch_id = queue.pop(0)
                 if batch_id in batches:
                     request_operator(batch_id, operator, now)
                     break
 
-        def _spawn_operator_jobs(
-            batch: _BatchState, operator: str, now: float
-        ) -> None:
-            works = job_work[operator]
-            placements = task_machines[operator]
-            batch.pending_jobs[operator] = len(works)
-            for task_idx, work in enumerate(works):
-                machine = machines[placements[task_idx]]
-                job = _Job(
-                    job_id=next(job_ids),
-                    batch_id=batch.batch_id,
-                    operator=operator,
-                    machine_id=machine.machine_id,
-                    work=float(work),
-                )
-                job_index[job.job_id] = (batch.batch_id, operator)
-                machine.add_job(job, now)
-                machine_event(machine, now)
-
-        def _spawn_acker_jobs(batch: _BatchState, now: float) -> None:
-            per_task = ack_demand / len(acker_machines)
-            batch.pending_jobs["__acker__"] = len(acker_machines)
-            for machine_id in acker_machines:
-                machine = machines[machine_id]
-                job = _Job(
-                    job_id=next(job_ids),
-                    batch_id=batch.batch_id,
-                    operator="__acker__",
-                    machine_id=machine_id,
-                    work=per_task,
-                )
-                job_index[job.job_id] = (batch.batch_id, "__acker__")
-                machine.add_job(job, now)
-                machine_event(machine, now)
-
         def admit_batch(now: float) -> None:
             batch_id = next(next_batch)
-            if batch_id >= self.max_batches:
+            if batch_id >= max_batches:
                 return
             batch = _BatchState(batch_id=batch_id, started_at=now)
             batches[batch_id] = batch
-            for source in topo.sources():
+            for source in sources:
                 request_operator(batch_id, source, now)
             if not acker_machines or ack_demand <= 0:
                 batch.acker_done = True
@@ -382,17 +399,20 @@ class DiscreteEventSimulator:
                 batch.acker_done = True
             else:
                 batch.operators_done += 1
-                for child in topo.children(operator):
+                for child in children[operator]:
                     done = batch.parents_done.get(child, 0) + 1
                     batch.parents_done[child] = done
-                    if done == len(topo.parents(child)):
+                    if done == n_parents[child]:
                         delay = edge_delay.get((operator, child), 0.0)
-                        push(now + delay, "spawn", (batch.batch_id, child))
+                        heappush(
+                            events,
+                            (now + delay, next(seq), "spawn", (batch.batch_id, child)),
+                        )
             if batch.operators_done == n_operators and batch.acker_done:
                 completed.append((batch.batch_id, now, now - batch.started_at))
                 del batches[batch.batch_id]
                 # Commit overhead holds the pipeline slot before reuse.
-                push(now + cal.batch_overhead_ms, "admit", None)
+                heappush(events, (now + batch_overhead, next(seq), "admit", None))
 
         # Prime the pipeline with P batches.
         for _ in range(P):
@@ -400,18 +420,20 @@ class DiscreteEventSimulator:
 
         now = 0.0
         while events:
-            now, _, kind, payload = heapq.heappop(events)
+            now, _, kind, payload = heappop(events)
             if now > self.max_sim_time_ms:
                 break
-            if len(completed) >= self.max_batches:
+            if len(completed) >= max_batches:
                 break
             if kind == "machine":
-                machine = machines[int(payload)]  # type: ignore[arg-type]
-                while True:
-                    job = machine.pop_completed(now)
-                    if job is None:
-                        break
-                    batch_id, operator = job_index.pop(job.job_id)
+                machine = payload
+                machine.advance_to(now)
+                active = machine.active
+                threshold = machine.virtual + 1e-9
+                while active and active[0][0] <= threshold:
+                    _, job_id = heappop(active)
+                    machine.n_active -= 1
+                    batch_id, operator = job_index.pop(job_id)
                     batch = batches.get(batch_id)
                     if batch is None:
                         continue
@@ -420,12 +442,18 @@ class DiscreteEventSimulator:
                         # The batch-commit signal for this operator costs
                         # a fixed coordination delay before downstream
                         # operators (and the next batch here) may start.
-                        push(
-                            now + cal.stage_overhead_ms,
-                            "opdone",
-                            (batch_id, operator),
+                        heappush(
+                            events,
+                            (
+                                now + stage_overhead,
+                                next(seq),
+                                "opdone",
+                                (batch_id, operator),
+                            ),
                         )
-                machine_event(machine, now)
+                t = machine.next_completion_time(now)
+                if t < math.inf:
+                    heappush(events, (t, next(seq), "machine", machine))
             elif kind == "opdone":
                 batch_id, operator = payload  # type: ignore[misc]
                 batch = batches.get(batch_id)

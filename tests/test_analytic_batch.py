@@ -1,0 +1,363 @@
+"""Batch analytic engine: bit-equivalence, faults, and the memo cache.
+
+The vectorized :class:`~repro.storm.analytic_batch.AnalyticBatchModel`
+is required to be *bit-compatible* with the scalar engine — equal
+:class:`MeasuredRun` dataclasses, not just close throughputs — across
+every bundled topology, contention condition, and failure regime.
+These tests pin that contract (hypothesis-style over random
+configurations), the fault/noise identity of
+:meth:`StormObjective.measure_batch`, and the bounded LRU memo cache.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.presets import SYNTHETIC_BASE_CONFIG, default_cluster
+from repro.experiments.runner import make_synthetic_optimizer
+from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
+from repro.storm.analytic_batch import AnalyticBatchModel, make_analytic_screener
+from repro.storm.cluster import paper_cluster, small_test_cluster
+from repro.storm.config import TopologyConfig
+from repro.storm.faults import FaultPlan, FaultSpec
+from repro.storm.noise import GaussianNoise
+from repro.storm.objective import StormObjective
+from repro.sundog import sundog_topology
+from repro.topology_gen.suite import CONDITIONS, make_topology
+
+
+def random_config(topology, rng, *, n_workers: int, hint_max: int = 33):
+    """One rng-driven configuration spanning feasible and infeasible."""
+    return TopologyConfig(
+        parallelism_hints={
+            name: int(rng.integers(1, hint_max)) for name in topology
+        },
+        max_tasks=(
+            int(rng.integers(len(list(topology)), 400))
+            if rng.random() < 0.3
+            else None
+        ),
+        batch_size=int(rng.integers(10, 50_001)),
+        batch_parallelism=int(rng.integers(1, 65)),
+        worker_threads=int(rng.integers(1, 17)),
+        receiver_threads=int(rng.integers(1, 9)),
+        ackers=int(rng.integers(0, 17)),
+        num_workers=n_workers,
+    )
+
+
+#: (label, topology, cluster, calibration) cases covering every bundled
+#: topology size, the contention/imbalance condition flags, and the
+#: memory-cap edge regime (a huge batch timeout so memory failures are
+#: not shadowed by latency failures on the tiny cluster).
+MEMORY_EDGE_CAL = CalibrationParams(
+    batch_timeout_ms=1e12, per_task_memory_mb=64.0
+)
+
+
+def _equivalence_cases():
+    cases = []
+    for size in ("small", "medium", "large"):
+        for condition in CONDITIONS:
+            cases.append(
+                (
+                    f"{size}/{condition.label}",
+                    make_topology(size, condition),
+                    paper_cluster(),
+                    None,
+                )
+            )
+    cases.append(("sundog", sundog_topology(), paper_cluster(), None))
+    cases.append(
+        (
+            "small/memory-edge",
+            make_topology("small"),
+            small_test_cluster(),
+            MEMORY_EDGE_CAL,
+        )
+    )
+    cases.append(
+        (
+            "medium/contended/memory-edge",
+            make_topology("medium", CONDITIONS[3]),
+            small_test_cluster(),
+            MEMORY_EDGE_CAL,
+        )
+    )
+    return cases
+
+
+EQUIVALENCE_CASES = _equivalence_cases()
+
+
+class TestBatchScalarEquivalence:
+    """Satellite (c): batch == scalar, as full dataclass equality."""
+
+    @pytest.mark.parametrize(
+        "label, topology, cluster, calibration",
+        EQUIVALENCE_CASES,
+        ids=[case[0] for case in EQUIVALENCE_CASES],
+    )
+    def test_runs_are_bit_identical(self, label, topology, cluster, calibration):
+        model = AnalyticPerformanceModel(topology, cluster, calibration=calibration)
+        rng = np.random.default_rng(hash(label) % 2**32)
+        configs = [
+            random_config(topology, rng, n_workers=cluster.n_machines)
+            for _ in range(40)
+        ]
+        scalar = [model.evaluate_noise_free(c) for c in configs]
+        batched = model.evaluate_noise_free_batch(configs)
+        assert scalar == batched
+        # Throughputs bit-identical, not merely approximately equal.
+        batch = model.batch_model.evaluate(configs)
+        for i, run in enumerate(scalar):
+            assert run.throughput_tps == float(batch.throughput_tps[i])
+            assert run.failed == bool(batch.failed[i])
+
+    def test_failure_regimes_actually_exercised(self):
+        """The sweep must cover ok + capacity/latency/memory failures,
+        or the equivalence claim is weaker than it reads."""
+        reasons: set[str] = set()
+        ok = 0
+        for label, topology, cluster, calibration in EQUIVALENCE_CASES:
+            model = AnalyticPerformanceModel(
+                topology, cluster, calibration=calibration
+            )
+            rng = np.random.default_rng(hash(label) % 2**32)
+            configs = [
+                random_config(topology, rng, n_workers=cluster.n_machines)
+                for _ in range(40)
+            ]
+            for run in model.evaluate_noise_free_batch(configs):
+                if run.failed:
+                    reasons.add(run.failure_reason.split(":")[0])
+                else:
+                    ok += 1
+        assert ok > 0
+        assert any("memory" in r for r in reasons), reasons
+        assert len(reasons) >= 2, reasons
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_random_configs_match(self, seed):
+        """Hypothesis sweep on the contended medium topology."""
+        topology, cluster = _PROPERTY_CASE
+        model = _property_model()
+        rng = np.random.default_rng(seed)
+        config = random_config(topology, rng, n_workers=cluster.n_machines)
+        scalar = model.evaluate_noise_free(config)
+        (batched,) = model.evaluate_noise_free_batch([config])
+        assert scalar == batched
+
+    def test_empty_batch(self):
+        model = _property_model()
+        assert model.evaluate_noise_free_batch([]) == []
+        batch = model.batch_model.evaluate([])
+        assert batch.runs() == []
+
+
+_PROPERTY_CASE = (make_topology("medium", CONDITIONS[3]), paper_cluster())
+_PROPERTY_MODEL: list[AnalyticPerformanceModel] = []
+
+
+def _property_model() -> AnalyticPerformanceModel:
+    """One shared model so hypothesis examples reuse hoisted structures."""
+    if not _PROPERTY_MODEL:
+        _PROPERTY_MODEL.append(
+            AnalyticPerformanceModel(_PROPERTY_CASE[0], _PROPERTY_CASE[1])
+        )
+    return _PROPERTY_MODEL[0]
+
+
+def _objective(**kwargs) -> StormObjective:
+    topology = make_topology("small")
+    cluster = default_cluster()
+    _, codec = make_synthetic_optimizer(
+        "pla", topology, cluster, SYNTHETIC_BASE_CONFIG, 8, seed=0
+    )
+    return StormObjective(topology, cluster, codec, fidelity="analytic", **kwargs)
+
+
+class TestMeasureBatch:
+    """measure_batch == a serial loop of measure, by construction."""
+
+    def test_matches_serial_measures(self):
+        params = [{"uniform_hint": h} for h in range(1, 9)]
+        serial = [_objective().measure(p) for p in params]
+        batched = _objective().measure_batch(params)
+        assert serial == batched
+
+    def test_noise_and_seeds_replay_identically(self):
+        params = [{"uniform_hint": h} for h in (2, 3, 2, 5)]
+        seeds = [11, 22, 11, 44]
+        a = _objective(noise=GaussianNoise(0.1), seed=5)
+        b = _objective(noise=GaussianNoise(0.1), seed=5)
+        serial = [a.measure(p, seed=s) for p, s in zip(params, seeds)]
+        batched = b.measure_batch(params, seeds=seeds)
+        assert serial == batched
+
+    def test_fault_plan_respects_per_evaluation_identity(self):
+        """Satellite (c): batch fault decisions replay the serial ones.
+
+        Under an active :class:`FaultPlan` each evaluation's fault
+        decision is a pure function of (plan seed, config, eval seed);
+        a batch must reproduce the serial decisions row for row.
+        """
+        faults = FaultSpec.chaos(0.6, seed=3)
+        params = [{"uniform_hint": h} for h in range(1, 11)]
+        seeds = list(range(100, 110))
+        a = _objective(faults=FaultPlan(faults), seed=9)
+        b = _objective(faults=FaultPlan(faults), seed=9)
+        serial = [a.measure(p, seed=s) for p, s in zip(params, seeds)]
+        batched = b.measure_batch(params, seeds=seeds)
+        assert serial == batched
+        labels = {r.failure_reason for r in serial if r.failed}
+        assert labels, "chaos plan at 0.6 should fault at least once"
+
+    def test_duplicates_counted_as_serial_loop_would(self):
+        objective = _objective()
+        params = [{"uniform_hint": 2}] * 3 + [{"uniform_hint": 4}]
+        runs = objective.measure_batch(params)
+        assert runs[0] == runs[1] == runs[2]
+        info = objective.cache_info()
+        assert info["hits"] == 2 and info["misses"] == 2
+        assert objective.n_engine_evaluations == 2
+
+    def test_seed_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            _objective().measure_batch([{"uniform_hint": 2}], seeds=[1, 2])
+
+    def test_empty_batch(self):
+        assert _objective().measure_batch([]) == []
+
+
+class TestBoundedMemoCache:
+    """Satellite (a): the memo cache is a bounded LRU."""
+
+    def test_size_bound_and_eviction_count(self):
+        objective = _objective(cache_max_entries=4)
+        for h in range(1, 9):
+            objective.measure({"uniform_hint": h})
+        info = objective.cache_info()
+        assert info["size"] == 4
+        assert info["evictions"] == 4
+        assert info["max_entries"] == 4
+
+    def test_lru_order_keeps_recently_used(self):
+        objective = _objective(cache_max_entries=2)
+        objective.measure({"uniform_hint": 1})
+        objective.measure({"uniform_hint": 2})
+        objective.measure({"uniform_hint": 1})  # refresh 1
+        objective.measure({"uniform_hint": 3})  # evicts 2, not 1
+        hits_before = objective.cache_info()["hits"]
+        objective.measure({"uniform_hint": 1})
+        assert objective.cache_info()["hits"] == hits_before + 1
+        assert objective.cache_info()["size"] == 2
+
+    def test_unbounded_when_none(self):
+        objective = _objective(cache_max_entries=None)
+        for h in range(1, 9):
+            objective.measure({"uniform_hint": h})
+        info = objective.cache_info()
+        assert info["size"] == 8
+        assert info["evictions"] == 0
+        assert info["max_entries"] is None
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError, match="cache_max_entries"):
+            _objective(cache_max_entries=bad)
+
+    def test_batch_path_shares_the_bound(self):
+        objective = _objective(cache_max_entries=3)
+        objective.measure_batch([{"uniform_hint": h} for h in range(1, 7)])
+        info = objective.cache_info()
+        assert info["size"] == 3
+        assert info["evictions"] == 3
+
+    def test_legacy_pickle_upgrades_in_place(self):
+        """Checkpoints written before the bounded cache still load."""
+        objective = _objective()
+        state = objective.__getstate__()
+        state["_cache"] = dict(state["_cache"])
+        state.pop("cache_max_entries")
+        state.pop("cache_evictions")
+        revived = StormObjective.__new__(StormObjective)
+        revived.__setstate__(state)
+        assert revived.cache_max_entries == 50_000
+        assert revived.cache_evictions == 0
+        revived.measure({"uniform_hint": 2})  # cache still functions
+
+    def test_round_trips_through_pickle(self):
+        objective = _objective(cache_max_entries=7)
+        objective.measure({"uniform_hint": 2})
+        revived = pickle.loads(pickle.dumps(objective))
+        assert revived.cache_max_entries == 7
+        assert revived.cache_info()["size"] == 1
+
+
+class TestAnalyticScreener:
+    """The BO candidate screener built on the batch model."""
+
+    def test_mask_matches_scalar_feasibility(self):
+        topology = make_topology("small")
+        cluster = default_cluster()
+        _, codec = make_synthetic_optimizer(
+            "bo", topology, cluster, SYNTHETIC_BASE_CONFIG, 8, seed=0
+        )
+        screen = make_analytic_screener(codec, topology, cluster)
+        model = AnalyticPerformanceModel(topology, cluster)
+        rng = np.random.default_rng(0)
+        candidates = rng.random((32, codec.space.dim))
+        mask = screen(candidates)
+        assert mask.shape == (32,) and mask.dtype == bool
+        for row, keep in zip(candidates, mask):
+            config = codec.decode(codec.space.decode(row))
+            assert keep == (not model.evaluate_noise_free(config).failed)
+
+    def test_wired_into_runner_bo_strategies(self):
+        topology = make_topology("small")
+        cluster = default_cluster()
+        for strategy in ("bo", "ibo"):
+            opt, _ = make_synthetic_optimizer(
+                strategy,
+                topology,
+                cluster,
+                SYNTHETIC_BASE_CONFIG,
+                8,
+                seed=0,
+                fidelity="analytic",
+            )
+            assert opt.acq.screen is not None
+            opt_plain, _ = make_synthetic_optimizer(
+                strategy, topology, cluster, SYNTHETIC_BASE_CONFIG, 8, seed=0
+            )
+            assert opt_plain.acq.screen is None
+
+
+class TestBatchModelDirect:
+    """Shape/label contract of the array-valued pass."""
+
+    def test_batch_evaluation_arrays(self):
+        topology = make_topology("small")
+        model = AnalyticBatchModel(topology, paper_cluster())
+        rng = np.random.default_rng(7)
+        configs = [
+            random_config(topology, rng, n_workers=80) for _ in range(16)
+        ]
+        batch = model.evaluate(configs)
+        assert batch.throughput_tps.shape == (16,)
+        assert batch.failed.shape == (16,)
+        assert np.all(batch.throughput_tps[batch.failed] == 0.0)
+        scalar = AnalyticPerformanceModel(topology, paper_cluster())
+        for i, config in enumerate(configs):
+            run = scalar.evaluate_noise_free(config)
+            if not run.failed:
+                assert (
+                    run.details["limiting_cap"] == batch.limiting_cap[i]
+                )

@@ -261,7 +261,14 @@ class TestObjectiveMemoization:
         assert objective.n_evaluations == 2
         assert objective.n_engine_evaluations == 1
         info = objective.cache_info()
-        assert info == {"enabled": True, "hits": 1, "misses": 1, "size": 1}
+        assert info == {
+            "enabled": True,
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "evictions": 0,
+            "max_entries": 50_000,
+        }
 
     def test_noisy_objective_does_not_memoize(self):
         objective, codec = self._objective(noise=GaussianNoise(0.05), seed=1)

@@ -86,6 +86,29 @@ class TestMachinePrimitive:
         m.add_job(Job(), now=0.0)
         assert m.next_completion_time(0.0) == pytest.approx(200.0)
 
+    def test_next_completion_time_is_a_pure_peek(self):
+        """Peeking must not advance the processor-sharing clock.
+
+        The old implementation committed ``advance_to(now)`` inside the
+        peek; the event loop relies on the peek being side-effect-free
+        so it can probe candidate event times without perturbing the
+        machine state (PR 5 satellite).
+        """
+        m = _Machine(0, usable_cores=1, core_speed=1.0, efficiency=1.0)
+        m.add_work(1, 100.0, now=0.0)
+        m.add_work(2, 100.0, now=0.0)
+        before = (m.virtual, m.last_update, list(m.active), m.n_active)
+        # Peek at several different times, repeatedly.
+        times = [m.next_completion_time(t) for t in (0.0, 10.0, 50.0, 10.0)]
+        times += [m.next_completion_time(t) for t in (0.0, 10.0, 50.0, 10.0)]
+        assert (m.virtual, m.last_update, list(m.active), m.n_active) == before
+        # Stable answers: repeated peeks at the same time agree exactly.
+        assert times[:4] == times[4:]
+        # And the projection is consistent: peeking later moves the
+        # completion no earlier.
+        assert times[0] == pytest.approx(200.0)
+        assert times[2] >= times[1] >= times[0]
+
 
 class TestEndToEnd:
     def test_measures_positive_throughput(self, cluster4):
