@@ -10,6 +10,14 @@ Usage::
     repro-experiments obs summary RUN.jsonl
     repro-experiments obs tail RUN.jsonl [-n N] [--follow]
 
+    repro-experiments drift [--profile diurnal|flash|skew|all] [--seed N]
+        [--smoke] [--json PATH] [--resume DIR] [--trace RUN.jsonl]
+
+``drift`` runs the continuous-tuning-under-drift comparison
+(docs/DRIFT.md): for each profile the same seed tunes through a
+drifting workload twice — conservative re-tune from the incumbent
+vs. cold restart — and reports post-detection recovery time.
+
 ``--full`` runs the paper-scale budgets (60/180 steps, 2 passes, 30
 re-runs); the default is a scaled-down budget suitable for a laptop.
 ``--save DIR`` exports the underlying study runs as JSON;
@@ -192,6 +200,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "obs":
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "drift":
+        from repro.experiments.drift import drift_main
+
+        return drift_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",

@@ -38,6 +38,12 @@ from repro.core.baselines import (
     ParallelLinearAscent,
     RandomSearchOptimizer,
 )
+from repro.core.continuous import (
+    ContinuousTuningLoop,
+    ContinuousTuningResult,
+    EpochRecord,
+)
+from repro.core.drift import PageHinkleyDetector
 from repro.core.executor import (
     EvaluationExecutor,
     EvaluationOutcome,
@@ -68,6 +74,9 @@ __all__ = [
     "AcquisitionOptimizer",
     "BayesianOptimizer",
     "CategoricalParameter",
+    "ContinuousTuningLoop",
+    "ContinuousTuningResult",
+    "EpochRecord",
     "EvaluationExecutor",
     "EvaluationOutcome",
     "FloatParameter",
@@ -79,6 +88,7 @@ __all__ = [
     "Matern52",
     "Observation",
     "Optimizer",
+    "PageHinkleyDetector",
     "ParallelLinearAscent",
     "Parameter",
     "ParameterSpace",

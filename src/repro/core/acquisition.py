@@ -126,6 +126,14 @@ class AcquisitionOptimizer:
         #: :func:`repro.storm.analytic_batch.make_analytic_screener`.
         #: Opt-in: ``None`` (the default) leaves proposals untouched.
         self.screen = screen
+        #: Optional trust region ``(center, radius)`` in unit-cube
+        #: coordinates: every candidate is clipped into the box
+        #: ``[center - radius, center + radius]`` (intersected with the
+        #: cube) before scoring, and gradient refinement is bounded to
+        #: the same box.  The continuous-tuning loop sets this around
+        #: the incumbent after a drift detection so re-tuning explores
+        #: conservatively (docs/DRIFT.md); ``None`` disables it.
+        self.trust_region: tuple[np.ndarray, float] | None = None
 
     # ------------------------------------------------------------------
     def score(
@@ -158,6 +166,9 @@ class AcquisitionOptimizer:
             candidates.append(space.round_trip_batch(np.clip(local, 0.0, 1.0)))
             candidates.append(self._neighbourhood(space, best_x, rng))
         candidates = np.vstack(candidates)
+        if self.trust_region is not None:
+            lo, hi = self._trust_bounds(space.dim)
+            candidates = space.round_trip_batch(np.clip(candidates, lo, hi))
         scores = self.score(gp, candidates, best_y)
         n_screened_out = 0
         if self.screen is not None:
@@ -196,6 +207,19 @@ class AcquisitionOptimizer:
             refine_iterations=refine_iterations,
             n_screened_out=n_screened_out,
         )
+
+    def _trust_bounds(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        """The trust-region box intersected with the unit cube."""
+        assert self.trust_region is not None
+        center, radius = self.trust_region
+        center = np.asarray(center, dtype=float).ravel()
+        if center.shape[0] != dim:
+            raise ValueError(
+                f"trust-region center has dim {center.shape[0]}, space has {dim}"
+            )
+        lo = np.clip(center - radius, 0.0, 1.0)
+        hi = np.clip(center + radius, 0.0, 1.0)
+        return lo, hi
 
     def _neighbourhood(
         self,
@@ -245,12 +269,18 @@ class AcquisitionOptimizer:
             grad = (values[1 : 1 + dim] - values[1 + dim :]) / (2.0 * eps)
             return -float(values[0]), -grad
 
+        if self.trust_region is not None:
+            lo, hi = self._trust_bounds(dim)
+            bounds = list(zip(lo.tolist(), hi.tolist()))
+            x0 = np.clip(x0, lo, hi)
+        else:
+            bounds = [(0.0, 1.0)] * dim
         result = sopt.minimize(
             neg_acq_and_grad,
             x0,
             jac=True,
             method="L-BFGS-B",
-            bounds=[(0.0, 1.0)] * dim,
+            bounds=bounds,
             options={"maxiter": 30},
         )
         snapped = space.round_trip(np.clip(result.x, 0.0, 1.0))

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -49,7 +50,11 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     """Write ``text`` to ``path`` so readers see old or new, never torn.
 
     The temp file lives in the destination directory because
-    ``os.replace`` is only atomic within one filesystem.
+    ``os.replace`` is only atomic within one filesystem.  After the
+    replace, the *directory* is fsynced too: the rename itself lives in
+    directory metadata, and without flushing it a power cut can forget
+    the replace even though the file data was synced.  Platforms where
+    a directory cannot be opened for reading skip that step.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -68,6 +73,21 @@ def atomic_write_text(path: str | Path, text: str) -> None:
         except OSError:
             pass
         raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory's metadata (the rename)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 @dataclass
@@ -139,6 +159,16 @@ def load_checkpoint(path: str | Path) -> TuningCheckpoint | None:
             break
         kind = record.get("type")
         if kind == "meta":
+            version = record.get("version")
+            if version != CHECKPOINT_VERSION:
+                warnings.warn(
+                    f"checkpoint {path} has version {version!r} but this "
+                    f"build reads version {CHECKPOINT_VERSION}; ignoring "
+                    "the checkpoint (the run will start fresh)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return None
             saw_meta = True
             checkpoint.strategy = str(record.get("strategy", ""))
             seed = record.get("seed")

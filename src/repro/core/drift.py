@@ -1,0 +1,160 @@
+"""Workload-drift detection over incumbent re-measurements.
+
+The paper tunes against a *stationary* workload: one Bayesian
+optimization pass, one incumbent, done.  Real stream workloads drift —
+diurnal load cycles, flash crowds, hot-key migration — and a
+configuration tuned for the old conditions quietly degrades.  This
+module supplies the detection half of the continuous-tuning story
+(docs/DRIFT.md): a Page-Hinkley test over the relative deviations of
+periodic incumbent re-measurements.
+
+Page-Hinkley is the sequential-analysis cousin of CUSUM: it accumulates
+the deviation of each sample from the running mean (minus a slack
+``delta``) and signals when the accumulated sum departs from its
+historical extremum by more than ``threshold``.  We run it two-sided —
+a workload change can *raise* measured throughput (load trough) as well
+as crater it (flash crowd, skew) — and normalize each deviation by the
+running mean magnitude so thresholds are scale-free: the same detector
+settings work for a 100-tuple/s topology and a 100k-tuple/s one.
+
+The detector is deliberately pure state + arithmetic: no I/O, no
+observability calls.  :class:`~repro.core.continuous.
+ContinuousTuningLoop` owns the ``drift.*`` spans and events, and
+serializes detector state into its sidecar checkpoint via
+:meth:`PageHinkleyDetector.state_dict` so a killed-and-resumed run
+re-arms the test exactly where it left off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+class PageHinkleyDetector:
+    """Two-sided Page-Hinkley test over relative deviations.
+
+    ``update(value)`` feeds one incumbent re-measurement and returns
+    True when a change point is detected.  ``delta`` is the slack per
+    sample (tolerated relative wobble — measurement noise should live
+    comfortably below it), ``threshold`` the accumulated relative
+    deviation that triggers, and ``min_samples`` the number of samples
+    required before the test may fire (the running mean needs a little
+    history to be a meaningful reference).
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.02,
+        threshold: float = 0.25,
+        min_samples: int = 2,
+    ) -> None:
+        if delta < 0.0:
+            raise ValueError("delta must be >= 0")
+        if threshold <= 0.0:
+            raise ValueError("threshold must be > 0")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.n_detections = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm the test (called after each handled detection)."""
+        self._n = 0
+        self._mean = 0.0
+        self._cum_up = 0.0  # accumulates rel - delta; upward shifts
+        self._min_up = 0.0
+        self._cum_down = 0.0  # accumulates rel + delta; downward shifts
+        self._max_down = 0.0
+        self.statistic = 0.0
+        #: Relative deviation of the most recent sample from the prior
+        #: mean — negative for drops.  Callers use it to grade how
+        #: severe the detected change is.
+        self.last_deviation = 0.0
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def update(self, value: float) -> bool:
+        """Feed one measurement; True when drift is detected.
+
+        Non-finite measurements are rejected — the caller decides what
+        a failed incumbent measurement means (the continuous loop feeds
+        0.0, which reads as a collapse and trips the test immediately).
+        """
+        v = float(value)
+        if not math.isfinite(v):
+            raise ValueError(f"measurement must be finite, got {v!r}")
+        # Deviation against the mean of *prior* samples: with only a
+        # handful of monitor points per drift event, folding the new
+        # sample into the reference first would dilute exactly the
+        # excursion the test exists to catch.
+        if self._n == 0:
+            rel = 0.0
+        else:
+            denom = abs(self._mean)
+            rel = (v - self._mean) / denom if denom > 0.0 else v - self._mean
+        self.last_deviation = rel
+        self._n += 1
+        self._mean += (v - self._mean) / self._n
+        self._cum_up += rel - self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._cum_down += rel + self.delta
+        self._max_down = max(self._max_down, self._cum_down)
+        self.statistic = max(
+            self._cum_up - self._min_up, self._max_down - self._cum_down
+        )
+        if self._n < self.min_samples:
+            return False
+        drifted = self.statistic > self.threshold
+        if drifted:
+            self.n_detections += 1
+        return drifted
+
+    # ------------------------------------------------------------------
+    # Checkpointing (pure-JSON state, docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "n": self._n,
+            "mean": self._mean,
+            "cum_up": self._cum_up,
+            "min_up": self._min_up,
+            "cum_down": self._cum_down,
+            "max_down": self._max_down,
+            "statistic": self.statistic,
+            "last_deviation": self.last_deviation,
+            "n_detections": self.n_detections,
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self.delta = float(state["delta"])  # type: ignore[arg-type]
+        self.threshold = float(state["threshold"])  # type: ignore[arg-type]
+        self.min_samples = int(state["min_samples"])  # type: ignore[arg-type]
+        self._n = int(state["n"])  # type: ignore[arg-type]
+        self._mean = float(state["mean"])  # type: ignore[arg-type]
+        self._cum_up = float(state["cum_up"])  # type: ignore[arg-type]
+        self._min_up = float(state["min_up"])  # type: ignore[arg-type]
+        self._cum_down = float(state["cum_down"])  # type: ignore[arg-type]
+        self._max_down = float(state["max_down"])  # type: ignore[arg-type]
+        self.statistic = float(state["statistic"])  # type: ignore[arg-type]
+        self.last_deviation = float(state.get("last_deviation", 0.0))  # type: ignore[arg-type]
+        self.n_detections = int(state.get("n_detections", 0))  # type: ignore[arg-type]
+
+    @classmethod
+    def from_state_dict(cls, state: Mapping[str, object]) -> "PageHinkleyDetector":
+        detector = cls()
+        detector.load_state_dict(state)
+        return detector

@@ -72,6 +72,12 @@ class GaussianProcess:
         self._posterior: _Posterior | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        #: Optional per-point *extra* observation variance (standardized
+        #: units) added to the homoscedastic noise diagonal — how the
+        #: continuous-tuning loop down-weights stale pre-drift
+        #: observations (docs/DRIFT.md).  ``None`` keeps the classic
+        #: homoscedastic path bit-for-bit.
+        self._y_err: np.ndarray | None = None
         #: Telemetry: how the posterior has been maintained so far.
         self.n_full_fits = 0
         self.n_incremental_updates = 0
@@ -100,9 +106,15 @@ class GaussianProcess:
         optimize_hyperparams: bool = True,
         n_restarts: int = 2,
         rng: np.random.Generator | None = None,
+        y_err: np.ndarray | None = None,
     ) -> "GaussianProcess":
         """Condition the GP on observations (and optionally refit
-        hyperparameters by multi-start ML-II).  Returns self."""
+        hyperparameters by multi-start ML-II).  Returns self.
+
+        ``y_err`` gives each observation *extra* variance (standardized
+        units) on top of the fitted homoscedastic noise — points with
+        large entries are down-weighted in the posterior.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if X.shape[0] != y.shape[0]:
@@ -113,6 +125,13 @@ class GaussianProcess:
             raise ValueError(
                 f"X has dim {X.shape[1]}, kernel expects {self.kernel.dim}"
             )
+        if y_err is not None:
+            y_err = np.asarray(y_err, dtype=float).ravel()
+            if y_err.shape[0] != y.shape[0]:
+                raise ValueError("y_err must match y in length")
+            if np.any(y_err < 0):
+                raise ValueError("y_err entries must be >= 0")
+        self._y_err = y_err
 
         if self.normalize_y:
             self._y_mean = float(np.mean(y))
@@ -149,6 +168,10 @@ class GaussianProcess:
         if self._posterior is None:
             return self.fit(x[None, :], [float(y)], optimize_hyperparams=False)
         post = self._posterior
+        if self._y_err is not None:
+            # The fresh observation carries no staleness variance; the
+            # cached factor already encodes the old points' extra diag.
+            self._y_err = np.append(self._y_err, 0.0)
         z_new = (float(y) - self._y_mean) / self._y_std
         X_new = np.vstack([post.X, x[None, :]])
         z = np.append(post.y, z_new)
@@ -202,6 +225,8 @@ class GaussianProcess:
         n = X.shape[0]
         K = self.kernel(X)
         Kn = K + (self.noise + JITTER) * np.eye(n)
+        if self._y_err is not None:
+            Kn = Kn + np.diag(self._y_err)
         try:
             L = sla.cholesky(Kn, lower=True)
         except sla.LinAlgError:
@@ -260,6 +285,8 @@ class GaussianProcess:
         n = X.shape[0]
         K = self.kernel(X)
         Kn = K + (self.noise + JITTER) * np.eye(n)
+        if self._y_err is not None and self._y_err.shape[0] == n:
+            Kn = Kn + np.diag(self._y_err)
         try:
             L = sla.cholesky(Kn, lower=True)
         except sla.LinAlgError:

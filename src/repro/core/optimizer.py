@@ -167,6 +167,14 @@ class BayesianOptimizer(Optimizer):
         #: the "worst seen" down and spiral.
         self._failure_mask: list[bool] = []
         self._last_failure_reason = ""
+        #: Aligned with ``y``: extra GP variance (standardized units)
+        #: assigned to each observation.  Zero for fresh measurements;
+        #: :meth:`retune_from_incumbent` inflates the entries of
+        #: pre-drift observations so they inform without anchoring the
+        #: posterior (docs/DRIFT.md).
+        self._stale_var: list[float] = []
+        self._trust_center: np.ndarray | None = None
+        self._trust_radius: float | None = None
         self._initial_configs: list[np.ndarray] = []
         for config in initial_configs or []:
             space.validate(config)
@@ -337,6 +345,7 @@ class BayesianOptimizer(Optimizer):
         self.X.append(x)
         self.y.append(float(value))
         self._failure_mask.append(failed)
+        self._stale_var.append(0.0)
         self._pending = None
         if len(self.X) < 2:
             return
@@ -394,6 +403,8 @@ class BayesianOptimizer(Optimizer):
             "fantasies_total": self._n_fantasies_total,
             "failed_observations": sum(self._failure_mask),
             "last_failure_reason": self._last_failure_reason,
+            "stale_observations": sum(1 for v in self._stale_var if v > 0.0),
+            "trust_radius": self._trust_radius,
         }
 
     def best(self) -> tuple[dict[str, object], float]:
@@ -401,6 +412,56 @@ class BayesianOptimizer(Optimizer):
             raise RuntimeError("no observations yet")
         idx = int(np.argmax(self.y) if self.maximize else np.argmin(self.y))
         return self.space.decode(self.X[idx]), self.y[idx]
+
+    # ------------------------------------------------------------------
+    # Continuous tuning (docs/DRIFT.md)
+    # ------------------------------------------------------------------
+    def retune_from_incumbent(
+        self,
+        config: Mapping[str, object],
+        *,
+        trust_radius: float | None = 0.15,
+        stale_inflation: float = 4.0,
+    ) -> None:
+        """Prepare a conservative re-tune around ``config`` after drift.
+
+        Every existing observation was measured under the *pre-drift*
+        workload, so it is kept — the response surface moved, it did not
+        vanish — but down-weighted by adding ``stale_inflation``
+        standardized variance units to its GP noise term.  New proposals
+        are confined to a unit-cube box of half-width ``trust_radius``
+        around the (encoded) incumbent, so the loop keeps serving close
+        to the last known-good configuration while it re-explores.
+        ``trust_radius=None`` skips the box entirely — stale observations
+        are still down-weighted, but proposals roam the full space; the
+        right response when the shift is mild and the surface mostly
+        intact.
+
+        Repeated drift events compound: each call adds another
+        ``stale_inflation`` to observations that were already stale.
+        Call :meth:`clear_trust_region` to return to global search.
+        """
+        if trust_radius is not None and trust_radius <= 0.0:
+            raise ValueError("trust_radius must be > 0")
+        if stale_inflation < 0.0:
+            raise ValueError("stale_inflation must be >= 0")
+        center = np.asarray(self.space.encode(config), dtype=float)
+        self._stale_var = [v + stale_inflation for v in self._stale_var]
+        if trust_radius is None:
+            self.clear_trust_region()
+        else:
+            self._trust_center = center
+            self._trust_radius = float(trust_radius)
+            self.acq.trust_region = (center, float(trust_radius))
+        if self.X:
+            self._fit_gp(optimize_hyperparams=len(self.X) >= 3)
+            self._steps_since_refit = 0
+
+    def clear_trust_region(self) -> None:
+        """Drop the trust region; proposals roam the full space again."""
+        self._trust_center = None
+        self._trust_radius = None
+        self.acq.trust_region = None
 
     # ------------------------------------------------------------------
     # Internals
@@ -413,6 +474,14 @@ class BayesianOptimizer(Optimizer):
         y = np.asarray(self._pending_y, dtype=float)
         return y if self.maximize else -y
 
+    def _stale_y_err(self, n_pending: int) -> np.ndarray | None:
+        """Per-point extra GP variance, or ``None`` when all fresh."""
+        if not any(v > 0.0 for v in self._stale_var):
+            return None
+        return np.asarray(
+            self._stale_var + [0.0] * n_pending, dtype=float
+        )
+
     def _fit_gp(self, *, optimize_hyperparams: bool) -> None:
         """Condition the GP on real observations plus active fantasies."""
         X = np.vstack(self.X + self._pending_X)
@@ -423,6 +492,7 @@ class BayesianOptimizer(Optimizer):
             optimize_hyperparams=optimize_hyperparams,
             n_restarts=self.n_restarts,
             rng=self._rng,
+            y_err=self._stale_y_err(len(self._pending_X)),
         )
         if self.hyper_inference == "mcmc" and optimize_hyperparams:
             from repro.core.mcmc import (
@@ -445,7 +515,18 @@ class BayesianOptimizer(Optimizer):
 
     def _propose(self) -> np.ndarray:
         y = self._signed_y()
-        best_idx = int(np.argmax(y))
+        # EI's incumbent must be *achievable*: after a drift re-tune the
+        # stale pre-drift maximum may sit far above anything the new
+        # conditions allow, flattening the acquisition surface.  Rank
+        # only fresh observations when any are stale (falling back to
+        # the global best while none have been re-measured yet).
+        fresh = np.flatnonzero(
+            np.asarray([v == 0.0 for v in self._stale_var], dtype=bool)
+        )
+        if 0 < fresh.size < y.size:
+            best_idx = int(fresh[np.argmax(y[fresh])])
+        else:
+            best_idx = int(np.argmax(y))
         with obs_runtime.current().tracer.span(
             "acq.propose", n_obs=len(self.X)
         ) as span:
@@ -511,6 +592,13 @@ class BayesianOptimizer(Optimizer):
             "steps_since_refit": self._steps_since_refit,
             "y_mean": self.gp._y_mean,
             "y_std": self.gp._y_std,
+            "stale_variance": list(map(float, self._stale_var)),
+            "trust_center": (
+                None
+                if self._trust_center is None
+                else list(map(float, self._trust_center))
+            ),
+            "trust_radius": self._trust_radius,
         }
 
     @classmethod
@@ -548,6 +636,18 @@ class BayesianOptimizer(Optimizer):
         optimizer.gp.kernel.theta = np.asarray(state["kernel_theta"], dtype=float)
         optimizer.gp._log_noise = float(state["log_noise"])  # type: ignore[arg-type]
         optimizer._steps_since_refit = int(state.get("steps_since_refit", 0))  # type: ignore[arg-type]
+        optimizer._stale_var = [
+            float(v)
+            for v in state.get("stale_variance", [0.0] * len(optimizer.y))  # type: ignore[arg-type]
+        ]
+        trust_center = state.get("trust_center")
+        if trust_center is not None:
+            optimizer._trust_center = np.asarray(trust_center, dtype=float)
+            optimizer._trust_radius = float(state["trust_radius"])  # type: ignore[arg-type]
+            optimizer.acq.trust_region = (
+                optimizer._trust_center,
+                optimizer._trust_radius,
+            )
         if optimizer.X:
             if "y_mean" in state:
                 # Recondition under the exact normalization the paused
@@ -556,6 +656,7 @@ class BayesianOptimizer(Optimizer):
                 gp = optimizer.gp
                 gp._y_mean = float(state["y_mean"])  # type: ignore[arg-type]
                 gp._y_std = float(state["y_std"])  # type: ignore[arg-type]
+                gp._y_err = optimizer._stale_y_err(0)
                 z = (optimizer._signed_y() - gp._y_mean) / gp._y_std
                 gp._refresh_posterior(np.vstack(optimizer.X), z)
             else:  # states saved before normalization was serialized

@@ -14,7 +14,9 @@ This subpackage is the reproduction's stand-in for the paper's physical
   simulator (:mod:`repro.storm.simulation`) and a fast analytic
   bottleneck model (:mod:`repro.storm.analytic`),
 * measurement noise (:mod:`repro.storm.noise`) and run metrics
-  (:mod:`repro.storm.metrics`).
+  (:mod:`repro.storm.metrics`),
+* time-varying workload schedules — drift profiles — sampled by all
+  engines (:mod:`repro.storm.schedule`, docs/DRIFT.md).
 """
 
 from repro.storm.analytic import AnalyticPerformanceModel, CalibrationParams
@@ -25,6 +27,14 @@ from repro.storm.local import BatchAwareBolt, LocalTopologyRunner
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import GaussianNoise, InterferenceNoise, NoNoise
 from repro.storm.objective import StormObjective
+from repro.storm.schedule import (
+    ConstantSchedule,
+    DiurnalSchedule,
+    FlashCrowdSchedule,
+    SkewShiftSchedule,
+    WorkloadPoint,
+    WorkloadSchedule,
+)
 from repro.storm.scheduler import Assignment, EvenScheduler
 from repro.storm.sensitivity import SensitivityAnalyzer
 from repro.storm.simulation import DiscreteEventSimulator
@@ -40,8 +50,11 @@ __all__ = [
     "BatchAwareBolt",
     "CalibrationParams",
     "ClusterSpec",
+    "ConstantSchedule",
     "DiscreteEventSimulator",
+    "DiurnalSchedule",
     "EvenScheduler",
+    "FlashCrowdSchedule",
     "GaussianNoise",
     "Grouping",
     "InterferenceNoise",
@@ -52,11 +65,14 @@ __all__ = [
     "OperatorKind",
     "OperatorSpec",
     "SensitivityAnalyzer",
+    "SkewShiftSchedule",
     "StormObjective",
     "Topology",
     "TopologyBuilder",
     "TopologyConfig",
     "Tuple",
+    "WorkloadPoint",
+    "WorkloadSchedule",
     "fuse_linear_chains",
     "load_topology",
     "paper_cluster",

@@ -41,6 +41,7 @@ from repro.storm.faults import FaultPlan, inject_faults
 from repro.storm.grouping import effective_parallelism, remote_fraction
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel, NoNoise, draw_observation
+from repro.storm.schedule import WorkloadPoint, WorkloadSchedule
 from repro.storm.topology import Topology, effective_cost
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -146,12 +147,14 @@ class AnalyticPerformanceModel:
         noise: NoiseModel | None = None,
         seed: int | None = None,
         faults: FaultPlan | None = None,
+        schedule: WorkloadSchedule | None = None,
     ) -> None:
         self.topology = topology
         self.cluster = cluster
         self.calibration = calibration or CalibrationParams()
         self.noise = noise or NoNoise()
         self.faults = faults
+        self.schedule = schedule
         self._rng = np.random.default_rng(seed)
         self._acker_model = AckerModel(ack_cost_units=self.calibration.ack_cost_units)
         # Topology-derived constants, independent of the configuration.
@@ -199,18 +202,26 @@ class AnalyticPerformanceModel:
     # Public API
     # ------------------------------------------------------------------
     def evaluate(
-        self, config: TopologyConfig, *, seed: int | None = None
+        self,
+        config: TopologyConfig,
+        *,
+        seed: int | None = None,
+        workload_time_s: float = 0.0,
     ) -> MeasuredRun:
         """Deterministic mechanics plus faults and observation noise.
 
         ``seed`` draws the noise (and any injected fault decision, see
         :mod:`repro.storm.faults`) from a per-evaluation stream instead
         of the engine's shared one (see
-        :func:`repro.storm.noise.draw_observation`).
+        :func:`repro.storm.noise.draw_observation`).  ``workload_time_s``
+        samples the engine's :class:`WorkloadSchedule` (if any) at that
+        offset; without a schedule it is ignored.
         """
         run = inject_faults(
             self.faults,
-            lambda: self.evaluate_noise_free(config),
+            lambda: self.evaluate_noise_free(
+                config, workload_time_s=workload_time_s
+            ),
             config_key=repr(config),
             seed=seed,
             tracer=obs_runtime.current().tracer,
@@ -224,7 +235,9 @@ class AnalyticPerformanceModel:
     def __call__(self, config: TopologyConfig) -> float:
         return self.evaluate(config).throughput_tps
 
-    def evaluate_noise_free(self, config: TopologyConfig) -> MeasuredRun:
+    def evaluate_noise_free(
+        self, config: TopologyConfig, *, workload_time_s: float = 0.0
+    ) -> MeasuredRun:
         """Closed-form steady-state evaluation of one configuration.
 
         Computes per-operator stage times, batch latency, and the six
@@ -234,7 +247,7 @@ class AnalyticPerformanceModel:
         """
         ctx = obs_runtime.current()
         with ctx.tracer.span("engine.analytic.evaluate") as span:
-            run = self._evaluate_mechanics(config)
+            run = self._evaluate_mechanics(config, self._point_at(workload_time_s))
             if run.failed:
                 span.set_attribute("failed", True)
                 ctx.tracer.event(
@@ -257,12 +270,18 @@ class AnalyticPerformanceModel:
             from repro.storm.analytic_batch import AnalyticBatchModel
 
             self._batch_model = AnalyticBatchModel(
-                self.topology, self.cluster, self.calibration
+                self.topology,
+                self.cluster,
+                self.calibration,
+                schedule=self.schedule,
             )
         return self._batch_model
 
     def evaluate_noise_free_batch(
-        self, configs: Sequence[TopologyConfig]
+        self,
+        configs: Sequence[TopologyConfig],
+        *,
+        workload_time_s: float = 0.0,
     ) -> list[MeasuredRun]:
         """Batch counterpart of :meth:`evaluate_noise_free`.
 
@@ -270,7 +289,7 @@ class AnalyticPerformanceModel:
         ``engine.analytic.evaluate_batch``), bit-identical to calling
         :meth:`evaluate_noise_free` per config.
         """
-        batch = self.batch_model.evaluate(configs)
+        batch = self.batch_model.evaluate(configs, workload_time_s=workload_time_s)
         tracer = obs_runtime.current().tracer
         runs = batch.runs()
         for run in runs:
@@ -285,6 +304,7 @@ class AnalyticPerformanceModel:
         configs: Sequence[TopologyConfig],
         *,
         seeds: Sequence[int | None] | None = None,
+        workload_time_s: float = 0.0,
     ) -> list[MeasuredRun]:
         """Batch counterpart of :meth:`evaluate`: mechanics + faults + noise.
 
@@ -298,7 +318,7 @@ class AnalyticPerformanceModel:
         """
         if seeds is not None and len(seeds) != len(configs):
             raise ValueError("seeds must match configs in length")
-        batch = self.batch_model.evaluate(configs)
+        batch = self.batch_model.evaluate(configs, workload_time_s=workload_time_s)
         tracer = obs_runtime.current().tracer
         noiseless = type(self.noise) is NoNoise
         out: list[MeasuredRun] = []
@@ -337,7 +357,15 @@ class AnalyticPerformanceModel:
             out.append(run.with_throughput(observed))
         return out
 
-    def _evaluate_mechanics(self, config: TopologyConfig) -> MeasuredRun:
+    def _point_at(self, workload_time_s: float) -> WorkloadPoint | None:
+        """Sample the schedule; ``None`` (no schedule) keeps the static path."""
+        if self.schedule is None:
+            return None
+        return self.schedule.at(workload_time_s)
+
+    def _evaluate_mechanics(
+        self, config: TopologyConfig, point: WorkloadPoint | None = None
+    ) -> MeasuredRun:
         topo = self.topology
         cluster = self.cluster
         cal = self.calibration
@@ -364,17 +392,29 @@ class AnalyticPerformanceModel:
         B = float(config.batch_size)
         P = float(config.batch_parallelism)
 
-        # Per-operator per-batch stage times.
+        # Per-operator per-batch stage times.  A workload point scales
+        # per-tuple cost by its load and shaves grouped-stream
+        # parallelism by its skew — mirrored expression-for-expression
+        # in AnalyticBatchModel._mechanics (bit-compatibility contract).
+        skew_factor = 1.0 - point.skew if point is not None else 1.0
         stage_times: dict[str, float] = {}
         total_work = 0.0
         for name in self._order:
             op = topo.operator(name)
             n_tasks = hints[name]
             cost = effective_cost(op, n_tasks)
+            if point is not None:
+                cost = cost * point.load
             tuples = B * self._volumes[name]
             work = tuples * cost  # compute-unit milliseconds
             total_work += work
             parallelism = self._operator_parallelism(name, n_tasks)
+            if (
+                point is not None
+                and point.skew != 0.0
+                and self._edge_min_parallelism_grouping[name]
+            ):
+                parallelism = parallelism * skew_factor
             parallelism = min(parallelism, usable_cores * n_machines)
             rate = max(parallelism, 1e-12) * machine.core_speed * eta
             compute_time = work / rate if work > 0 else 0.0
@@ -422,6 +462,11 @@ class AnalyticPerformanceModel:
                 / self._ack_demand_units
             )
         remote_tuples, remote_bytes, ingest_bytes = self._network_demand(B, hints)
+        if point is not None:
+            # Load is per-tuple weight: heavier tuples ship more bytes,
+            # but the tuple *count* per batch is unchanged.
+            remote_bytes = remote_bytes * point.load
+            ingest_bytes = ingest_bytes * point.load
         cap_receiver = self._receiver_cap(config, remote_tuples, B)
         cap_nic = self._nic_cap(remote_bytes + ingest_bytes, B)
 
@@ -436,7 +481,7 @@ class AnalyticPerformanceModel:
         limiting_name, throughput = caps.limiting()
 
         # Memory feasibility: executor overhead plus resident batch data.
-        mem_fail = self._memory_exceeded(config, hints, total_executors, B, P)
+        mem_fail = self._memory_exceeded(config, hints, total_executors, B, P, point)
         if mem_fail is not None:
             return MeasuredRun.failure(mem_fail, total_tasks=sum(hints.values()))
 
@@ -550,12 +595,15 @@ class AnalyticPerformanceModel:
         total_executors: int,
         B: float,
         P: float,
+        point: WorkloadPoint | None = None,
     ) -> str | None:
         cal = self.calibration
         cluster = self.cluster
         executors_per_machine = total_executors / cluster.n_machines
         task_mb = executors_per_machine * cal.per_task_memory_mb
         inflight_bytes = B * P * self._inflight_bytes_per_batch_unit
+        if point is not None:
+            inflight_bytes = inflight_bytes * point.load
         data_mb = inflight_bytes / cluster.n_machines / 1e6
         budget = cluster.machine.memory_mb * cal.usable_memory_fraction
         if task_mb + data_mb > budget:

@@ -48,6 +48,7 @@ from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
 from repro.storm.grouping import Grouping, effective_parallelism, remote_fraction
 from repro.storm.metrics import MeasuredRun
+from repro.storm.schedule import WorkloadPoint, WorkloadSchedule
 from repro.storm.topology import Topology
 
 #: One C-level attrgetter call per config instead of four attribute
@@ -210,10 +211,12 @@ class AnalyticBatchModel:
         topology: Topology,
         cluster: ClusterSpec,
         calibration: CalibrationParams | None = None,
+        schedule: WorkloadSchedule | None = None,
     ) -> None:
         self.topology = topology
         self.cluster = cluster
         self.calibration = calibration or CalibrationParams()
+        self.schedule = schedule
         cal = self.calibration
 
         # --- topology-dependent structures, computed once -------------
@@ -247,6 +250,12 @@ class AnalyticBatchModel:
         self._contentious_row = np.asarray(self._contentious, dtype=bool)
         self._no_grouping_cols = np.asarray(
             [j for j, gs in enumerate(self._op_groupings) if not gs],
+            dtype=np.intp,
+        )
+        # Complement: operators fed by at least one grouped stream —
+        # the columns a workload point's skew shaves.
+        self._grouped_cols = np.asarray(
+            [j for j, gs in enumerate(self._op_groupings) if gs],
             dtype=np.intp,
         )
         grouped: dict[Grouping, list[int]] = {}
@@ -296,23 +305,44 @@ class AnalyticBatchModel:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def evaluate(self, configs: Sequence[TopologyConfig]) -> BatchEvaluation:
-        """Vectorized noise-free mechanics for all ``configs`` at once."""
+    def evaluate(
+        self,
+        configs: Sequence[TopologyConfig],
+        *,
+        workload_time_s: float = 0.0,
+    ) -> BatchEvaluation:
+        """Vectorized noise-free mechanics for all ``configs`` at once.
+
+        ``workload_time_s`` samples the model's
+        :class:`~repro.storm.schedule.WorkloadSchedule` (if any) at that
+        offset; all N rows see the same workload point, mirroring the
+        scalar engine evaluated N times at the same instant.
+        """
         ctx = obs_runtime.current()
         started = time.perf_counter()
+        point = (
+            self.schedule.at(workload_time_s) if self.schedule is not None else None
+        )
         with ctx.tracer.span(
             "engine.analytic.evaluate_batch", n_configs=len(configs)
         ) as span:
-            result = self._mechanics(list(configs))
+            result = self._mechanics(list(configs), point)
             span.set_attribute("n_failed", int(result.failed.sum()))
         seconds = time.perf_counter() - started
         ctx.metrics.histogram("engine.batch_size").record(float(len(configs)))
         ctx.metrics.histogram("engine.batch_seconds").record(seconds)
         return result
 
-    def throughputs(self, configs: Sequence[TopologyConfig]) -> np.ndarray:
+    def throughputs(
+        self,
+        configs: Sequence[TopologyConfig],
+        *,
+        workload_time_s: float = 0.0,
+    ) -> np.ndarray:
         """Shorthand: the throughput vector (0.0 for infeasible rows)."""
-        return self.evaluate(configs).throughput_tps
+        return self.evaluate(
+            configs, workload_time_s=workload_time_s
+        ).throughput_tps
 
     # ------------------------------------------------------------------
     # Internals
@@ -400,7 +430,11 @@ class AnalyticBatchModel:
         out[need] = scaled
         return out
 
-    def _mechanics(self, configs: list[TopologyConfig]) -> BatchEvaluation:
+    def _mechanics(
+        self,
+        configs: list[TopologyConfig],
+        point: WorkloadPoint | None = None,
+    ) -> BatchEvaluation:
         cal = self.calibration
         cluster = self.cluster
         machine = cluster.machine
@@ -496,6 +530,9 @@ class AnalyticBatchModel:
             cost_matrix = np.where(
                 self._contentious_row, self._cost_row * hints_f, self._cost_row
             )
+            if point is not None:
+                # Scalar path: cost = effective_cost(...) * point.load.
+                cost_matrix = cost_matrix * point.load
             work = (B[:, None] * self._volume_row) * cost_matrix
             total_work = np.cumsum(work, axis=1)[:, -1]
 
@@ -511,6 +548,18 @@ class AnalyticBatchModel:
                 bound = self._table(grouping, n_max).take(hints[:, cols])
                 np.minimum(parallelism[:, cols], bound, out=bound)
                 parallelism[:, cols] = bound
+            if (
+                point is not None
+                and point.skew != 0.0
+                and self._grouped_cols.size
+            ):
+                # Scalar path: parallelism *= (1.0 - point.skew) for
+                # operators with incoming groupings, before the
+                # machine-core clamp.
+                skew_factor = 1.0 - point.skew
+                parallelism[:, self._grouped_cols] = (
+                    parallelism[:, self._grouped_cols] * skew_factor
+                )
             # min(parallelism, usable_cores * n_machines): Python's
             # min may return the int, but the downstream float
             # arithmetic is value-identical either way.
@@ -575,6 +624,11 @@ class AnalyticBatchModel:
                 )[-1]
             else:
                 ingest_bytes = np.zeros(n, dtype=np.float64)
+            if point is not None:
+                # Load scales tuple *weight*, not tuple count: byte
+                # totals grow, remote_tuples (receiver cap) does not.
+                remote_bytes = remote_bytes * point.load
+                ingest_bytes = ingest_bytes * point.load
 
             rec_per_worker = remote_tuples / cluster.total_workers
             rec_capacity = receiver_threads * cal.receiver_tuples_per_ms
@@ -601,6 +655,8 @@ class AnalyticBatchModel:
             executors_per_machine = total_executors / n_machines
             task_mb = executors_per_machine * cal.per_task_memory_mb
             inflight_bytes = B * P * self._inflight_bytes_per_batch_unit
+            if point is not None:
+                inflight_bytes = inflight_bytes * point.load
             data_mb = inflight_bytes / n_machines / 1e6
             budget = machine.memory_mb * cal.usable_memory_fraction
             failed_memory = (

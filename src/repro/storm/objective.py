@@ -28,6 +28,7 @@ from repro.storm.config import TopologyConfig
 from repro.storm.faults import FaultPlan
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel
+from repro.storm.schedule import WorkloadSchedule
 from repro.storm.simulation import DiscreteEventSimulator
 from repro.storm.spaces import ConfigCodec
 from repro.storm.topology import Topology
@@ -67,6 +68,13 @@ class StormObjective:
         with per-seed keys would otherwise grow the cache without
         bound; ``None`` disables the bound.  Evictions are reported in
         :meth:`cache_info`.
+    schedule:
+        Optional :class:`~repro.storm.schedule.WorkloadSchedule` making
+        the workload time-varying (docs/DRIFT.md).  Evaluations sample
+        the schedule at :attr:`workload_time_s` (advance it with
+        :meth:`set_workload_time`), and the memo-cache key gains a time
+        component so the same configuration measured at different
+        workload instants never collides.
     """
 
     def __init__(
@@ -83,11 +91,14 @@ class StormObjective:
         faults: FaultPlan | None = None,
         memoize: bool | None = None,
         cache_max_entries: int | None = 50_000,
+        schedule: WorkloadSchedule | None = None,
     ) -> None:
         self.topology = topology
         self.cluster = cluster
         self.codec = codec
         self.fidelity = fidelity
+        self.schedule = schedule
+        self.workload_time_s = 0.0
         if fidelity == "analytic":
             self.engine = AnalyticPerformanceModel(
                 topology,
@@ -96,6 +107,7 @@ class StormObjective:
                 noise=noise,
                 seed=seed,
                 faults=faults,
+                schedule=schedule,
             )
         elif fidelity == "des":
             self.engine = DiscreteEventSimulator(
@@ -105,6 +117,7 @@ class StormObjective:
                 noise=noise,
                 seed=seed,
                 faults=faults,
+                schedule=schedule,
                 **dict(des_kwargs or {}),
             )
         else:
@@ -140,6 +153,9 @@ class StormObjective:
             self.cache_max_entries = 50_000
         if not hasattr(self, "cache_evictions"):
             self.cache_evictions = 0
+        if not hasattr(self, "schedule"):
+            self.schedule = None
+            self.workload_time_s = 0.0
 
     # ------------------------------------------------------------------
     # Memo cache (LRU); callers hold self._lock.
@@ -169,6 +185,8 @@ class StormObjective:
         key = self.codec.space.encode(params).tobytes()
         if self._noisy and seed is not None:
             key += b"|" + str(seed).encode("ascii")
+        if self.schedule is not None:
+            key += b"|t" + repr(self.workload_time_s).encode("ascii")
         return key
 
     def measure(
@@ -200,7 +218,7 @@ class StormObjective:
             config = self.codec.decode(params)
             with self._lock:
                 self.n_engine_evaluations += 1
-            run = self.engine.evaluate(config, seed=seed)
+            run = self._engine_evaluate(config, seed)
             if run.failed:
                 span.set_attribute("failed", True)
                 ctx.tracer.event(
@@ -305,12 +323,19 @@ class StormObjective:
                     self.n_engine_evaluations += len(misses)
                 engine_batch = getattr(self.engine, "evaluate_batch", None)
                 if callable(engine_batch):
-                    runs = engine_batch(configs, seeds=miss_seeds)
+                    if self.schedule is not None:
+                        runs = engine_batch(
+                            configs,
+                            seeds=miss_seeds,
+                            workload_time_s=self.workload_time_s,
+                        )
+                    else:
+                        runs = engine_batch(configs, seeds=miss_seeds)
                 else:
                     runs = [
-                        self.engine.evaluate(
+                        self._engine_evaluate(
                             config,
-                            seed=miss_seeds[k] if miss_seeds is not None else None,
+                            miss_seeds[k] if miss_seeds is not None else None,
                         )
                         for k, config in enumerate(configs)
                     ]
@@ -341,7 +366,26 @@ class StormObjective:
         with self._lock:
             self.n_evaluations += 1
             self.n_engine_evaluations += 1
+        return self._engine_evaluate(config, seed)
+
+    def _engine_evaluate(
+        self, config: TopologyConfig, seed: int | None
+    ) -> MeasuredRun:
+        """One engine call, threading the workload clock when scheduled.
+
+        The kwarg is only passed under a schedule so engines without
+        drift support (and the static fast path) stay byte-identical.
+        """
+        if self.schedule is not None:
+            return self.engine.evaluate(
+                config, seed=seed, workload_time_s=self.workload_time_s
+            )
         return self.engine.evaluate(config, seed=seed)
+
+    def set_workload_time(self, t_s: float) -> None:
+        """Advance the workload clock for subsequent evaluations."""
+        with self._lock:
+            self.workload_time_s = float(t_s)
 
     def cache_info(self) -> dict[str, object]:
         """Evaluation-cache telemetry (threaded into result metadata)."""

@@ -1,0 +1,170 @@
+"""Time-varying workload schedules (drift profiles).
+
+The paper tunes each (topology, condition) cell under a *fixed*
+workload; real stream processors face diurnal curves, flash crowds and
+gradual key-skew shifts.  A :class:`WorkloadSchedule` makes the
+execution engines time-aware: sampled at a wall-clock offset ``t`` (in
+seconds), it yields a :class:`WorkloadPoint` that modulates the
+otherwise-static workload:
+
+``load``
+    Per-tuple weight multiplier (``1.0`` = the calibrated baseline).
+    Scales every operator's per-tuple processing cost and every tuple's
+    on-wire/in-memory byte size — a flash crowd of heavier pages makes
+    each tuple more expensive to process *and* to ship, without
+    changing the tuple count per batch (Trident batches stay
+    ``batch_size`` tuples).
+
+``skew``
+    Additional key-concentration in ``[0, 1)`` on top of the grouping
+    model's baseline.  Every *consumer* operator (one with incoming
+    streams) loses usable parallelism by the factor ``1 - skew``: the
+    hottest upstream partition dominates its input, so its effective
+    task-set parallelism shrinks.  Source operators, which draw from
+    the ingest queue directly, are unaffected.
+
+Both engines (:class:`~repro.storm.analytic.AnalyticPerformanceModel`
+and :class:`~repro.storm.analytic_batch.AnalyticBatchModel`) apply a
+point with bit-identical arithmetic, and the discrete-event simulator
+samples the schedule at batch-admission time, so a batch admitted
+mid-flash carries the flash's weight through every downstream stage.
+
+Schedules are immutable and cheap to sample; ``at`` must be a pure
+function of ``t`` so replayed evaluations (crash-safe resume,
+``docs/ROBUSTNESS.md``) reproduce byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """The workload at one instant: load multiplier and extra skew."""
+
+    load: float = 1.0
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.load <= 0:
+            raise ValueError("load must be > 0")
+        if not 0.0 <= self.skew < 1.0:
+            raise ValueError("skew must be in [0, 1)")
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when the point leaves the workload untouched."""
+        return self.load == 1.0 and self.skew == 0.0
+
+
+class WorkloadSchedule(ABC):
+    """A pure function ``t_seconds -> WorkloadPoint``."""
+
+    @abstractmethod
+    def at(self, t_s: float) -> WorkloadPoint:
+        """Sample the workload at offset ``t_s`` seconds."""
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(WorkloadSchedule):
+    """A fixed point at every instant (useful as an explicit baseline)."""
+
+    point: WorkloadPoint = WorkloadPoint()
+
+    def at(self, t_s: float) -> WorkloadPoint:
+        return self.point
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule(WorkloadSchedule):
+    """Sinusoidal day/night load curve.
+
+    ``load(t) = 1 + amplitude * sin(2 pi t / period_s + phase)``; the
+    default phase puts the trough at ``t = 0`` so a study started "at
+    night" climbs toward the midday peak.
+    """
+
+    period_s: float = 86_400.0
+    amplitude: float = 0.5
+    phase: float = -math.pi / 2.0
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be > 0")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1) to keep load > 0")
+
+    def at(self, t_s: float) -> WorkloadPoint:
+        load = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * t_s / self.period_s + self.phase
+        )
+        return WorkloadPoint(load=load, skew=self.skew)
+
+
+@dataclass(frozen=True)
+class FlashCrowdSchedule(WorkloadSchedule):
+    """Step change in load at ``onset_s`` (a flash crowd arriving).
+
+    Load is ``base_load`` before the onset and ``flash_load`` from the
+    onset on; an optional ``decay_s`` relaxes the flash back toward the
+    base exponentially (``decay_s = 0`` keeps the step forever).
+    """
+
+    onset_s: float = 600.0
+    flash_load: float = 1.8
+    base_load: float = 1.0
+    decay_s: float = 0.0
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flash_load <= 0 or self.base_load <= 0:
+            raise ValueError("loads must be > 0")
+        if self.decay_s < 0:
+            raise ValueError("decay_s must be >= 0")
+
+    def at(self, t_s: float) -> WorkloadPoint:
+        if t_s < self.onset_s:
+            return WorkloadPoint(load=self.base_load, skew=self.skew)
+        load = self.flash_load
+        if self.decay_s > 0:
+            load = self.base_load + (self.flash_load - self.base_load) * math.exp(
+                -(t_s - self.onset_s) / self.decay_s
+            )
+        return WorkloadPoint(load=load, skew=self.skew)
+
+
+@dataclass(frozen=True)
+class SkewShiftSchedule(WorkloadSchedule):
+    """Gradual key-distribution shift: skew ramps linearly over a window.
+
+    Skew is ``initial_skew`` before ``ramp_start_s``, ``final_skew``
+    after ``ramp_end_s``, and linearly interpolated in between; load
+    stays at ``load`` throughout (a pure partitioning change).
+    """
+
+    ramp_start_s: float = 600.0
+    ramp_end_s: float = 1_800.0
+    initial_skew: float = 0.0
+    final_skew: float = 0.6
+    load: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ramp_end_s < self.ramp_start_s:
+            raise ValueError("ramp_end_s must be >= ramp_start_s")
+        for skew in (self.initial_skew, self.final_skew):
+            if not 0.0 <= skew < 1.0:
+                raise ValueError("skew must be in [0, 1)")
+
+    def at(self, t_s: float) -> WorkloadPoint:
+        if t_s <= self.ramp_start_s:
+            skew = self.initial_skew
+        elif t_s >= self.ramp_end_s or self.ramp_end_s == self.ramp_start_s:
+            skew = self.final_skew
+        else:
+            frac = (t_s - self.ramp_start_s) / (self.ramp_end_s - self.ramp_start_s)
+            skew = self.initial_skew + frac * (self.final_skew - self.initial_skew)
+        return WorkloadPoint(load=self.load, skew=skew)

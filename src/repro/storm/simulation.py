@@ -45,6 +45,7 @@ from repro.storm.faults import FaultPlan, inject_faults
 from repro.storm.grouping import load_fractions, remote_fraction
 from repro.storm.metrics import MeasuredRun
 from repro.storm.noise import NoiseModel, NoNoise, draw_observation
+from repro.storm.schedule import WorkloadPoint, WorkloadSchedule
 from repro.storm.scheduler import Assignment, EvenScheduler, SchedulingError
 from repro.storm.topology import Topology, effective_cost
 
@@ -162,6 +163,9 @@ class _BatchState:
     operators_done: int = 0
     acker_done: bool = False
     started_at: float = 0.0
+    #: Workload point sampled at admission — a batch admitted mid-flash
+    #: carries the flash's weight through every downstream stage.
+    point: WorkloadPoint | None = None
 
 
 class DiscreteEventSimulator:
@@ -197,6 +201,7 @@ class DiscreteEventSimulator:
         max_batches: int = 200,
         warmup_batches: int = 3,
         faults: FaultPlan | None = None,
+        schedule: WorkloadSchedule | None = None,
     ) -> None:
         if max_batches < 2:
             raise ValueError("max_batches must be >= 2")
@@ -207,6 +212,7 @@ class DiscreteEventSimulator:
         self.calibration = calibration or CalibrationParams()
         self.noise = noise or NoNoise()
         self.faults = faults
+        self.schedule = schedule
         self._rng = np.random.default_rng(seed)
         self.max_sim_time_ms = max_sim_time_ms
         self.max_batches = max_batches
@@ -220,18 +226,27 @@ class DiscreteEventSimulator:
 
     # ------------------------------------------------------------------
     def evaluate(
-        self, config: TopologyConfig, *, seed: int | None = None
+        self,
+        config: TopologyConfig,
+        *,
+        seed: int | None = None,
+        workload_time_s: float = 0.0,
     ) -> MeasuredRun:
         """Simulate one measurement window, with faults and noise.
 
         ``seed`` draws the noise (and any injected fault decision, see
         :mod:`repro.storm.faults`) from a per-evaluation stream instead
         of the engine's shared one (see
-        :func:`repro.storm.noise.draw_observation`).
+        :func:`repro.storm.noise.draw_observation`).  ``workload_time_s``
+        anchors the engine's :class:`WorkloadSchedule` (if any): the
+        schedule is sampled at ``workload_time_s + sim_now`` when each
+        batch is admitted.
         """
         run = inject_faults(
             self.faults,
-            lambda: self.evaluate_noise_free(config),
+            lambda: self.evaluate_noise_free(
+                config, workload_time_s=workload_time_s
+            ),
             config_key=repr(config),
             seed=seed,
             tracer=obs_runtime.current().tracer,
@@ -246,11 +261,13 @@ class DiscreteEventSimulator:
         return self.evaluate(config).throughput_tps
 
     # ------------------------------------------------------------------
-    def evaluate_noise_free(self, config: TopologyConfig) -> MeasuredRun:
+    def evaluate_noise_free(
+        self, config: TopologyConfig, *, workload_time_s: float = 0.0
+    ) -> MeasuredRun:
         """Event-by-event simulation of one configuration's window."""
         ctx = obs_runtime.current()
         with ctx.tracer.span("engine.des.evaluate") as span:
-            run = self._evaluate_mechanics(config)
+            run = self._evaluate_mechanics(config, workload_time_s)
             if run.failed:
                 span.set_attribute("failed", True)
                 ctx.tracer.event(
@@ -262,11 +279,17 @@ class DiscreteEventSimulator:
                 )
             return run
 
-    def _evaluate_mechanics(self, config: TopologyConfig) -> MeasuredRun:
+    def _evaluate_mechanics(
+        self, config: TopologyConfig, workload_time_s: float = 0.0
+    ) -> MeasuredRun:
         topo = self.topology
         cluster = self.cluster
         cal = self.calibration
         hints = config.normalized_hints(topo)
+        schedule = self.schedule
+        #: Window-origin workload point; per-batch points are sampled in
+        #: admit_batch as the simulation clock advances.
+        point0 = schedule.at(workload_time_s) if schedule is not None else None
 
         try:
             assignment = self._scheduler.schedule(topo, config, cluster)
@@ -278,6 +301,7 @@ class DiscreteEventSimulator:
             assignment.total_executors(),
             float(config.batch_size),
             float(config.batch_parallelism),
+            point0,
         )
         if mem_fail is not None:
             return MeasuredRun.failure(mem_fail, total_tasks=sum(hints.values()))
@@ -292,6 +316,10 @@ class DiscreteEventSimulator:
         #: distinct machines touched (one heap event per machine per
         #: spawn instead of one per job).
         spawn_plan: dict[str, tuple[list[tuple[_Machine, float]], list[_Machine]]] = {}
+        #: Raw per-operator spawn ingredients, kept only under a
+        #: schedule: per-batch workload points rescale work (load) and
+        #: reshape the per-task split (skew) at spawn time.
+        spawn_raw: dict[str, tuple[list[int], float, np.ndarray, bool]] = {}
         for name in topo:
             op = topo.operator(name)
             n_tasks = hints[name]
@@ -306,6 +334,9 @@ class DiscreteEventSimulator:
             ]
             distinct = [machines[mid] for mid in dict.fromkeys(placements)]
             spawn_plan[name] = (entries, distinct)
+            if schedule is not None:
+                is_consumer = bool(list(topo.parents(name)))
+                spawn_raw[name] = (placements, total_work, fractions, is_consumer)
 
         ack_demand = B * self._acker_model.demand_units_per_source_tuple(topo)
         acker_machines = [t.slot.machine_id for t in assignment.acker_tasks]
@@ -316,6 +347,11 @@ class DiscreteEventSimulator:
                 [machines[mid] for mid in dict.fromkeys(acker_machines)],
             )
         edge_delay = self._edge_transfer_delays(B)
+        if point0 is not None and point0.load != 1.0:
+            # Heavier tuples ship more bytes; transfer delays scale with
+            # the window-origin load (edge delays are per-evaluation
+            # constants, the per-batch compute work is what varies).
+            edge_delay = {k: v * point0.load for k, v in edge_delay.items()}
 
         # Hoisted invariants for the hot loop.
         children = {name: list(topo.children(name)) for name in topo}
@@ -351,6 +387,21 @@ class DiscreteEventSimulator:
         def _spawn_jobs(batch: _BatchState, operator: str, now: float) -> None:
             entries, distinct = spawn_plan[operator]
             batch_id = batch.batch_id
+            point = batch.point
+            if point is not None and operator != "__acker__":
+                placements, total_work, fractions, is_consumer = spawn_raw[operator]
+                if point.skew != 0.0 and is_consumer:
+                    # Concentrate the split on the hottest task: the
+                    # event-level analogue of the analytic engines'
+                    # (1 - skew) parallelism shave for consumers.
+                    hot = int(np.argmax(fractions))
+                    fractions = (1.0 - point.skew) * fractions
+                    fractions[hot] += point.skew
+                works = (total_work * point.load) * fractions
+                entries = [
+                    (machines[mid], float(work))
+                    for mid, work in zip(placements, works)
+                ]
             batch.pending_jobs[operator] = len(entries)
             for machine, work in entries:
                 job_id = next(job_ids)
@@ -385,6 +436,8 @@ class DiscreteEventSimulator:
             if batch_id >= max_batches:
                 return
             batch = _BatchState(batch_id=batch_id, started_at=now)
+            if schedule is not None:
+                batch.point = schedule.at(workload_time_s + now / 1000.0)
             batches[batch_id] = batch
             for source in sources:
                 request_operator(batch_id, source, now)
@@ -465,7 +518,7 @@ class DiscreteEventSimulator:
             elif kind == "admit":
                 admit_batch(now)
 
-        return self._measure(config, assignment, completed, now)
+        return self._measure(config, assignment, completed, now, point0)
 
     # ------------------------------------------------------------------
     def _measure(
@@ -474,6 +527,7 @@ class DiscreteEventSimulator:
         assignment: Assignment,
         completed: list[tuple[int, float, float]],
         end_time: float,
+        point: WorkloadPoint | None = None,
     ) -> MeasuredRun:
         hints = config.normalized_hints(self.topology)
         total_tasks = sum(hints.values())
@@ -504,6 +558,9 @@ class DiscreteEventSimulator:
         remote_tuples, remote_bytes, ingest_bytes = self._analytic._network_demand(
             float(config.batch_size), hints
         )
+        if point is not None:
+            remote_bytes = remote_bytes * point.load
+            ingest_bytes = ingest_bytes * point.load
         network_bytes_per_ms = batches_per_ms * (remote_bytes + ingest_bytes)
         network_mb_per_worker_s = (
             network_bytes_per_ms * 1000.0 / 1e6 / self.cluster.total_workers

@@ -85,12 +85,70 @@ class CommonCrawlWorkload:
             raise ValueError("mean_line_bytes must be > 0")
         if self.sigma <= 0:
             raise ValueError("sigma must be > 0")
+        self._calibrated_mu: float | None = None
 
     # ------------------------------------------------------------------
+    @property
+    def _mu(self) -> float:
+        if self._calibrated_mu is None:
+            self._calibrated_mu = self._calibrate_mu()
+        return self._calibrated_mu
+
+    def _calibrate_mu(self) -> float:
+        """Fit the lognormal location so *realized* lines hit the target.
+
+        :meth:`sample_lines` realizes a drawn target length by
+        appending whole filler words until the target is reached
+        (overshooting by part of a word on average), clamps draws below
+        8 bytes, truncates to int, and inserts a dictionary term into
+        matching lines.  Every step but the truncation biases the
+        realized mean upward, so drawing from the textbook
+        ``log(mean) - sigma**2/2`` location lands
+        :meth:`average_tuple_bytes` several percent above
+        ``mean_line_bytes``.  This simulates the realization pipeline —
+        word steps and term insertion in expectation, no string
+        building — on a dedicated fixed stream and walks ``mu`` by
+        fixed-point iteration until the simulated realized mean matches
+        the target.
+        """
+        rng = np.random.default_rng(0x5D0C)
+        # Antithetic, exactly-standardized normals: the realized mean of
+        # a heavy-tailed lognormal converges slowly under plain Monte
+        # Carlo, and a percent of sampling error here becomes a percent
+        # of calibration bias.
+        half = rng.normal(size=8192)
+        half = (half - half.mean()) / half.std()
+        z = np.concatenate([half, -half])
+        n = z.size
+        steps = np.array([len(word) + 1 for word in _FILLER])
+        mu = float(np.log(self.mean_line_bytes) - self.sigma**2 / 2.0)
+        first = np.maximum(8, np.exp(mu + self.sigma * z)).astype(int)
+        # Word pool sized for the initial (largest) draws; calibration
+        # only shrinks lengths from there, plus margin for wobble.
+        n_words = int(first.max() // steps.min()) + 10
+        cums = rng.choice(steps, size=(n, n_words)).cumsum(axis=1)
+        extra = self.match_fraction * float(
+            np.mean([len(term) + 1 for term in self.dictionary])
+        )
+        for _ in range(8):
+            lengths = np.maximum(8, np.exp(mu + self.sigma * z)).astype(int)
+            idx = np.argmax(cums >= lengths[:, None], axis=1)
+            realized = cums[np.arange(n), idx] - 1.0 + extra
+            ratio = float(realized.mean()) / self.mean_line_bytes
+            if abs(ratio - 1.0) < 1e-4:
+                break
+            mu -= float(np.log(ratio))
+        return mu
+
     def line_lengths(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Sample ``n`` line lengths in bytes (lognormal, mean preserved)."""
-        mu = np.log(self.mean_line_bytes) - self.sigma**2 / 2.0
-        return np.maximum(8, rng.lognormal(mu, self.sigma, size=n)).astype(int)
+        """Sample ``n`` *target* line lengths in bytes.
+
+        Lognormal (web text is heavy-tailed), with the location
+        calibrated down so that the lines realized from these targets —
+        clamped, whole-word overshot, term-injected — average
+        ``mean_line_bytes``.
+        """
+        return np.maximum(8, rng.lognormal(self._mu, self.sigma, size=n)).astype(int)
 
     def sample_lines(self, n: int, rng: np.random.Generator) -> list[str]:
         """Generate ``n`` text lines; ~``match_fraction`` contain a term."""

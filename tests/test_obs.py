@@ -261,8 +261,10 @@ class TestInstrumentedLoop:
         from repro.storm.metrics import MeasuredRun
 
         objective, optimizer = _tiny_setup()
-        objective.engine._evaluate_mechanics = lambda config: MeasuredRun.failure(
-            "640 executors exceed cluster capacity 200"
+        objective.engine._evaluate_mechanics = (
+            lambda config, point=None: MeasuredRun.failure(
+                "640 executors exceed cluster capacity 200"
+            )
         )
         result = TuningLoop(objective, optimizer, max_steps=1).run()
         (observation,) = result.observations
@@ -324,8 +326,10 @@ class TestInstrumentedLoop:
         from repro.storm.metrics import MeasuredRun
 
         objective, _ = _tiny_setup()
-        objective.engine._evaluate_mechanics = lambda config: MeasuredRun.failure(
-            "640 executors exceed cluster capacity 200"
+        objective.engine._evaluate_mechanics = (
+            lambda config, point=None: MeasuredRun.failure(
+                "640 executors exceed cluster capacity 200"
+            )
         )
         params = objective.codec.space.decode(
             np.full(objective.codec.space.dim, 0.5)

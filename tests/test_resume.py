@@ -9,6 +9,8 @@ uninterrupted run.
 from __future__ import annotations
 
 import json
+import os
+import stat
 import subprocess
 import sys
 import textwrap
@@ -26,6 +28,7 @@ from repro.core.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.core.continuous import SIDECAR_NAME, ContinuousTuningLoop
 from repro.core.history import Observation
 from repro.core.loop import TuningLoop
 from repro.core.optimizer import BayesianOptimizer
@@ -119,6 +122,36 @@ class TestCheckpointFile:
             failure_reason="worker_crash: x",
         )
         assert canonical_history([ok]) != canonical_history([bad])
+
+    def test_version_mismatch_is_rejected_with_warning(self, tmp_path):
+        """A checkpoint written by a different format version must not
+        be silently parsed into garbage — warn and start fresh."""
+        path = tmp_path / "run.jsonl"
+        save_checkpoint(
+            path, TuningCheckpoint(strategy="bo", observations=_observations())
+        )
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["version"] = 999
+        lines[0] = json.dumps(meta)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="version"):
+            assert load_checkpoint(path) is None
+
+    def test_atomic_write_fsyncs_the_directory(self, tmp_path, monkeypatch):
+        """os.replace lives in directory metadata; without a directory
+        fsync a power cut can forget the rename after the data synced."""
+        synced_kinds = []
+        real_fsync = os.fsync
+
+        def recording(fd):
+            synced_kinds.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording)
+        atomic_write_text(tmp_path / "file.txt", "payload")
+        assert False in synced_kinds  # the temp file's data
+        assert True in synced_kinds  # the rename, in directory metadata
 
 
 class TestLoopCheckpointing:
@@ -250,6 +283,134 @@ class TestKillMidRun:
             checkpoint_path=ckpt,
         ).run()
         assert resumed.metadata["resumed_steps"] == killed.completed
+        assert canonical_history(resumed.observations) == canonical_history(
+            reference.observations
+        )
+
+
+class _DriftingParabola:
+    """Deterministic grid objective whose ceiling collapses at t >= 1000s.
+
+    Integer grid on purpose: byte-identity requires proposals that
+    survive the optimizer-state round-trip of a resume, and rounding
+    absorbs the ~1e-14 posterior difference continuous coordinates
+    would expose.
+    """
+
+    def __init__(self):
+        self.t = 0.0
+
+    def set_workload_time(self, t_s):
+        self.t = float(t_s)
+
+    def __call__(self, params):
+        scale = 100.0 if self.t < 1000.0 else 40.0
+        x = float(params["x"]) / 100.0
+        y = float(params["y"]) / 100.0
+        return scale * (1.0 - (x - 0.5) ** 2 - (y - 0.5) ** 2)
+
+
+def _drift_loop(objective, checkpoint_dir):
+    space = ParameterSpace(
+        [IntParameter("x", 0, 100), IntParameter("y", 0, 100)]
+    )
+    return ContinuousTuningLoop(
+        objective,
+        lambda seed: BayesianOptimizer(space, seed=seed, init_points=3),
+        epochs=4,
+        epoch_duration_s=600.0,
+        steps_per_epoch=4,
+        initial_steps=6,
+        mode="continuous",
+        seed=5,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+@pytest.mark.slow
+class TestKillMidDrift:
+    def test_sigkill_across_drift_event_resumes_byte_identical(
+        self, tmp_path
+    ):
+        """kill -9 a continuous-tuning campaign mid-epoch *after* its
+        drift detection; the resumed run reproduces the uninterrupted
+        history byte-identically, detections included."""
+        ckpt_dir = tmp_path / "drift"
+        script = tmp_path / "child.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import sys, time
+                from repro.core.continuous import ContinuousTuningLoop
+                from repro.core.optimizer import BayesianOptimizer
+                from repro.core.parameters import IntParameter, ParameterSpace
+
+                class DriftingParabola:
+                    def __init__(self):
+                        self.t = 0.0
+                    def set_workload_time(self, t_s):
+                        self.t = float(t_s)
+                    def __call__(self, params):
+                        time.sleep(0.1)  # slow enough to die mid-epoch
+                        scale = 100.0 if self.t < 1000.0 else 40.0
+                        x = float(params["x"]) / 100.0
+                        y = float(params["y"]) / 100.0
+                        return scale * (1.0 - (x - 0.5) ** 2 - (y - 0.5) ** 2)
+
+                space = ParameterSpace(
+                    [IntParameter("x", 0, 100), IntParameter("y", 0, 100)]
+                )
+                ContinuousTuningLoop(
+                    DriftingParabola(),
+                    lambda seed: BayesianOptimizer(space, seed=seed, init_points=3),
+                    epochs=4, epoch_duration_s=600.0, steps_per_epoch=4,
+                    initial_steps=6, mode="continuous", seed=5,
+                    checkpoint_dir=sys.argv[1],
+                ).run()
+                """
+            )
+        )
+
+        def past_detection():
+            sidecar = ckpt_dir / SIDECAR_NAME
+            if not sidecar.is_file():
+                return False
+            try:
+                data = json.loads(sidecar.read_text())
+            except (OSError, json.JSONDecodeError):
+                return False
+            if not data.get("detections"):
+                return False
+            completed = int(data.get("epochs_completed", 0))
+            if completed >= 4:
+                return False
+            partial = load_checkpoint(ckpt_dir / f"epoch-{completed:04d}.jsonl")
+            return partial is not None and partial.completed >= 1
+
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(ckpt_dir)],
+            cwd="/root/repo",
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        killed_mid_run = False
+        try:
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if past_detection():
+                    killed_mid_run = True
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            proc.kill()  # SIGKILL: no atexit, no cleanup
+        finally:
+            proc.wait()
+        assert killed_mid_run, "child died mid-epoch past its detection"
+
+        reference = _drift_loop(_DriftingParabola(), None).run()
+        resumed = _drift_loop(_DriftingParabola(), ckpt_dir).run()
+        assert resumed.metadata["resumed_epochs"] >= 3
+        assert resumed.detections == reference.detections
         assert canonical_history(resumed.observations) == canonical_history(
             reference.observations
         )

@@ -177,3 +177,13 @@ class TestWorkload:
         workload = CommonCrawlWorkload(mean_line_bytes=80.0)
         avg = workload.average_tuple_bytes(2000, rng)
         assert 40 < avg < 160
+
+    def test_realized_mean_calibrated_to_target(self, rng):
+        """Regression: the 8-byte clamp, whole-word overshoot, and term
+        insertion used to bias realized lines several percent above
+        ``mean_line_bytes``; calibration holds the realized mean within
+        2% of the target across the plausible range."""
+        for target in (40.0, 70.0, 160.0):
+            workload = CommonCrawlWorkload(mean_line_bytes=target)
+            avg = workload.average_tuple_bytes(20_000, rng)
+            assert avg == pytest.approx(target, rel=0.02)
