@@ -1,0 +1,124 @@
+"""Shared CLI harness for the benchmark suite.
+
+Every ``bench_*.py`` run as a script emits one JSON document in the
+schema :mod:`repro.obs.perf` defines, so CI (and humans) can track a
+single perf trajectory and gate regressions with
+``repro-experiments obs perf-compare``.
+
+Two entry styles:
+
+* Benches with a real ``main()`` (batch-eval, drift, resilience,
+  parallel-loop, suggest-fastpath) build their metric dict and call
+  :func:`emit` — printed to stdout and optionally written to ``--json``.
+* Pytest-style benches (the figure/table/ablation acceptance suites)
+  delegate ``__main__`` to :func:`pytest_bench_main`, which runs the
+  file under pytest and reports pass/fail counts plus wall-clock as the
+  trackable metrics.
+
+Import note: this file is *not* collected by pytest (it matches neither
+``test_*`` nor ``bench_*``) and benches import it sibling-style
+(``from _harness import ...``), which works because Python puts a
+script's own directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.perf import make_metric, make_result
+
+__all__ = ["add_harness_args", "emit", "make_metric", "pytest_bench_main"]
+
+
+def add_harness_args(parser: argparse.ArgumentParser) -> None:
+    """The two flags every bench script shares."""
+    if not any(a.dest == "smoke" for a in parser._actions):
+        parser.add_argument(
+            "--smoke", action="store_true", help="scaled-down CI budgets"
+        )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the result JSON here"
+    )
+
+
+def emit(
+    bench: str,
+    *,
+    smoke: bool,
+    metrics: Mapping[str, Mapping[str, object]],
+    meta: Mapping[str, object] | None = None,
+    json_path: str | None = None,
+) -> dict[str, object]:
+    """Build, print, and optionally persist one schema result."""
+    full_meta = {
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+        **dict(meta or {}),
+    }
+    result = make_result(
+        bench,
+        mode="smoke" if smoke else "full",
+        metrics=metrics,
+        meta=full_meta,
+    )
+    text = json.dumps(result, indent=2, sort_keys=True)
+    print(text)
+    if json_path:
+        Path(json_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(json_path).write_text(text + "\n", encoding="utf-8")
+    return result
+
+
+def pytest_bench_main(
+    bench_file: str, argv: list[str] | None = None
+) -> int:
+    """Script entry for pytest-style benches: run the file, emit schema.
+
+    Exit code follows pytest (0 = all passed).  ``--smoke`` is accepted
+    for CI-interface uniformity; these suites are already sized for CI,
+    so it only labels the result's mode.
+    """
+    parser = argparse.ArgumentParser(prog=Path(bench_file).name)
+    add_harness_args(parser)
+    parser.add_argument(
+        "--pytest-args",
+        default="",
+        help="extra args forwarded to pytest (space-separated)",
+    )
+    args = parser.parse_args(argv)
+
+    import pytest
+
+    t0 = time.perf_counter()
+    code = pytest.main(
+        [bench_file, "-q", *args.pytest_args.split()],
+    )
+    wall = time.perf_counter() - t0
+    emit(
+        Path(bench_file).stem,
+        smoke=args.smoke,
+        metrics={
+            "wall_seconds": make_metric(
+                wall, higher_is_better=False, unit="s"
+            ),
+            "passed": make_metric(
+                1.0 if code == 0 else 0.0, higher_is_better=True
+            ),
+        },
+        meta={"pytest_exit_code": int(code)},
+        json_path=args.json,
+    )
+    return int(code)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(
+        "run a bench_*.py script, not the harness itself; see "
+        "docs/OBSERVABILITY.md §perf-compare"
+    )

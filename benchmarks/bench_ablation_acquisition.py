@@ -53,3 +53,11 @@ def test_ablation_acquisition(benchmark):
     assert all(v > 0 for v in scores.values())
     # EI should be competitive with the alternatives (within 25%).
     assert scores["ei"] > 0.75 * max(scores.values())
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -73,3 +73,11 @@ def test_ablation_objective_fidelity(benchmark):
     assert 0.5 < des_best / analytic_best < 2.0
     # ...at a fraction of the evaluation cost.
     assert analytic_cost < des_cost
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -95,3 +95,11 @@ def test_ablation_fusion(benchmark):
     assert gains[0] > 1.2
     # ...and costs pipeline parallelism when stage compute binds.
     assert gains[1] < 1.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -68,3 +68,11 @@ def test_ablation_hyperparameter_inference(benchmark):
     assert scores["mcmc"][1] > scores["ml2"][1]
     # Both find working configurations.
     assert min(v for v, _ in scores.values()) > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

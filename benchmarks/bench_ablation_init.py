@@ -65,3 +65,11 @@ def test_ablation_init_design(benchmark):
     # Any BO variant should beat pure random search on average.
     bo_scores = [v for name, v in scores.items() if name != "random-search"]
     assert max(bo_scores) >= scores["random-search"] * 0.95
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -67,3 +67,11 @@ def test_ablation_kernel(benchmark):
     assert all(v > 0 for v in values)
     # The result should be robust to the kernel choice (within ~35%).
     assert min(values) > 0.65 * max(values)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

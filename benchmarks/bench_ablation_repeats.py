@@ -70,3 +70,11 @@ def test_ablation_repeated_sampling(benchmark):
     print("== Ablation A4: averaged sampling under heavy-tailed noise ==")
     print(render_table(rows))
     assert all(v > 0 for v in scores.values())
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -27,7 +27,6 @@ numbers:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
@@ -154,17 +153,15 @@ def test_batch_speedup_and_equality() -> None:
 # Script entry point (CI smoke)
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
+    from _harness import add_harness_args, emit, make_metric
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="scaled-down equality + speedup check for CI",
     )
-    parser.add_argument(
-        "--json",
-        metavar="PATH",
-        help="write the bench report as JSON (CI artifact)",
-    )
+    add_harness_args(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         report = run_speedup(n_configs=64, repeats=2, size="small")
@@ -177,10 +174,30 @@ def main(argv: list[str] | None = None) -> int:
         print("smoke ok")
     else:
         report = run_speedup()
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.json}")
+    emit(
+        "bench_batch_eval",
+        smoke=args.smoke,
+        metrics={
+            "speedup": make_metric(
+                report["speedup"], higher_is_better=True, unit="x"
+            ),
+            "batch_configs_per_s": make_metric(
+                report["batch_configs_per_s"],
+                higher_is_better=True,
+                unit="cfg/s",
+            ),
+            "scalar_configs_per_s": make_metric(
+                report["scalar_configs_per_s"],
+                higher_is_better=True,
+                unit="cfg/s",
+            ),
+            "mismatched_runs": make_metric(
+                report["mismatched_runs"], higher_is_better=False
+            ),
+        },
+        meta={k: report[k] for k in ("n_configs", "n_failed")},
+        json_path=args.json,
+    )
     return 0
 
 

@@ -29,3 +29,11 @@ def test_paper_claims(benchmark, synthetic_study, sundog_study):
     # The overall reproduction rate should be high even for the fragile set.
     passed = sum(1 for r in results if r.holds)
     assert passed >= len(results) - 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

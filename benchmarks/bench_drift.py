@@ -264,18 +264,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     ok = ok and outcome["identical"]
 
-    if args.json:
-        payload = {
-            "bench": "drift",
+    from _harness import emit, make_metric
+
+    ratios = [
+        row["recovery_ratio"] for row in rows if row["recovery_ratio"] is not None
+    ]
+    metrics = {
+        "recovery_ratio_worst": make_metric(
+            max(ratios) if ratios else RECOVERY_RATIO_MAX,
+            higher_is_better=False,
+        ),
+        "profiles_recovered": make_metric(
+            sum(
+                1
+                for row in rows
+                if row["continuous"]["detected"] and row["continuous"]["recovered"]
+            ),
+            higher_is_better=True,
+        ),
+        "kill_resume_identical": make_metric(
+            1.0 if outcome["identical"] else 0.0, higher_is_better=True
+        ),
+        "passed": make_metric(1.0 if ok else 0.0, higher_is_better=True),
+    }
+    emit(
+        "bench_drift",
+        smoke=args.smoke,
+        metrics=metrics,
+        meta={
             "seed": BENCH_SEED,
-            "smoke": bool(args.smoke),
             "recovery_ratio_max": RECOVERY_RATIO_MAX,
             "profiles": rows,
             "kill_resume": outcome,
-            "passed": bool(ok),
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
-        print(f"(wrote {args.json})")
+        },
+        json_path=args.json,
+    )
     return 0 if ok else 1
 
 

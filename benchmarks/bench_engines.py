@@ -62,3 +62,11 @@ def test_gp_suggest_speed_large_space(benchmark):
     assert config
     # Where the time goes: full refits vs rank-1 updates, pool sizes.
     print(f"\ntelemetry: {optimizer.telemetry}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -20,3 +20,11 @@ def test_fig3_network_load(benchmark):
     loads = {r["Topology"]: float(r["MB/s per worker"]) for r in data.rows}
     assert all(0 < v < 125.0 for v in loads.values())
     assert loads["sundog"] == max(loads.values())
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -55,3 +55,11 @@ def test_fig4_throughput(benchmark, synthetic_study):
     # F4.3: contention collapses throughput for every strategy.
     for size in ("small", "medium", "large"):
         assert mean(contention, size, "pla") < 0.3 * mean(homogeneous, size, "pla")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -26,3 +26,11 @@ def test_fig5_convergence(benchmark, synthetic_study):
     assert np.mean(by_strategy["ibo"]) < np.mean(by_strategy["bo"])
     for rows in by_strategy.values():
         assert all(1 <= v for v in rows)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -22,3 +22,11 @@ def test_fig6_loess_traces(benchmark, synthetic_study):
         # Smoothed traces end no lower than ~20% under their start —
         # optimization runs trend upward.
         assert ys[-1] > 0.8 * ys[0] or ys[-1] > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -34,3 +34,11 @@ def test_fig7_step_time(benchmark, synthetic_study):
     # number of parallelism hints to optimize.
     assert avg("bo", "large") > avg("bo", "small")
     assert avg("bo", "small") > avg("pla", "small")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

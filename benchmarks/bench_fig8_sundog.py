@@ -53,3 +53,11 @@ def test_fig8b_convergence(benchmark, sundog_study):
         assert ys == sorted(ys)  # best-so-far traces are monotone
     # The batch-tuning traces end above the hint-only traces.
     assert data.series["bo180.h bs bp"][1][-1] > data.series["pla.h"][1][-1]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

@@ -250,12 +250,15 @@ def test_noisy_best_distribution_unchanged() -> None:
 # Script entry point (CI smoke)
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
+    from _harness import add_harness_args, emit, make_metric
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="scaled-down executor exercise for CI (seconds, not minutes)",
     )
+    add_harness_args(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         report = run_speedup(steps=12, window_seconds=0.04)
@@ -264,9 +267,26 @@ def main(argv: list[str] | None = None) -> int:
         # full bench, not on shared CI runners.
         assert report["speedup"] > 1.0, "concurrent run slower than serial"
         print("smoke ok")
-        return 0
-    run_speedup()
-    run_distribution()
+    else:
+        report = run_speedup()
+        run_distribution()
+    emit(
+        "bench_parallel_loop",
+        smoke=args.smoke,
+        metrics={
+            "speedup": make_metric(
+                report["speedup"], higher_is_better=True, unit="x"
+            ),
+            "serial_seconds": make_metric(
+                report["serial_seconds"], higher_is_better=False, unit="s"
+            ),
+            "parallel_seconds": make_metric(
+                report["parallel_seconds"], higher_is_better=False, unit="s"
+            ),
+        },
+        meta={"best_tps": report["best"]},
+        json_path=args.json,
+    )
     return 0
 
 

@@ -323,6 +323,9 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="internal: run the checkpointing child campaign",
     )
+    from _harness import add_harness_args, emit, make_metric
+
+    add_harness_args(parser)
     args = parser.parse_args(argv)
     if args.child:
         _resume_loop(args.child, window_seconds=0.1).run()
@@ -332,11 +335,28 @@ def main(argv: list[str] | None = None) -> int:
         assert report["aborted"] == 0, "a smoke chaos campaign aborted"
         run_kill_resume()
         print("chaos smoke ok")
-        return 0
-    report = run_chaos()
-    assert report["aborted"] == 0
-    assert report["shortfall"] < QUALITY_MARGIN
-    run_kill_resume()
+    else:
+        report = run_chaos()
+        assert report["aborted"] == 0
+        assert report["shortfall"] < QUALITY_MARGIN
+        run_kill_resume()
+    emit(
+        "bench_resilience",
+        smoke=args.smoke,
+        metrics={
+            "aborted": make_metric(report["aborted"], higher_is_better=False),
+            "shortfall": make_metric(
+                report["shortfall"], higher_is_better=False
+            ),
+            "retries": make_metric(report["retries"], higher_is_better=False),
+        },
+        meta={
+            "clean_mean": report["clean_mean"],
+            "chaos_mean": report["chaos_mean"],
+            "transient_failures": report["transient_failures"],
+        },
+        json_path=args.json,
+    )
     return 0
 
 

@@ -9,3 +9,11 @@ def test_table1_parameters(benchmark):
     print()
     print(render_figure(data))
     assert len(data.rows) == 6
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

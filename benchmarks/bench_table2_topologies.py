@@ -16,3 +16,11 @@ def test_table2_topologies(benchmark):
     assert rows["small"]["E"] == 17
     assert rows["medium"]["E"] == 88
     assert 160 <= rows["large"]["E"] <= 175
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

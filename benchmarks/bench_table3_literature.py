@@ -10,3 +10,11 @@ def test_table3_literature(benchmark):
     print(render_figure(data))
     counts = [r["# of Ops"] for r in data.rows[:4]]
     assert counts == [40, 60, 7, 3]  # the paper's quoted values
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import pytest_bench_main
+
+    sys.exit(pytest_bench_main(__file__))

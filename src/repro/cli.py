@@ -9,6 +9,10 @@ Usage::
 
     repro-experiments obs summary RUN.jsonl
     repro-experiments obs tail RUN.jsonl [-n N] [--follow]
+    repro-experiments obs report RUN.jsonl [-o report.html] [--title T]
+    repro-experiments obs export RUN.jsonl [--format openmetrics] [-o F]
+    repro-experiments obs perf-compare BASELINE.json CURRENT.json
+        [--threshold 0.1] [--warn-only]
 
     repro-experiments drift [--profile diurnal|flash|skew|all] [--seed N]
         [--smoke] [--json PATH] [--resume DIR] [--trace RUN.jsonl]
@@ -146,10 +150,11 @@ def _sensitivity_report() -> str:
 # obs subcommands
 # ----------------------------------------------------------------------
 def obs_main(argv: list[str]) -> int:
-    """``repro-experiments obs summary|tail`` — read back a run trace."""
+    """``repro-experiments obs ...`` — read back / compare run traces."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments obs",
-        description="Aggregate or tail a JSONL observability trace.",
+        description="Aggregate, tail, report, export, or perf-compare "
+        "JSONL observability traces.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     summary = sub.add_parser(
@@ -165,6 +170,54 @@ def obs_main(argv: list[str]) -> int:
     tail.add_argument(
         "--interval", type=float, default=0.5, help="--follow poll seconds"
     )
+    report = sub.add_parser(
+        "report",
+        help="render a self-contained HTML run report "
+        "(convergence, calibration, phase times, timelines)",
+    )
+    report.add_argument("trace", help="JSONL trace file written by --trace")
+    report.add_argument(
+        "-o", "--output", default="report.html", help="HTML file to write"
+    )
+    report.add_argument(
+        "--title", default=None, help="report title (default: trace name)"
+    )
+    export = sub.add_parser(
+        "export",
+        help="export the trace's latest metrics snapshot for scraping",
+    )
+    export.add_argument("trace", help="JSONL trace file written by --trace")
+    export.add_argument(
+        "--format",
+        choices=["openmetrics"],
+        default="openmetrics",
+        help="exposition format (Prometheus textfile collector)",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="file to write (default: stdout); write *.prom into a "
+        "node-exporter textfile directory to scrape a live run",
+    )
+    perf = sub.add_parser(
+        "perf-compare",
+        help="compare two bench-result JSONs; exit 1 on regression",
+    )
+    perf.add_argument("baseline", help="committed baseline JSON")
+    perf.add_argument("current", help="freshly produced bench JSON")
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance per metric (default 0.10)",
+    )
+    perf.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report perf regressions but exit 0 (smoke-run variance); "
+        "schema drift still fails",
+    )
     args = parser.parse_args(argv)
     sink = obs.ProgressSink()
 
@@ -173,8 +226,58 @@ def obs_main(argv: list[str]) -> int:
         sink.result(render_figure(figures.trace_summary(events)))
         return 0
 
-    # tail
-    events = obs.read_jsonl(args.trace)
+    if args.command == "report":
+        from repro.experiments.htmlreport import write_report
+
+        events = obs.read_jsonl(args.trace)
+        title = args.title or f"Tuning run report: {args.trace}"
+        path = write_report(events, args.output, title=title)
+        sink.info(f"(wrote {path})")
+        return 0
+
+    if args.command == "export":
+        from repro.obs.openmetrics import latest_snapshot, render_openmetrics
+
+        # Live traces may carry a torn tail mid-append: tolerate it.
+        events = obs.read_jsonl(args.trace, strict=False)
+        snap = latest_snapshot(events)
+        if snap is None:
+            sink.result("error: trace has no metrics snapshot yet")
+            return 1
+        text = render_openmetrics(snap)
+        if args.output:
+            from pathlib import Path
+
+            tmp = Path(args.output).with_suffix(".tmp")
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(args.output)  # atomic for textfile scrapers
+            sink.info(f"(wrote {args.output})")
+        else:
+            sink.result(text.rstrip("\n"))
+        return 0
+
+    if args.command == "perf-compare":
+        from repro.obs.perf import SchemaDriftError, compare, load_result
+
+        try:
+            report_obj = compare(
+                load_result(args.baseline),
+                load_result(args.current),
+                threshold=args.threshold,
+            )
+        except SchemaDriftError as exc:
+            sink.result(f"SCHEMA DRIFT: {exc}")
+            return 2
+        sink.result(report_obj.render())
+        if not report_obj.ok and args.warn_only:
+            sink.result("(--warn-only: regressions reported, not failing)")
+            return 0
+        return 0 if report_obj.ok else 1
+
+    # tail — strict=False throughout: a live producer can leave a torn
+    # line at (or after a crash, in the middle of) the file; a follower
+    # must skip and retry on the next poll rather than die mid-run.
+    events = obs.read_jsonl(args.trace, strict=False)
     for record in events[-max(0, args.n) :]:
         sink.result(obs.format_event_line(record))
     if args.follow:
@@ -182,7 +285,7 @@ def obs_main(argv: list[str]) -> int:
         try:
             while True:
                 time.sleep(args.interval)
-                events = obs.read_jsonl(args.trace)
+                events = obs.read_jsonl(args.trace, strict=False)
                 for record in events[seen:]:
                     sink.result(obs.format_event_line(record))
                 seen = len(events)

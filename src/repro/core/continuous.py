@@ -503,6 +503,16 @@ class ContinuousTuningLoop:
                 span.set_attribute("drift_detected", record.drift_detected)
                 span.set_attribute("best_value", record.best_value)
             ctx.metrics.counter("drift.epochs").inc()
+            if ctx.enabled:
+                # Intermediate snapshot + flush: a long-running campaign's
+                # trace always ends (so far) with a current metrics record,
+                # which `obs export --format openmetrics` serves to a
+                # textfile scraper while the loop is still tuning.
+                ctx.emit({"type": "metrics", "snapshot": ctx.metrics.snapshot()})
+                for sink in ctx.sinks:
+                    flush = getattr(sink, "flush", None)
+                    if callable(flush):
+                        flush()
             if self.checkpoint_dir is not None:
                 self._write_sidecar(epoch + 1, incumbent, incumbent_value, result)
         if not result.observations:

@@ -132,6 +132,7 @@ class TuningLoop:
         seed: int | None = None,
         resilience: RetryPolicy | None = None,
         checkpoint_path: str | Path | None = None,
+        diagnostics: bool | None = None,
     ) -> None:
         if max_steps < 1:
             raise ValueError("max_steps must be >= 1")
@@ -163,6 +164,12 @@ class TuningLoop:
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
+        #: Online model-quality diagnostics (docs/OBSERVABILITY.md
+        #: §diagnostics).  ``None`` (default) follows the obs session:
+        #: active when one is, off when not — keeping the no-session
+        #: path inside the <2% overhead budget.  ``True``/``False``
+        #: force it either way.
+        self.diagnostics = diagnostics
 
     def _eval_seed(self, stream: str, index: int) -> int | None:
         if self.seed is None:
@@ -226,6 +233,15 @@ class TuningLoop:
         tracer = ctx.tracer
         run_metrics = MetricsRegistry()
         result = TuningResult(strategy=self.strategy_name)
+        tracker = None
+        if self.diagnostics if self.diagnostics is not None else ctx.enabled:
+            # Imported here so the no-session path never pays for it.
+            from repro.core.diagnostics import DiagnosticsTracker
+            from repro.obs.diagnostics import emit_step
+
+            tracker = DiagnosticsTracker(
+                self.optimizer, objective=self.objective
+            )
         executor = self.executor
         if executor is None:
             # The loop owns this one; SerialExecutor.close() is a no-op
@@ -328,6 +344,18 @@ class TuningLoop:
                             "bottleneck": failure.get("bottleneck", ""),
                         }
                         value = 0.0
+                    # Score *before* the tell: the one-step-ahead
+                    # residual needs the surrogate's pre-update view of
+                    # this measurement.
+                    diag = None
+                    if tracker is not None:
+                        with tracer.span("tuning.diagnose", step=completed):
+                            diag = tracker.observe(
+                                step=completed,
+                                config=outcome.config,
+                                value=value,
+                                failed=bool(failure.get("failed", False)),
+                            )
                     t2 = time.perf_counter()
                     with tracer.span("tuning.tell"):
                         if failure.get("failed"):
@@ -338,6 +366,8 @@ class TuningLoop:
                         else:
                             self.optimizer.tell(outcome.config, value)
                     tell_seconds = time.perf_counter() - t2
+                    if diag is not None:
+                        emit_step(tracer, run_metrics, diag)
                 run_metrics.gauge("tuning.pending").set(len(pending))
                 if failure.get("failed"):
                     run_metrics.counter("tuning.failed_evaluations").inc()
@@ -432,6 +462,8 @@ class TuningLoop:
         telemetry = _coerce_telemetry(getattr(self.optimizer, "telemetry", None))
         if telemetry is not None:
             result.metadata["optimizer_telemetry"] = telemetry
+        if tracker is not None:
+            result.metadata["diagnostics"] = tracker.summary()
         cache_info = getattr(self.objective, "cache_info", None)
         if callable(cache_info):
             cache = dict(cache_info())

@@ -195,6 +195,7 @@ class BayesianOptimizer(Optimizer):
         self._n_proposals = 0
         self._refined_total = 0
         self._refine_iterations_total = 0
+        self._last_acq_value: float | None = None
 
     # ------------------------------------------------------------------
     # Ask / tell
@@ -405,7 +406,45 @@ class BayesianOptimizer(Optimizer):
             "last_failure_reason": self._last_failure_reason,
             "stale_observations": sum(1 for v in self._stale_var if v > 0.0),
             "trust_radius": self._trust_radius,
+            "last_acquisition_value": self._last_acq_value,
         }
+
+    @property
+    def last_acquisition_value(self) -> float | None:
+        """Acquisition value of the most recent model-driven proposal.
+
+        ``None`` until the first post-warm-up :meth:`ask`.  A decaying
+        series signals convergence (the surrogate sees no remaining
+        expected improvement); :mod:`repro.core.diagnostics` tracks it
+        per tell.
+        """
+        return self._last_acq_value
+
+    def predict_config(
+        self, config: Mapping[str, object], *, include_noise: bool = False
+    ) -> tuple[float, float] | None:
+        """Posterior predictive ``(mean, std)`` for one raw config.
+
+        Values are in objective units with the ``maximize`` sign undone,
+        so callers compare directly against measured values.  With
+        ``include_noise`` the std covers the fitted observation noise —
+        the right predictive interval for a *measurement* rather than
+        the latent function.  Returns ``None`` while the surrogate is
+        unfitted (warm-up), or when the config fails validation.
+        """
+        if not self.gp.is_fitted:
+            return None
+        try:
+            self.space.validate(config)
+        except (KeyError, ValueError):
+            return None
+        x = np.asarray(self.space.encode(config), dtype=float)[None, :]
+        mean, std = self.gp.predict(x)
+        sd = float(std[0])
+        if include_noise:
+            sd = float(np.hypot(sd, self.gp.observation_noise_std))
+        mu = float(mean[0])
+        return (mu if self.maximize else -mu, sd)
 
     def best(self) -> tuple[dict[str, object], float]:
         if not self.y:
@@ -545,6 +584,7 @@ class BayesianOptimizer(Optimizer):
         self._n_proposals += 1
         self._refined_total += proposal.n_refined
         self._refine_iterations_total += proposal.refine_iterations
+        self._last_acq_value = float(proposal.acquisition_value)
         x = proposal.x
         # Avoid re-sampling an already-measured grid point (or one
         # already in flight) exactly: perturb if the proposal

@@ -195,6 +195,109 @@ def svg_line_chart(
     return "\n".join(lines)
 
 
+def svg_scatter_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    x_label: str = "step",
+    y_label: str = "value",
+    hlines: Sequence[tuple[float, str]] = (),
+) -> str:
+    """Multi-series scatter plot; handles negative y (calibration plots).
+
+    Unlike :func:`svg_line_chart` the y axis spans the data's actual
+    range rather than anchoring at zero, so standardized residuals plot
+    symmetrically.  ``hlines`` draws dashed horizontal guides (e.g. the
+    ±1.96 bounds of the 95% predictive interval).
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    if not xs_all:
+        raise ValueError("series must contain points")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo = min([*ys_all, *(y for y, _ in hlines)])
+    y_hi = max([*ys_all, *(y for y, _ in hlines)])
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+    plot_width = _WIDTH - 2 * _MARGIN
+    plot_height = _HEIGHT - 2 * _MARGIN
+    y0 = _HEIGHT - _MARGIN
+
+    def px(x: float) -> float:
+        return _MARGIN + (x - x_lo) / (x_hi - x_lo) * plot_width
+
+    def py(y: float) -> float:
+        return y0 - (y - y_lo) / (y_hi - y_lo) * plot_height
+
+    lines = _svg_header(title)
+    lines.append(
+        f'<line x1="{_MARGIN}" y1="{y0}" x2="{_MARGIN}" y2="{_MARGIN}" '
+        f'stroke="black"/>'
+    )
+    for i in range(5):
+        y_val = y_lo + (y_hi - y_lo) * i / 4
+        y = y0 - plot_height * i / 4
+        lines.append(
+            f'<text x="{_MARGIN - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{y_val:.3g}</text>"
+        )
+        lines.append(
+            f'<line x1="{_MARGIN - 3}" y1="{y:.1f}" x2="{_MARGIN}" '
+            f'y2="{y:.1f}" stroke="black"/>'
+        )
+    lines.append(
+        f'<text x="14" y="{(y0 + _MARGIN) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(y0 + _MARGIN) / 2})">{_esc(y_label)}</text>'
+    )
+    lines.append(
+        f'<line x1="{_MARGIN}" y1="{y0}" x2="{_WIDTH - _MARGIN}" y2="{y0}" '
+        f'stroke="black"/>'
+    )
+    lines.append(
+        f'<text x="{_WIDTH / 2}" y="{_HEIGHT - 14}" text-anchor="middle">'
+        f"{_esc(x_label)}</text>"
+    )
+    for i in range(5):
+        x_val = x_lo + (x_hi - x_lo) * i / 4
+        x = _MARGIN + plot_width * i / 4
+        lines.append(
+            f'<text x="{x:.1f}" y="{y0 + 14}" text-anchor="middle">'
+            f"{x_val:.3g}</text>"
+        )
+    for y_val, label in hlines:
+        y = py(y_val)
+        lines.append(
+            f'<line x1="{_MARGIN}" y1="{y:.1f}" x2="{_WIDTH - _MARGIN}" '
+            f'y2="{y:.1f}" stroke="#888888" stroke-dasharray="5,4"/>'
+        )
+        if label:
+            lines.append(
+                f'<text x="{_WIDTH - _MARGIN - 4}" y="{y - 4:.1f}" '
+                f'text-anchor="end" fill="#888888">{_esc(label)}</text>'
+            )
+    for j, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[j % len(PALETTE)]
+        for x, y in zip(xs, ys):
+            lines.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                f'fill="{color}" fill-opacity="0.7"/>'
+            )
+        lx = _WIDTH - _MARGIN - 170
+        ly = _MARGIN + 16 * j
+        lines.append(
+            f'<circle cx="{lx + 6}" cy="{ly - 4}" r="3" fill="{color}"/>'
+        )
+        lines.append(f'<text x="{lx + 16}" y="{ly}">{_esc(name)}</text>')
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
 #: Per-exhibit hints: which column carries the value and which carry
 #: labels/groups/error bars.
 _BAR_HINTS: dict[str, dict[str, object]] = {

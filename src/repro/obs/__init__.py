@@ -23,6 +23,7 @@ Typical use::
         TuningLoop(objective, optimizer).run()
 """
 
+from repro.obs.diagnostics import DIAG_EVENT, emit_step, extract_diagnostics
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -56,6 +57,9 @@ from repro.obs.summary import (
 from repro.obs.tracer import NOOP_TRACER, SCHEMA_VERSION, NoopTracer, Span, Tracer
 
 __all__ = [
+    "DIAG_EVENT",
+    "emit_step",
+    "extract_diagnostics",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,72 @@
+"""Emit BO model-quality diagnostics through the obs substrate.
+
+Bridges :mod:`repro.core.diagnostics` (pure computation) to the trace:
+one ``diag.tell`` point event per scored tell, plus ``diag.*`` metrics
+in the run's registry (histograms for the residual/NLPD distributions,
+gauges for the latest calibration state).  The event stream is what
+``repro-experiments obs report`` renders into the convergence and
+calibration sections; :func:`extract_diagnostics` is its reader.
+
+Emitted metrics
+---------------
+``diag.tells`` (counter)
+    Scored tells (tells with a fitted-surrogate prediction).
+``diag.abs_residual_z`` / ``diag.nlpd`` (histograms)
+    Distribution of |one-step-ahead standardized residual| and negative
+    log predictive density.
+``diag.coverage_95`` / ``diag.incumbent_regret`` /
+``diag.acquisition_value`` (gauges)
+    Latest running coverage, relative regret vs the noise-free analytic
+    reference, and acquisition value (last-write-wins across merges —
+    the freshest state, like every gauge).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.diagnostics import StepDiagnostics
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.tracer import NoopTracer, Tracer
+
+#: Event name diag records travel under in the trace.
+DIAG_EVENT = "diag.tell"
+
+
+def emit_step(
+    tracer: Tracer | NoopTracer,
+    metrics: MetricsRegistry | NullRegistry,
+    diag: StepDiagnostics,
+) -> None:
+    """Publish one tell's diagnostics as an event + metric updates."""
+    tracer.event(DIAG_EVENT, **diag.as_attrs())
+    metrics.counter("diag.tells").inc()
+    if diag.residual_z is not None:
+        metrics.histogram("diag.abs_residual_z").record(abs(diag.residual_z))
+    if diag.nlpd is not None:
+        metrics.histogram("diag.nlpd").record(diag.nlpd)
+    if diag.coverage_95 is not None:
+        metrics.gauge("diag.coverage_95").set(diag.coverage_95)
+    if diag.acquisition_value is not None:
+        metrics.gauge("diag.acquisition_value").set(diag.acquisition_value)
+    if diag.incumbent_regret is not None:
+        metrics.gauge("diag.incumbent_regret").set(diag.incumbent_regret)
+
+
+def extract_diagnostics(
+    events: Iterable[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    """Pull the ``diag.tell`` series back out of a trace event stream.
+
+    Returns one attrs dict per tell, in stream order — the input to the
+    report's convergence/calibration plots.  Tolerates traces with no
+    diagnostics (returns ``[]``).
+    """
+    series: list[dict[str, object]] = []
+    for record in events:
+        if record.get("type") != "event" or record.get("name") != DIAG_EVENT:
+            continue
+        attrs = record.get("attrs")
+        if isinstance(attrs, Mapping):
+            series.append(dict(attrs))
+    return series

@@ -1,0 +1,105 @@
+"""OpenMetrics textfile exposition of a metrics snapshot.
+
+``repro-experiments obs export RUN.jsonl --format openmetrics`` turns
+the *latest* ``metrics`` record of a JSONL trace into the OpenMetrics
+text format, suitable for the Prometheus node-exporter textfile
+collector (write to ``*.prom`` in its directory, atomically).  A
+long-running continuous-tuning loop that emits per-epoch snapshots
+(:class:`~repro.core.continuous.ContinuousTuningLoop`) can therefore be
+scraped while it runs: each ``obs export`` pass picks up the freshest
+snapshot appended to the trace.
+
+Mapping
+-------
+* counters → ``counter`` families with a ``_total`` sample,
+* gauges → ``gauge`` families (plus a ``_max`` gauge for peaks),
+* histograms → ``summary`` families: ``_count``/``_sum`` plus
+  ``quantile="0.5|0.95|0.99"`` samples from the streaming log buckets
+  (the bucketed representation is geometric, not cumulative-le, so the
+  summary form is the faithful one).
+
+Metric names are sanitized to the OpenMetrics grammar
+(``[a-zA-Z_][a-zA-Z0-9_]*``) with the repo-wide ``repro_`` prefix:
+dots map to underscores, which is injective over this codebase's
+``lowercase.dotted`` metric names, and the original dotted name is
+echoed in each family's HELP line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+from repro.obs.metrics import Histogram
+
+#: Prefix applied to every exported family.
+PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(raw: str) -> str:
+    """Sanitize a dotted registry name to an OpenMetrics family name."""
+    name = _NAME_RE.sub("_", raw.strip())
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        name = "_" + name
+    return PREFIX + name
+
+
+def _fmt(value: float) -> str:
+    """OpenMetrics number rendering (finite shortest-round-trip)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: Mapping[str, object]) -> str:
+    """Render one registry snapshot as an OpenMetrics text exposition.
+
+    ``snapshot`` is the dict :meth:`MetricsRegistry.snapshot` produces
+    (the payload of a trace's ``metrics`` record).  Ends with the
+    mandatory ``# EOF`` terminator.
+    """
+    lines: list[str] = []
+    counters = dict(snapshot.get("counters", {}))  # type: ignore[arg-type]
+    for raw in sorted(counters):
+        name = metric_name(raw)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"# HELP {name} repro counter {raw}")
+        lines.append(f"{name}_total {_fmt(float(counters[raw]))}")
+    gauges = dict(snapshot.get("gauges", {}))  # type: ignore[arg-type]
+    for raw in sorted(gauges):
+        name = metric_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"# HELP {name} repro gauge {raw}")
+        lines.append(f"{name} {_fmt(float(gauges[raw]))}")
+    histograms = dict(snapshot.get("histograms", {}))  # type: ignore[arg-type]
+    for raw in sorted(histograms):
+        hist = Histogram.from_dict(histograms[raw])
+        name = metric_name(raw)
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"# HELP {name} repro histogram {raw}")
+        for q_label, q in (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)):
+            lines.append(
+                f'{name}{{quantile="{q_label}"}} {_fmt(hist.quantile(q))}'
+            )
+        lines.append(f"{name}_count {int(hist.count)}")
+        lines.append(f"{name}_sum {_fmt(hist.total)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def latest_snapshot(
+    events: list[Mapping[str, object]],
+) -> Mapping[str, object] | None:
+    """The freshest ``metrics`` record's snapshot in a trace, if any."""
+    for record in reversed(events):
+        if record.get("type") == "metrics":
+            snap = record.get("snapshot")
+            if isinstance(snap, Mapping):
+                return snap
+    return None

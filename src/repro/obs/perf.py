@@ -1,0 +1,255 @@
+"""Benchmark result schema + perf-regression comparison.
+
+Every ``benchmarks/bench_*.py`` emits one JSON document in this shape
+(built via :func:`make_result`, usually through
+``benchmarks/_harness.py``)::
+
+    {
+      "schema_version": 1,
+      "bench": "bench_batch_eval",
+      "mode": "smoke",            # or "full"
+      "created_unix": 1754550000.0,
+      "metrics": {
+        "speedup": {"value": 12.4, "higher_is_better": true, "unit": "x"},
+        "wall_seconds": {"value": 3.1, "higher_is_better": false, "unit": "s"}
+      },
+      "meta": {"n": 256, "python": "3.12.3"}
+    }
+
+Committed baselines live in ``benchmarks/baselines/<bench>.json``;
+``repro-experiments obs perf-compare BASELINE CURRENT --threshold 0.1``
+replays CI's regression gate: each metric moves against its declared
+direction by more than the threshold → regression (exit 1, unless
+``--warn-only`` downgrades it for smoke-run variance); a *structural*
+mismatch — wrong schema version, different bench, baseline metrics
+missing from the current run — is schema drift and always fails
+(:class:`SchemaDriftError`), because a silently renamed metric is how a
+perf trajectory goes dark.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+#: Version of the shared bench-result schema.
+SCHEMA_VERSION = 1
+
+
+class SchemaDriftError(Exception):
+    """The two results are structurally incomparable (not a perf call)."""
+
+
+def make_metric(
+    value: float, *, higher_is_better: bool, unit: str = ""
+) -> dict[str, object]:
+    """One metric entry: value + the direction 'better' points."""
+    return {
+        "value": float(value),
+        "higher_is_better": bool(higher_is_better),
+        "unit": unit,
+    }
+
+
+def make_result(
+    bench: str,
+    *,
+    mode: str,
+    metrics: Mapping[str, Mapping[str, object]],
+    meta: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Assemble (and validate) one schema-conformant bench result."""
+    if mode not in ("smoke", "full"):
+        raise ValueError(f"mode must be 'smoke' or 'full', not {mode!r}")
+    result: dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": str(bench),
+        "mode": mode,
+        "created_unix": time.time(),
+        "metrics": {k: dict(v) for k, v in metrics.items()},
+        "meta": dict(meta or {}),
+    }
+    errors = validate_result(result)
+    if errors:
+        raise ValueError("invalid bench result: " + "; ".join(errors))
+    return result
+
+
+def validate_result(payload: object) -> list[str]:
+    """Schema conformance problems (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, Mapping):
+        return ["result is not a JSON object"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {payload.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if not isinstance(payload.get("bench"), str) or not payload.get("bench"):
+        errors.append("bench must be a non-empty string")
+    if payload.get("mode") not in ("smoke", "full"):
+        errors.append(f"mode is {payload.get('mode')!r}, expected smoke|full")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        errors.append("metrics must be a non-empty object")
+        return errors
+    for name, entry in metrics.items():
+        if not isinstance(entry, Mapping):
+            errors.append(f"metric {name!r} is not an object")
+            continue
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or not math.isfinite(
+            float(value)
+        ):
+            errors.append(f"metric {name!r} has non-finite value {value!r}")
+        if not isinstance(entry.get("higher_is_better"), bool):
+            errors.append(f"metric {name!r} missing higher_is_better bool")
+    return errors
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline-vs-current movement."""
+
+    metric: str
+    baseline: float
+    current: float
+    higher_is_better: bool
+    #: Relative change in the *better* direction: positive = improved.
+    gain: float
+
+    @property
+    def regressed_by(self) -> float:
+        return -self.gain if self.gain < 0 else 0.0
+
+    def describe(self) -> str:
+        arrow = "improved" if self.gain >= 0 else "REGRESSED"
+        return (
+            f"{self.metric}: {self.baseline:.6g} -> {self.current:.6g} "
+            f"({arrow} {abs(self.gain):.1%}, "
+            f"{'higher' if self.higher_is_better else 'lower'} is better)"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """The outcome of one baseline/current comparison."""
+
+    bench: str
+    threshold: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    #: Metrics present in the current run only (informational — new
+    #: metrics are allowed, vanished ones are schema drift).
+    new_metrics: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed_by > self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"== perf-compare: {self.bench} "
+            f"(threshold {self.threshold:.0%}) =="
+        ]
+        lines += ["  " + d.describe() for d in self.deltas]
+        for name in self.new_metrics:
+            lines.append(f"  {name}: new metric (no baseline)")
+        if self.ok:
+            lines.append("OK: no metric regressed past the threshold")
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} metric(s) regressed past "
+                f"{self.threshold:.0%}: "
+                + ", ".join(d.metric for d in self.regressions)
+            )
+        return "\n".join(lines)
+
+
+def compare(
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    *,
+    threshold: float = 0.10,
+) -> ComparisonReport:
+    """Compare two schema-conformant results; raise on schema drift.
+
+    Regression = a metric moved against its ``higher_is_better``
+    direction by more than ``threshold`` (relative).  Mode mismatch
+    (smoke baseline vs full current) is tolerated but noted in the
+    report via the deltas' absolute values — CI keeps modes aligned.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    for label, payload in (("baseline", baseline), ("current", current)):
+        errors = validate_result(payload)
+        if errors:
+            raise SchemaDriftError(f"{label}: " + "; ".join(errors))
+    if baseline["bench"] != current["bench"]:
+        raise SchemaDriftError(
+            f"bench mismatch: baseline is {baseline['bench']!r}, "
+            f"current is {current['bench']!r}"
+        )
+    base_metrics = dict(baseline["metrics"])  # type: ignore[arg-type]
+    cur_metrics = dict(current["metrics"])  # type: ignore[arg-type]
+    missing = sorted(set(base_metrics) - set(cur_metrics))
+    if missing:
+        raise SchemaDriftError(
+            "current run dropped baseline metric(s): " + ", ".join(missing)
+        )
+    report = ComparisonReport(
+        bench=str(current["bench"]),
+        threshold=threshold,
+        new_metrics=sorted(set(cur_metrics) - set(base_metrics)),
+    )
+    for name in sorted(base_metrics):
+        base_entry = dict(base_metrics[name])
+        cur_entry = dict(cur_metrics[name])
+        if bool(base_entry["higher_is_better"]) != bool(
+            cur_entry["higher_is_better"]
+        ):
+            raise SchemaDriftError(
+                f"metric {name!r} flipped its higher_is_better direction"
+            )
+        higher = bool(base_entry["higher_is_better"])
+        base_v = float(base_entry["value"])  # type: ignore[arg-type]
+        cur_v = float(cur_entry["value"])  # type: ignore[arg-type]
+        denom = abs(base_v)
+        if denom == 0.0:
+            # No relative scale; any movement in the worse direction of
+            # a zero baseline counts fully against the threshold.
+            change = cur_v - base_v
+            gain = math.copysign(math.inf, change) if change else 0.0
+            gain = gain if higher else -gain
+        else:
+            gain = (cur_v - base_v) / denom
+            if not higher:
+                gain = -gain
+        report.deltas.append(
+            MetricDelta(
+                metric=name,
+                baseline=base_v,
+                current=cur_v,
+                higher_is_better=higher,
+                gain=gain,
+            )
+        )
+    return report
+
+
+def load_result(path: str | Path) -> dict[str, object]:
+    """Read one bench-result JSON document from disk."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaDriftError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SchemaDriftError(f"{path}: not a JSON object")
+    return payload

@@ -28,16 +28,32 @@ import time
 from pathlib import Path
 from typing import IO, Mapping
 
+import numpy as np
+
 
 def _json_default(obj: object) -> object:
-    """Serialize numpy scalars/arrays and other stragglers."""
-    for attr in ("item",):  # numpy scalar -> python scalar
-        fn = getattr(obj, attr, None)
-        if callable(fn):
-            try:
-                return fn()
-            except (TypeError, ValueError):
-                break
+    """Serialize numpy scalars/arrays and other stragglers.
+
+    Explicit about the numpy taxonomy: ``np.bool_`` → bool,
+    ``np.integer`` → int, ``np.floating`` → float, ``np.ndarray`` →
+    nested list (even for single-element arrays, which ``.item()`` would
+    silently collapse to a scalar).  Anything else falls back to the
+    duck-typed ``item()``/``tolist()`` protocols, then ``repr``.
+    """
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    fn = getattr(obj, "item", None)  # other zero-dim scalar wrappers
+    if callable(fn):
+        try:
+            return fn()
+        except (TypeError, ValueError):
+            pass
     if hasattr(obj, "tolist"):
         return obj.tolist()
     return repr(obj)
@@ -93,12 +109,19 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+def read_jsonl(
+    path: str | Path, *, strict: bool = True
+) -> list[dict[str, object]]:
     """Load a JSONL trace back into a list of event dicts.
 
-    Blank lines are skipped; a malformed line raises ``ValueError`` with
-    its line number (a truncated final line from a killed run is the
-    common case, so that one is dropped silently instead).
+    Blank lines are skipped.  A torn *final* line — the partial write of
+    a killed (or still-running) producer — is always dropped silently; a
+    re-read after the writer's next flush picks the completed line up.
+    Any other malformed line raises ``ValueError`` with its line number
+    under ``strict=True`` (the default), or is skipped under
+    ``strict=False`` — the live-tailing mode, where a crashed-then-
+    reopened ``mode="a"`` trace can legitimately carry a torn line
+    mid-file and a follower must keep going rather than die.
     """
     events: list[dict[str, object]] = []
     lines = Path(path).read_text(encoding="utf-8").splitlines()
@@ -109,8 +132,11 @@ def read_jsonl(path: str | Path) -> list[dict[str, object]]:
             events.append(json.loads(line))
         except json.JSONDecodeError as exc:
             if lineno == len(lines):
-                break  # torn tail write from an interrupted run
-            raise ValueError(f"{path}:{lineno}: invalid JSONL: {exc}") from exc
+                break  # torn tail write; retried on the next read
+            if strict:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSONL: {exc}"
+                ) from exc
     return events
 
 

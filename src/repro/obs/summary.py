@@ -19,8 +19,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.obs.metrics import Histogram
+
 #: Span names that make up the tuning loop's per-step phase accounting.
-PHASE_SPANS = ("tuning.suggest", "tuning.evaluate", "tuning.tell")
+PHASE_SPANS = (
+    "tuning.suggest",
+    "tuning.evaluate",
+    "tuning.diagnose",
+    "tuning.tell",
+)
 
 #: The root span one TuningLoop.run() wraps everything in.
 ROOT_SPAN = "tuning.run"
@@ -28,7 +35,14 @@ ROOT_SPAN = "tuning.run"
 
 @dataclass
 class SpanStats:
-    """Aggregated timings for one span name."""
+    """Aggregated timings for one span name.
+
+    Durations stream into a log-bucketed
+    :class:`~repro.obs.metrics.Histogram` rather than a kept-forever
+    list, so aggregating a multi-hour trace stays O(buckets) per span
+    and quantiles carry the histogram's bounded ~2.5% relative error.
+    Min/max/mean remain exact.
+    """
 
     name: str
     count: int = 0
@@ -36,14 +50,14 @@ class SpanStats:
     min_s: float = math.inf
     max_s: float = 0.0
     errors: int = 0
-    durations: list[float] = field(default_factory=list)
+    histogram: Histogram = field(default_factory=Histogram)
 
     def add(self, duration_s: float, *, error: bool = False) -> None:
         self.count += 1
         self.total_s += duration_s
         self.min_s = min(self.min_s, duration_s)
         self.max_s = max(self.max_s, duration_s)
-        self.durations.append(duration_s)
+        self.histogram.record(duration_s)
         if error:
             self.errors += 1
 
@@ -52,11 +66,9 @@ class SpanStats:
         return self.total_s / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        if not self.durations:
+        if not self.count:
             return 0.0
-        ordered = sorted(self.durations)
-        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[idx]
+        return self.histogram.quantile(q)
 
 
 def aggregate_spans(
@@ -163,6 +175,7 @@ def summary_rows(summary: TraceSummary) -> list[dict[str, object]]:
                 "count": s.count,
                 "total_s": round(s.total_s, 4),
                 "mean_s": round(s.mean_s, 5),
+                "p50_s": round(s.quantile(0.50), 5),
                 "p95_s": round(s.quantile(0.95), 5),
                 "max_s": round(s.max_s, 5),
                 "share_of_wall": f"{share:.1%}",

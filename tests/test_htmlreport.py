@@ -1,0 +1,128 @@
+"""The self-contained HTML run report and its scatter-chart primitive."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.core.loop import TuningLoop
+from repro.core.optimizer import BayesianOptimizer
+from repro.experiments.htmlreport import render_report, write_report
+from repro.experiments.presets import SYNTHETIC_BASE_CONFIG
+from repro.experiments.svg import svg_scatter_chart
+from repro.storm.cluster import paper_cluster
+from repro.storm.objective import StormObjective
+from repro.storm.spaces import ParallelismCodec
+from repro.topology_gen.suite import make_topology
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One diagnostics-instrumented tuning run captured to JSONL."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    topology = make_topology("small")
+    cluster = paper_cluster()
+    codec = ParallelismCodec(topology, cluster, SYNTHETIC_BASE_CONFIG)
+    objective = StormObjective(topology, cluster, codec)
+    optimizer = BayesianOptimizer(codec.space, seed=9)
+    with obs.session(jsonl_path=path, manifest={"exhibit": "test-run"}):
+        TuningLoop(objective, optimizer, max_steps=8, seed=9).run()
+    return obs.read_jsonl(path)
+
+
+class TestScatterChart:
+    def test_negative_values_and_hlines_render(self):
+        svg = svg_scatter_chart(
+            {"z": ([0.0, 1.0, 2.0], [-2.5, 0.3, 2.5])},
+            title="residuals",
+            y_label="z",
+            hlines=[(1.96, "+1.96"), (-1.96, "-1.96")],
+        )
+        assert svg.startswith("<svg")
+        assert "residuals" in svg
+        assert "+1.96" in svg and "-1.96" in svg
+        # Three data points plus one legend marker.
+        assert svg.count("<circle") == 4
+
+    def test_empty_series_raises_like_the_other_charts(self):
+        # Report sections guard with _note() before ever calling this.
+        with pytest.raises(ValueError, match="points"):
+            svg_scatter_chart({"z": ([], [])}, title="empty")
+
+
+class TestRenderReport:
+    def test_all_sections_present_for_instrumented_run(self, traced_run):
+        html = render_report(traced_run, title="Unit run")
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        for heading in (
+            "Run manifest",
+            "Convergence",
+            "Calibration",
+            "Phase-time breakdown",
+            "Drift &amp; fault timeline",
+        ):
+            assert heading in html, heading
+        # Self-contained: inline SVG, nothing fetched at view time.
+        assert "<svg" in html
+        assert 'src="http' not in html and 'href="http' not in html
+        assert "coverage" in html
+
+    def test_empty_trace_degrades_to_notes(self):
+        html = render_report([], title="empty")
+        assert "<!DOCTYPE html>" in html
+        assert "no " in html.lower()  # each section leaves a note
+
+    def test_uninstrumented_trace_skips_calibration_chart(self):
+        events = [
+            {"type": "manifest", "manifest": {"exhibit": "x"}, "t_wall": 0},
+            {
+                "type": "span",
+                "name": "tuning.evaluate",
+                "duration_s": 0.5,
+                "t_start": 0.0,
+                "depth": 0,
+                "parent_id": None,
+                "span_id": "s1",
+                "status": "ok",
+                "attrs": {},
+            },
+        ]
+        html = render_report(events, title="bare")
+        assert "Calibration" in html  # section present, chart replaced
+        assert "residual" not in html or "no scored" in html.lower()
+
+    def test_timeline_lists_drift_events(self):
+        events = [
+            {
+                "type": "event",
+                "name": "drift.detected",
+                "t_wall": 12.5,
+                "attrs": {"epoch": 3, "metric": "page_hinkley"},
+            }
+        ]
+        html = render_report(events, title="drift")
+        assert "drift.detected" in html
+        assert "page_hinkley" in html
+
+    def test_values_are_escaped(self):
+        events = [
+            {
+                "type": "event",
+                "name": "drift.detected",
+                "t_wall": 1.0,
+                "attrs": {"note": "<script>alert(1)</script>"},
+            }
+        ]
+        html = render_report(events, title="<b>t</b>")
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_write_report_round_trip(self, traced_run, tmp_path):
+        out = tmp_path / "report.html"
+        path = write_report(traced_run, out, title="file run")
+        assert path == out
+        text = out.read_text(encoding="utf-8")
+        assert "file run" in text
+        assert math.isfinite(len(text)) and len(text) > 1000

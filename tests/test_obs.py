@@ -479,3 +479,158 @@ class TestStudyEvents:
         # Session registry aggregated both cells' tuning steps:
         # pla runs baseline_steps, bo runs steps.
         assert merged["counters"]["tuning.steps"] == 5 + 3
+
+
+# ----------------------------------------------------------------------
+# Registry merge edge cases (cross-process snapshot/merge paths)
+# ----------------------------------------------------------------------
+class TestRegistryMergeEdgeCases:
+    def test_empty_registry_merges_are_identity(self):
+        empty = MetricsRegistry()
+        populated = MetricsRegistry()
+        populated.counter("c").inc(3)
+        populated.gauge("g").set(7.0)
+        populated.histogram("h").record(0.25)
+        before = json.loads(json.dumps(populated.snapshot()))
+        # empty <- populated carries everything over ...
+        empty.merge_snapshot(populated.snapshot())
+        assert json.loads(json.dumps(empty.snapshot())) == before
+        # ... and populated <- empty changes nothing.
+        populated.merge_snapshot(MetricsRegistry().snapshot())
+        assert json.loads(json.dumps(populated.snapshot())) == before
+
+    def test_histogram_bucket_union_disjoint_ranges(self):
+        """Merging histograms whose buckets don't overlap keeps every
+        bucket: counts, totals, and extreme quantiles all survive."""
+        lows, highs = MetricsRegistry(), MetricsRegistry()
+        for v in (1e-6, 2e-6, 5e-6):
+            lows.histogram("h").record(v)
+        for v in (10.0, 20.0, 50.0):
+            highs.histogram("h").record(v)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(json.loads(json.dumps(lows.snapshot())))
+        merged.merge_snapshot(json.loads(json.dumps(highs.snapshot())))
+        hist = merged.histogram("h")
+        assert hist.count == 6
+        assert hist.min == 1e-6
+        assert hist.max == 50.0
+        assert hist.total == pytest.approx(8e-6 + 80.0)
+        assert hist.quantile(0.01) < 1e-4 < 1.0 < hist.quantile(0.99)
+
+    def test_gauge_merge_is_last_write_wins(self):
+        merged = MetricsRegistry()
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("pool").set(100.0)
+        second.gauge("pool").set(42.0)
+        merged.merge_snapshot(first.snapshot())
+        merged.merge_snapshot(second.snapshot())
+        assert merged.gauge("pool").value == 42.0
+        # Counters, by contrast, accumulate.
+        first.counter("n").inc(2)
+        second.counter("n").inc(3)
+        merged.merge_snapshot(first.snapshot())
+        merged.merge_snapshot(second.snapshot())
+        assert merged.counter("n").value == 5
+
+
+# ----------------------------------------------------------------------
+# JSONL coercion and tolerant reads
+# ----------------------------------------------------------------------
+class TestJsonlRobustness:
+    def test_numpy_scalars_and_arrays_round_trip(self, tmp_path):
+        """Every numpy type the loop's attrs can carry must serialize to
+        plain JSON, not repr() strings."""
+        path = tmp_path / "np.jsonl"
+        with obs.JsonlSink(path) as sink:
+            sink(
+                {
+                    "f64": np.float64(1.5),
+                    "f32": np.float32(0.25),
+                    "i64": np.int64(7),
+                    "i32": np.int32(-3),
+                    "bool": np.bool_(True),
+                    "arr": np.arange(3),
+                    "arr2d": np.ones((2, 2)),
+                }
+            )
+        (record,) = obs.read_jsonl(path)
+        assert record == {
+            "f64": 1.5,
+            "f32": 0.25,
+            "i64": 7,
+            "i32": -3,
+            "bool": True,
+            "arr": [0, 1, 2],
+            "arr2d": [[1.0, 1.0], [1.0, 1.0]],
+        }
+        assert isinstance(record["i64"], int)
+        assert isinstance(record["bool"], bool)
+
+    def test_mid_file_torn_line_strict_raises_lenient_skips(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        path.write_text(
+            '{"type": "event", "name": "a"}\n'
+            '{"type": "ev'  # torn mid-file: writer crashed, file reopened
+            "\n"
+            '{"type": "event", "name": "b"}\n'
+        )
+        with pytest.raises(ValueError, match="line|invalid|:2"):
+            obs.read_jsonl(path)
+        events = obs.read_jsonl(path, strict=False)
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_torn_tail_tolerated_in_both_modes(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text('{"type": "event", "name": "a"}\n{"type": "ev')
+        assert len(obs.read_jsonl(path)) == 1
+        assert len(obs.read_jsonl(path, strict=False)) == 1
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics exposition
+# ----------------------------------------------------------------------
+class TestOpenMetrics:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("tuning.steps").inc(12)
+        registry.gauge("drift.epochs_completed").set(3.0)
+        for v in (0.1, 0.2, 0.4):
+            registry.histogram("tuning.suggest_seconds").record(v)
+        return json.loads(json.dumps(registry.snapshot()))
+
+    def test_exposition_format(self):
+        from repro.obs.openmetrics import render_openmetrics
+
+        text = render_openmetrics(self._snapshot())
+        assert text.endswith("# EOF\n")
+        assert "repro_tuning_steps_total 12" in text
+        assert "# TYPE repro_tuning_steps counter" in text
+        assert "repro_drift_epochs_completed 3.0" in text
+        assert "# TYPE repro_tuning_suggest_seconds summary" in text
+        assert 'quantile="0.95"' in text
+        assert "repro_tuning_suggest_seconds_count 3" in text
+        assert "repro_tuning_suggest_seconds_sum" in text
+        # One metadata block per family, no duplicate TYPE lines.
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(type_lines) == len(set(type_lines)) == 3
+
+    def test_latest_snapshot_takes_the_newest(self):
+        from repro.obs.openmetrics import latest_snapshot
+
+        events = [
+            {"type": "metrics", "snapshot": {"counters": {"a": 1}}},
+            {"type": "event", "name": "x"},
+            {"type": "metrics", "snapshot": {"counters": {"a": 5}}},
+        ]
+        assert latest_snapshot(events)["counters"]["a"] == 5
+        assert latest_snapshot([{"type": "event", "name": "x"}]) is None
+
+    def test_metric_name_sanitization(self):
+        from repro.obs.openmetrics import metric_name
+
+        assert metric_name("tuning.tell_seconds") == "repro_tuning_tell_seconds"
+        assert metric_name("weird-name with spaces!") == (
+            "repro_weird_name_with_spaces_"
+        )

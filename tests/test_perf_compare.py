@@ -1,0 +1,206 @@
+"""The bench-result schema and the perf-regression comparator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.perf import (
+    SCHEMA_VERSION,
+    ComparisonReport,
+    SchemaDriftError,
+    compare,
+    load_result,
+    make_metric,
+    make_result,
+    validate_result,
+)
+
+
+def _result(bench="bench_x", **metrics):
+    defaults = {"speed": make_metric(100.0, higher_is_better=True)}
+    return make_result(bench, mode="smoke", metrics=metrics or defaults)
+
+
+# ----------------------------------------------------------------------
+# Schema construction and validation
+# ----------------------------------------------------------------------
+class TestSchema:
+    def test_make_result_shape(self):
+        payload = make_result(
+            "bench_x",
+            mode="full",
+            metrics={"lat": make_metric(1.5, higher_is_better=False, unit="s")},
+            meta={"n": 3},
+        )
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["bench"] == "bench_x"
+        assert payload["mode"] == "full"
+        assert payload["metrics"]["lat"]["value"] == 1.5
+        assert payload["metrics"]["lat"]["higher_is_better"] is False
+        assert payload["meta"] == {"n": 3}
+        assert validate_result(payload) == []
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_result("b", mode="benchy", metrics=_result()["metrics"])
+
+    def test_validate_flags_missing_fields(self):
+        payload = _result()
+        del payload["metrics"]["speed"]["higher_is_better"]
+        payload["schema_version"] = 99
+        problems = validate_result(payload)
+        assert any("schema_version" in p for p in problems)
+        assert any("higher_is_better" in p for p in problems)
+
+    def test_load_result_bad_json_is_schema_drift(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(SchemaDriftError):
+            load_result(path)
+
+
+# ----------------------------------------------------------------------
+# Comparison semantics
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_identical_results_are_ok(self):
+        report = compare(_result(), _result())
+        assert isinstance(report, ComparisonReport)
+        assert report.ok
+        assert report.regressions == []
+
+    def test_regression_beyond_threshold_fails(self):
+        base = _result(speed=make_metric(100.0, higher_is_better=True))
+        cur = _result(speed=make_metric(80.0, higher_is_better=True))
+        report = compare(base, cur, threshold=0.10)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.metric == "speed"
+        assert delta.regressed_by == pytest.approx(0.20)
+
+    def test_within_threshold_is_ok(self):
+        base = _result(speed=make_metric(100.0, higher_is_better=True))
+        cur = _result(speed=make_metric(95.0, higher_is_better=True))
+        assert compare(base, cur, threshold=0.10).ok
+
+    def test_lower_is_better_direction(self):
+        base = _result(lat=make_metric(1.0, higher_is_better=False))
+        worse = _result(lat=make_metric(1.5, higher_is_better=False))
+        better = _result(lat=make_metric(0.5, higher_is_better=False))
+        assert not compare(base, worse, threshold=0.10).ok
+        report = compare(base, better, threshold=0.10)
+        assert report.ok
+        assert report.deltas[0].gain == pytest.approx(0.5)
+
+    def test_new_metric_reported_not_failed(self):
+        cur = _result(
+            speed=make_metric(100.0, higher_is_better=True),
+            extra=make_metric(1.0, higher_is_better=True),
+        )
+        report = compare(_result(), cur)
+        assert report.ok
+        assert report.new_metrics == ["extra"]
+
+    def test_dropped_metric_is_schema_drift(self):
+        base = _result(
+            speed=make_metric(100.0, higher_is_better=True),
+            extra=make_metric(1.0, higher_is_better=True),
+        )
+        with pytest.raises(SchemaDriftError, match="extra"):
+            compare(base, _result())
+
+    def test_bench_mismatch_is_schema_drift(self):
+        with pytest.raises(SchemaDriftError, match="mismatch"):
+            compare(_result(bench="a"), _result(bench="b"))
+
+    def test_direction_flip_is_schema_drift(self):
+        base = _result(speed=make_metric(100.0, higher_is_better=True))
+        cur = _result(speed=make_metric(100.0, higher_is_better=False))
+        with pytest.raises(SchemaDriftError, match="direction"):
+            compare(base, cur)
+
+    def test_zero_baseline_movement_is_infinite_gain(self):
+        base = _result(errors=make_metric(0.0, higher_is_better=False))
+        cur = _result(errors=make_metric(3.0, higher_is_better=False))
+        report = compare(base, cur)
+        assert not report.ok
+        assert report.regressions[0].regressed_by == float("inf")
+        # Flat zero stays OK.
+        assert compare(base, base).ok
+
+    def test_render_mentions_every_metric(self):
+        base = _result(
+            speed=make_metric(100.0, higher_is_better=True),
+            lat=make_metric(2.0, higher_is_better=False),
+        )
+        cur = _result(
+            speed=make_metric(50.0, higher_is_better=True),
+            lat=make_metric(1.0, higher_is_better=False),
+        )
+        text = compare(base, cur).render()
+        assert "speed" in text and "lat" in text
+        assert "REGRESSED" in text and "FAIL" in text
+
+
+# ----------------------------------------------------------------------
+# CLI: the exact exit codes CI keys on
+# ----------------------------------------------------------------------
+class TestCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", _result())
+        same = self._write(tmp_path / "same.json", _result())
+        regressed = self._write(
+            tmp_path / "reg.json",
+            _result(speed=make_metric(10.0, higher_is_better=True)),
+        )
+        drifted = self._write(tmp_path / "drift.json", _result(bench="other"))
+
+        assert cli_main(["obs", "perf-compare", base, same]) == 0
+        # An injected synthetic regression must exit nonzero.
+        assert cli_main(["obs", "perf-compare", base, regressed]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        # --warn-only downgrades perf regressions ...
+        assert (
+            cli_main(["obs", "perf-compare", base, regressed, "--warn-only"])
+            == 0
+        )
+        # ... but never schema drift.
+        assert (
+            cli_main(["obs", "perf-compare", base, drifted, "--warn-only"])
+            == 2
+        )
+
+    def test_threshold_flag(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _result())
+        slower = self._write(
+            tmp_path / "cur.json",
+            _result(speed=make_metric(85.0, higher_is_better=True)),
+        )
+        argv = ["obs", "perf-compare", base, slower]
+        assert cli_main(argv + ["--threshold", "0.30"]) == 0
+        assert cli_main(argv + ["--threshold", "0.05"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Committed baselines stay loadable and schema-clean
+# ----------------------------------------------------------------------
+def test_committed_baselines_validate():
+    from pathlib import Path
+
+    baseline_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    baselines = sorted((baseline_dir / "baselines").glob("*.json"))
+    assert baselines, "no committed baselines found"
+    for path in baselines:
+        payload = load_result(path)
+        assert validate_result(payload) == [], path.name
+        assert payload["bench"] == path.stem
+        # A baseline must compare cleanly against itself.
+        assert compare(payload, payload).ok
