@@ -4,7 +4,7 @@ Usage::
 
     repro-experiments table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all
         [--full] [--seed N] [--jobs N] [--workers N] [--batch-size Q]
-        [--save DIR] [--load DIR] [--resume DIR] [--trace RUN.jsonl]
+        [--save DIR] [--load DIR] [--resume DIR|DB] [--trace RUN.jsonl]
         [--verbose|--quiet]
 
     repro-experiments obs summary RUN.jsonl
@@ -17,6 +17,16 @@ Usage::
     repro-experiments drift [--profile diurnal|flash|skew|all] [--seed N]
         [--smoke] [--json PATH] [--resume DIR] [--trace RUN.jsonl]
 
+    repro-experiments store ls DIR|DB
+    repro-experiments store migrate SRC DST
+    repro-experiments store vacuum DIR|DB
+
+``store`` inspects and migrates study stores (docs/STORE.md): ``ls``
+lists studies, cells, and observation counts; ``migrate`` copies every
+document between backends (a checkpoint directory ↔ a SQLite ``*.db``
+file, either direction, lossless); ``vacuum`` compacts.  Exit code 2
+signals a schema-version mismatch, matching ``obs perf-compare``.
+
 ``drift`` runs the continuous-tuning-under-drift comparison
 (docs/DRIFT.md): for each profile the same seed tunes through a
 drifting workload twice — conservative re-tune from the incumbent
@@ -26,10 +36,11 @@ vs. cold restart — and reports post-detection recovery time.
 re-runs); the default is a scaled-down budget suitable for a laptop.
 ``--save DIR`` exports the underlying study runs as JSON;
 ``--load DIR`` re-renders figures from a previous export instead of
-re-running.  ``--resume DIR`` checkpoints every study cell into DIR
-after each observation and, when re-invoked with the same DIR after a
-crash, resumes from exactly where the campaign died
-(docs/ROBUSTNESS.md).  ``--trace`` records the run as a JSONL
+re-running.  ``--resume`` checkpoints every study cell into a study
+store — a JSONL directory or a SQLite ``*.db`` file — after each
+observation and, when re-invoked with the same target after a crash,
+resumes from exactly where the campaign died (docs/ROBUSTNESS.md,
+docs/STORE.md).  ``--trace`` records the run as a JSONL
 observability trace (docs/OBSERVABILITY.md) that the ``obs``
 subcommands aggregate.
 
@@ -307,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.drift import drift_main
 
         return drift_main(list(argv[1:]))
+    if argv and argv[0] == "store":
+        from repro.store.cli import store_main
+
+        return store_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -361,10 +376,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--resume",
         default=None,
-        metavar="DIR",
-        help="checkpoint study cells into DIR after every observation "
-        "and resume any partial runs already there (crash-safe "
-        "campaigns; see docs/ROBUSTNESS.md)",
+        metavar="DIR|DB",
+        help="checkpoint study cells after every observation into DIR "
+        "(a JSONL store directory) or a *.db SQLite store, and resume "
+        "any partial runs already there (crash-safe campaigns; see "
+        "docs/ROBUSTNESS.md and docs/STORE.md)",
     )
     parser.add_argument(
         "--csv", default=None, help="directory to write exhibit CSVs to"

@@ -32,7 +32,7 @@ import tempfile
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Protocol, Sequence
 
 from repro.core.history import Observation
 
@@ -132,13 +132,30 @@ def save_checkpoint(path: str | Path, checkpoint: TuningCheckpoint) -> None:
     atomic_write_text(path, "\n".join(lines) + "\n")
 
 
+def _warn_torn(path: Path, line_no: int, kept: int, why: str) -> None:
+    """Name the exact record that was rejected, not just that one was.
+
+    A crashed producer legitimately leaves a torn tail, but an operator
+    debugging a resume needs to know *where* parsing stopped — which
+    file, which line, and how much trusted progress survives before it.
+    """
+    warnings.warn(
+        f"checkpoint {path}: line {line_no} is {why}; keeping the "
+        f"{kept} observation(s) before it and discarding the rest",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def load_checkpoint(path: str | Path) -> TuningCheckpoint | None:
     """Read a checkpoint back; None when absent or unreadable.
 
     Atomic writes make torn files impossible in normal operation, but a
     copied or hand-edited file may still be malformed — parsing stops
     at the first bad line and keeps everything before it, which is the
-    most progress that can be trusted.
+    most progress that can be trusted.  The rejected line is named
+    (path plus 1-based line number) in a :class:`RuntimeWarning` so a
+    resume that silently dropped records is diagnosable after the fact.
     """
     path = Path(path)
     if not path.is_file():
@@ -149,22 +166,26 @@ def load_checkpoint(path: str | Path) -> TuningCheckpoint | None:
         text = path.read_text()
     except OSError:
         return None
-    for line in text.splitlines():
+    for line_no, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
+            _warn_torn(
+                path, line_no, checkpoint.completed, "torn or not valid JSON"
+            )
             break
         kind = record.get("type")
         if kind == "meta":
             version = record.get("version")
             if version != CHECKPOINT_VERSION:
                 warnings.warn(
-                    f"checkpoint {path} has version {version!r} but this "
-                    f"build reads version {CHECKPOINT_VERSION}; ignoring "
-                    "the checkpoint (the run will start fresh)",
+                    f"checkpoint {path}: line {line_no} has version "
+                    f"{version!r} but this build reads version "
+                    f"{CHECKPOINT_VERSION}; ignoring the checkpoint "
+                    "(the run will start fresh)",
                     RuntimeWarning,
                     stacklevel=2,
                 )
@@ -177,7 +198,13 @@ def load_checkpoint(path: str | Path) -> TuningCheckpoint | None:
         elif kind == "observation":
             try:
                 checkpoint.observations.append(Observation.from_dict(record))
-            except (KeyError, TypeError, ValueError):
+            except (KeyError, TypeError, ValueError) as exc:
+                _warn_torn(
+                    path,
+                    line_no,
+                    checkpoint.completed,
+                    f"a malformed observation record ({exc})",
+                )
                 break
         elif kind == "optimizer_state":
             state = record.get("state")
@@ -186,6 +213,46 @@ def load_checkpoint(path: str | Path) -> TuningCheckpoint | None:
     if not saw_meta:
         return None
     return checkpoint
+
+
+class CheckpointSlot(Protocol):
+    """Where one tuning run's checkpoint lives.
+
+    The slot is the seam between :class:`~repro.core.loop.TuningLoop`
+    and persistence: the loop saves and loads whole
+    :class:`TuningCheckpoint` values and never learns whether they land
+    in a standalone JSONL file (:class:`FileCheckpointSlot`, the
+    ``checkpoint_path=`` compatibility shim) or in a study store
+    backend (:class:`repro.store.base.StoreCheckpointSlot`).
+    """
+
+    def load(self) -> TuningCheckpoint | None:
+        """The last saved checkpoint, or None when none exists."""
+        ...  # pragma: no cover - protocol
+
+    def save(self, checkpoint: TuningCheckpoint) -> None:
+        """Atomically replace the stored checkpoint."""
+        ...  # pragma: no cover - protocol
+
+    def describe(self) -> str:
+        """Human-readable location for events and error messages."""
+        ...  # pragma: no cover - protocol
+
+
+class FileCheckpointSlot:
+    """One standalone JSONL checkpoint file (the pre-store format)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> TuningCheckpoint | None:
+        return load_checkpoint(self.path)
+
+    def save(self, checkpoint: TuningCheckpoint) -> None:
+        save_checkpoint(self.path, checkpoint)
+
+    def describe(self) -> str:
+        return str(self.path)
 
 
 def canonical_history(

@@ -25,29 +25,30 @@ either
 observations spent after a drift event before the tuner is back within
 5% of the post-drift optimum.
 
-Each epoch's inner loop checkpoints through the existing
-:mod:`repro.core.checkpoint` machinery (``epoch-NNNN.jsonl`` under
-``checkpoint_dir``), and the epoch-level state — detector, incumbent,
-detections — lands in a ``continuous.json`` sidecar written atomically
-at each epoch boundary.  A SIGKILL at any point resumes byte-
-identically: completed epochs reload from their checkpoints, the
-partial epoch resumes exactly via the inner loop's optimizer snapshot,
-and the epoch-boundary work (monitor measurement, detection, re-tune)
-is deterministic given the sidecar state, so re-doing it reproduces the
-uninterrupted run.
+Each epoch's inner loop checkpoints through a
+:class:`~repro.store.base.StudyStore` (run names ``epoch-NNNN``), and
+the epoch-level state — detector, incumbent, detections — lands in the
+store's ``continuous`` state document, written atomically at each epoch
+boundary.  ``checkpoint_dir=`` remains the compatibility spelling: it
+opens a :class:`~repro.store.jsonl.JsonlStudyStore` on that directory
+under the empty cell label, which produces the exact pre-store layout —
+``epoch-NNNN.jsonl`` files plus a ``continuous.json`` sidecar.  A
+SIGKILL at any point resumes byte-identically: completed epochs reload
+from their checkpoints, the partial epoch resumes exactly via the inner
+loop's optimizer snapshot, and the epoch-boundary work (monitor
+measurement, detection, re-tune) is deterministic given the sidecar
+state, so re-doing it reproduces the uninterrupted run.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.baselines import Optimizer
-from repro.core.checkpoint import atomic_write_text, load_checkpoint
 from repro.core.drift import PageHinkleyDetector
 from repro.core.executor import call_objective
 from repro.core.history import Observation
@@ -55,8 +56,15 @@ from repro.core.loop import Objective, TuningLoop
 from repro.core.seeding import derive_seed
 from repro.obs import runtime as obs_runtime
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core ≤ store)
+    from repro.store.base import StudyStore
+
 SIDECAR_VERSION = 1
+#: Name of the epoch-state document in the store; under the JSONL
+#: backend's empty cell label it is the literal ``continuous.json``
+#: sidecar file of the pre-store layout.
 SIDECAR_NAME = "continuous.json"
+STATE_NAME = "continuous"
 
 MODES = ("continuous", "cold")
 
@@ -166,6 +174,9 @@ class ContinuousTuningLoop:
         detector: PageHinkleyDetector | None = None,
         seed: int | None = None,
         checkpoint_dir: str | Path | None = None,
+        store: "StudyStore | None" = None,
+        study: str = "continuous",
+        cell: str = "",
         strategy_name: str | None = None,
         trust_radius: float = 0.15,
         mild_trust_radius: float | None = None,
@@ -194,9 +205,23 @@ class ContinuousTuningLoop:
         self.mode = mode
         self.detector = detector if detector is not None else PageHinkleyDetector()
         self.seed = seed
+        if store is not None and checkpoint_dir is not None:
+            raise ValueError(
+                "pass either checkpoint_dir or a store, not both"
+            )
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        self.study = study
+        self.cell = cell
+        self.store = store
+        if self.store is None and self.checkpoint_dir is not None:
+            # Imported lazily: the store layer sits above core, and this
+            # shim is the one place core reaches up — only when a caller
+            # asks for directory persistence by the pre-store spelling.
+            from repro.store.jsonl import JsonlStudyStore
+
+            self.store = JsonlStudyStore(self.checkpoint_dir)
         self.strategy_name = strategy_name or f"continuous-{mode}"
         self.trust_radius = float(trust_radius)
         self.mild_trust_radius = (
@@ -224,14 +249,23 @@ class ContinuousTuningLoop:
             return None
         return derive_seed(self.seed, "monitor", epoch)
 
-    def _epoch_path(self, epoch: int) -> Path | None:
-        if self.checkpoint_dir is None:
-            return None
-        return self.checkpoint_dir / f"epoch-{epoch:04d}.jsonl"
+    @staticmethod
+    def _epoch_run(epoch: int) -> str:
+        return f"epoch-{epoch:04d}"
 
-    def _sidecar_path(self) -> Path:
-        assert self.checkpoint_dir is not None
-        return self.checkpoint_dir / SIDECAR_NAME
+    def _epoch_slot(self, epoch: int):
+        if self.store is None:
+            return None
+        return self.store.checkpoint_slot(
+            self.study, self.cell, self._epoch_run(epoch)
+        )
+
+    def _sidecar_describe(self) -> str:
+        assert self.store is not None
+        return (
+            f"{self.store.kind}:{self.store.describe()}"
+            f"::{self.study}/{self.cell or '-'}/{STATE_NAME}"
+        )
 
     # ------------------------------------------------------------------
     # Epoch boundary
@@ -364,7 +398,8 @@ class ContinuousTuningLoop:
                 rec.boundary_as_dict() for rec in result.epochs
             ],
         }
-        atomic_write_text(self._sidecar_path(), json.dumps(data, sort_keys=True))
+        assert self.store is not None
+        self.store.save_state(self.study, self.cell, STATE_NAME, data)
 
     def _resume(
         self, result: ContinuousTuningResult, optimizer: Optimizer
@@ -379,19 +414,16 @@ class ContinuousTuningLoop:
         epoch, if any, is re-entered normally — its inner loop resumes
         from its own checkpoint.
         """
-        sidecar = self._sidecar_path()
-        if not sidecar.is_file():
-            return 0, optimizer, None, float("-inf")
-        try:
-            data = json.loads(sidecar.read_text())
-        except (OSError, json.JSONDecodeError):
+        assert self.store is not None
+        data = self.store.load_state(self.study, self.cell, STATE_NAME)
+        if data is None:
             return 0, optimizer, None, float("-inf")
         if data.get("version") != SIDECAR_VERSION:
             return 0, optimizer, None, float("-inf")
         if data.get("mode") != self.mode or data.get("seed") != self.seed:
             raise ValueError(
-                f"sidecar {sidecar} was written by a run with "
-                f"mode={data.get('mode')!r} seed={data.get('seed')!r}; "
+                f"sidecar {self._sidecar_describe()} was written by a run "
+                f"with mode={data.get('mode')!r} seed={data.get('seed')!r}; "
                 f"this run has mode={self.mode!r} seed={self.seed!r}"
             )
         completed = int(data.get("epochs_completed", 0))
@@ -403,16 +435,21 @@ class ContinuousTuningLoop:
         result.detections.extend(int(e) for e in data.get("detections", []))
         for boundary in data.get("epoch_records", [])[:completed]:
             record = EpochRecord.from_boundary_dict(boundary)
-            path = self._epoch_path(record.index)
-            checkpoint = load_checkpoint(path) if path is not None else None
+            checkpoint = self.store.load_checkpoint(
+                self.study, self.cell, self._epoch_run(record.index)
+            )
             if checkpoint is None:
                 raise RuntimeError(
                     f"sidecar lists epoch {record.index} as completed but "
-                    f"its checkpoint {path} is missing or unreadable"
+                    f"its checkpoint "
+                    f"{self._epoch_slot(record.index).describe()} is "
+                    "missing or unreadable"
                 )
             record.observations = list(checkpoint.observations)
             self._append_epoch(result, record)
-        last = load_checkpoint(self._epoch_path(completed - 1))
+        last = self.store.load_checkpoint(
+            self.study, self.cell, self._epoch_run(completed - 1)
+        )
         if last is not None and last.optimizer_state is not None:
             from_state = getattr(type(optimizer), "from_state_dict", None)
             if callable(from_state):
@@ -455,7 +492,7 @@ class ContinuousTuningLoop:
         incumbent: dict[str, object] | None = None
         incumbent_value = float("-inf")
         start_epoch = 0
-        if self.checkpoint_dir is not None:
+        if self.store is not None:
             start_epoch, optimizer, incumbent, incumbent_value = self._resume(
                 result, optimizer
             )
@@ -479,7 +516,7 @@ class ContinuousTuningLoop:
                     ),
                     strategy_name=self.strategy_name,
                     seed=self._epoch_seed(epoch),
-                    checkpoint_path=self._epoch_path(epoch),
+                    checkpoint=self._epoch_slot(epoch),
                 )
                 epoch_result = inner.run()
                 # Exact resume may have rebuilt the optimizer object.
@@ -513,7 +550,7 @@ class ContinuousTuningLoop:
                     flush = getattr(sink, "flush", None)
                     if callable(flush):
                         flush()
-            if self.checkpoint_dir is not None:
+            if self.store is not None:
                 self._write_sidecar(epoch + 1, incumbent, incumbent_value, result)
         if not result.observations:
             raise RuntimeError("continuous tuning produced no observations")

@@ -38,9 +38,9 @@ from typing import Callable, Mapping
 
 from repro.core.baselines import Optimizer
 from repro.core.checkpoint import (
+    CheckpointSlot,
+    FileCheckpointSlot,
     TuningCheckpoint,
-    load_checkpoint,
-    save_checkpoint,
 )
 from repro.core.executor import EvaluationExecutor, SerialExecutor
 from repro.core.history import Observation, TuningResult
@@ -132,6 +132,7 @@ class TuningLoop:
         seed: int | None = None,
         resilience: RetryPolicy | None = None,
         checkpoint_path: str | Path | None = None,
+        checkpoint: CheckpointSlot | None = None,
         diagnostics: bool | None = None,
     ) -> None:
         if max_steps < 1:
@@ -158,12 +159,22 @@ class TuningLoop:
         #: policy (:mod:`repro.core.resilience`): the loop wraps its
         #: executor in a :class:`ResilientExecutor`.
         self.resilience = resilience
+        if checkpoint is not None and checkpoint_path is not None:
+            raise ValueError(
+                "pass either checkpoint_path or a checkpoint slot, not both"
+            )
         #: When set, the loop checkpoints history + optimizer state to
-        #: this JSONL file (atomic rename) after every tell, and resumes
-        #: from it when it already exists (docs/ROBUSTNESS.md).
+        #: this slot after every tell, and resumes from it when it holds
+        #: one (docs/ROBUSTNESS.md).  ``checkpoint_path=`` is the
+        #: standalone-JSONL-file shim (:class:`FileCheckpointSlot`);
+        #: ``checkpoint=`` accepts any slot, e.g. a study-store address
+        #: (:class:`repro.store.base.StoreCheckpointSlot`).
+        self.checkpoint: CheckpointSlot | None = checkpoint
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
+        if self.checkpoint is None and self.checkpoint_path is not None:
+            self.checkpoint = FileCheckpointSlot(self.checkpoint_path)
         #: Online model-quality diagnostics (docs/OBSERVABILITY.md
         #: §diagnostics).  ``None`` (default) follows the obs session:
         #: active when one is, off when not — keeping the no-session
@@ -180,7 +191,7 @@ class TuningLoop:
     # Crash-safe checkpointing (docs/ROBUSTNESS.md)
     # ------------------------------------------------------------------
     def _resume(self, result: TuningResult) -> int:
-        """Restore state from ``checkpoint_path``; completed step count.
+        """Restore state from the checkpoint slot; completed step count.
 
         Exact resume when the checkpoint carries an optimizer snapshot
         and the optimizer type can rebuild from it (same RNG stream,
@@ -191,9 +202,9 @@ class TuningLoop:
         post-resume evaluations draw the same noise and fault streams
         either way.
         """
-        if self.checkpoint_path is None:
+        if self.checkpoint is None:
             return 0
-        checkpoint = load_checkpoint(self.checkpoint_path)
+        checkpoint = self.checkpoint.load()
         if checkpoint is None or not checkpoint.observations:
             return 0
         restored = False
@@ -215,8 +226,7 @@ class TuningLoop:
 
     def _write_checkpoint(self, result: TuningResult) -> None:
         state_dict = getattr(self.optimizer, "state_dict", None)
-        save_checkpoint(
-            self.checkpoint_path,
+        self.checkpoint.save(
             TuningCheckpoint(
                 strategy=self.strategy_name,
                 seed=self.seed,
@@ -271,7 +281,7 @@ class TuningLoop:
                 tracer.event(
                     "tuning.resume",
                     completed=resumed,
-                    checkpoint=str(self.checkpoint_path),
+                    checkpoint=self.checkpoint.describe(),
                 )
                 run_metrics.counter("tuning.resumed_steps").inc(resumed)
                 issued = completed = resumed
@@ -405,7 +415,7 @@ class TuningLoop:
                     )
                 )
                 completed += 1
-                if self.checkpoint_path is not None:
+                if self.checkpoint is not None:
                     self._write_checkpoint(result)
                 # Staleness counts off the thresholded comparison, while
                 # best_seen always tracks the running max: a run of

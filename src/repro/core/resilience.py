@@ -35,6 +35,7 @@ counters (docs/OBSERVABILITY.md).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from collections import deque
@@ -109,6 +110,15 @@ class RetryPolicy:
             raise ValueError("backoff_jitter must be >= 0")
         if self.breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1")
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe form (campaign specs serialize their policy)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RetryPolicy":
+        """Rebuild from :meth:`as_dict` output (re-validates fields)."""
+        return cls(**dict(data))  # type: ignore[arg-type]
 
     def backoff_seconds(
         self, attempt: int, rng: np.random.Generator | None = None

@@ -11,7 +11,6 @@ DESIGN.md §3; measured-vs-paper numbers in EXPERIMENTS.md.
 """
 
 from repro.experiments.presets import Budget, default_budget, full_budget
-from repro.experiments.runner import SundogStudy, SyntheticStudy
 
 __all__ = [
     "Budget",
@@ -20,3 +19,15 @@ __all__ = [
     "default_budget",
     "full_budget",
 ]
+
+
+def __getattr__(name: str) -> object:
+    # The study classes are loaded lazily: the runner module sits on
+    # top of repro.service.campaign, which itself imports
+    # repro.experiments.presets — an eager import here would make that
+    # chain circular.
+    if name in ("SundogStudy", "SyntheticStudy"):
+        from repro.experiments import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -59,6 +59,13 @@ from repro.topology_gen.suite import make_topology
 #: "recovered" (the acceptance criterion's within-5% bar).
 RECOVERY_FRACTION = 0.95
 
+
+def _is_sqlite_spec(spec: str | Path) -> bool:
+    """True when a ``--resume`` target names a SQLite store, not a dir."""
+    from repro.store import SQLITE_SUFFIXES
+
+    return Path(spec).suffix.lower() in SQLITE_SUFFIXES
+
 #: Latin-hypercube pool size for the per-epoch reference optimum.
 REFERENCE_POOL = 256
 
@@ -170,6 +177,20 @@ def build_drift_loop(
             codec.space, seed=opt_seed, init_points=scenario.init_points
         )
 
+    # A *.db resume target routes persistence through the SQLite study
+    # store — one database for the whole comparison, campaigns keyed by
+    # (scenario, mode) cell labels.  Directory targets keep the classic
+    # one-directory-per-campaign JSONL layout.
+    store_kwargs: dict[str, object] = {}
+    if checkpoint_dir is not None and _is_sqlite_spec(checkpoint_dir):
+        from repro.store import open_store
+
+        store_kwargs = {
+            "store": open_store(checkpoint_dir),
+            "study": "drift",
+            "cell": f"{scenario.name}/{mode}",
+        }
+        checkpoint_dir = None
     loop = ContinuousTuningLoop(
         objective,
         make_optimizer,
@@ -184,6 +205,7 @@ def build_drift_loop(
         ),
         seed=seed,
         checkpoint_dir=checkpoint_dir,
+        **store_kwargs,  # type: ignore[arg-type]
         strategy_name=f"drift-{scenario.name}-{mode}",
         trust_radius=scenario.trust_radius,
         mild_trust_radius=scenario.mild_trust_radius,
@@ -315,11 +337,14 @@ def compare_modes(
         "references": references,
     }
     for mode in ("continuous", "cold"):
-        mode_dir = (
-            None
-            if checkpoint_dir is None
-            else Path(checkpoint_dir) / scenario.name / mode
-        )
+        if checkpoint_dir is None:
+            mode_dir: str | Path | None = None
+        elif _is_sqlite_spec(checkpoint_dir):
+            # One shared database; build_drift_loop keys the campaign
+            # by (scenario, mode) cell inside it.
+            mode_dir = checkpoint_dir
+        else:
+            mode_dir = Path(checkpoint_dir) / scenario.name / mode
         result = run_drift_scenario(
             scenario, mode, seed, checkpoint_dir=mode_dir
         )
@@ -377,8 +402,9 @@ def drift_main(argv: list[str]) -> int:
     parser.add_argument(
         "--resume",
         default=None,
-        metavar="DIR",
-        help="checkpoint each campaign under DIR and resume partial runs",
+        metavar="DIR|DB",
+        help="checkpoint each campaign under DIR (JSONL store) or into a "
+        "*.db SQLite store, and resume partial runs",
     )
     parser.add_argument(
         "--trace",

@@ -1,4 +1,4 @@
-"""Studies: orchestrate tuning runs over the paper's experiment grids.
+"""Studies: the paper's experiment grids as campaign strategy layers.
 
 :class:`SyntheticStudy` runs the Figure 4–7 grid — four workload
 conditions × three topology sizes × five strategies (pla, bo, ipla,
@@ -6,28 +6,33 @@ ibo, bo180) — with the paper's procedure: several independent passes,
 best pass graphed, winner re-measured.  :class:`SundogStudy` runs the
 Figure 8 arms over the Sundog topology.  Both cache their
 :class:`~repro.core.history.TuningResult` lists so every dependent
-figure derives from one set of runs, and support process-parallel
-execution of independent cells.
+figure derives from one set of runs.
+
+This module owns *strategy*: which optimizer/codec pair a cell builds,
+which seeds and step budgets it uses.  Orchestration — worker-budget
+splitting, the process pool, obs events, failure aggregation — lives in
+:mod:`repro.service.campaign`, and persistence — per-pass checkpoints,
+finished-cell result caches, resume — in :mod:`repro.store` (a cell
+spec's ``checkpoint_dir`` is an :func:`repro.store.open_store` spec, so
+it accepts either a checkpoint directory or a SQLite ``*.db`` path).
+The campaign names (:class:`~repro.service.campaign.StudyError`,
+:func:`~repro.service.campaign.split_worker_budget`, ...) are
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import json
-import re
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass
-from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.baselines import Optimizer, ParallelLinearAscent
-from repro.core.checkpoint import atomic_write_text
 from repro.core.executor import make_executor
 from repro.core.history import TuningResult, best_of
 from repro.core.loop import TuningLoop
 from repro.core.optimizer import BayesianOptimizer
+from repro.core.resilience import RetryPolicy
 from repro.core.seeding import derive_seed
-from repro.obs import runtime as obs_runtime
 from repro.experiments.presets import (
     MEASUREMENT_NOISE_SIGMA,
     SIZES,
@@ -36,6 +41,14 @@ from repro.experiments.presets import (
     Budget,
     default_budget,
     default_cluster,
+)
+from repro.service.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    StudyError,
+    evaluation_failure_rows,
+    run_cells,
+    split_worker_budget,
 )
 from repro.storm.cluster import ClusterSpec
 from repro.storm.config import TopologyConfig
@@ -53,6 +66,21 @@ from repro.storm.topology import Topology
 from repro.sundog import sundog_default_config, sundog_topology
 from repro.topology_gen.suite import CONDITIONS, TopologyCondition, make_topology
 
+__all__ = [
+    "StudyError",
+    "SundogArmSpec",
+    "SundogStudy",
+    "SyntheticCellSpec",
+    "SyntheticStudy",
+    "cell_seed",
+    "evaluation_failure_rows",
+    "make_synthetic_optimizer",
+    "run_cells",
+    "run_sundog_arm",
+    "run_synthetic_cell",
+    "split_worker_budget",
+]
+
 #: Sundog parameter sets of Figure 8 (paper labels).
 SUNDOG_PARAM_SETS: tuple[str, ...] = ("h", "h bs bp", "bs bp cc")
 SUNDOG_STRATEGIES: tuple[str, ...] = ("pla", "bo", "bo180")
@@ -60,6 +88,10 @@ SUNDOG_STRATEGIES: tuple[str, ...] = ("pla", "bo", "bo180")
 #: The hint the paper fixes for the "bs bp cc" arm: the best value the
 #: parallel linear ascent found for Sundog (§V-D).
 SUNDOG_PLA_BEST_HINT = 11
+
+#: Store study names the two grids persist under.
+SYNTHETIC_STUDY_NAME = "synthetic"
+SUNDOG_STUDY_NAME = "sundog"
 
 
 def cell_seed(base_seed: int, *identity: object) -> int:
@@ -73,222 +105,6 @@ def cell_seed(base_seed: int, *identity: object) -> int:
     correlates noise across the whole study.
     """
     return derive_seed(base_seed, *identity)
-
-
-def split_worker_budget(workers: int, n_cells: int) -> tuple[int, int]:
-    """Split one worker budget between cell processes and loop threads.
-
-    Returns ``(n_jobs, loop_workers)``: cells are fully independent, so
-    the budget goes to cell-level process parallelism first; whatever
-    head-room remains (budget beyond the cell count) is spent *inside*
-    each cell as concurrent in-loop evaluations.  ``workers=8`` over 24
-    cells → 8 cell processes, serial loops; over 2 cells → 2 processes
-    with 4 in-flight evaluations each.
-    """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    n_jobs = min(workers, max(1, n_cells))
-    return n_jobs, max(1, workers // n_jobs)
-
-
-class StudyError(RuntimeError):
-    """One or more study cells raised instead of returning results.
-
-    Raised by :func:`_run_cells` *after* every cell has been attempted,
-    so a single bad cell cannot waste the others' compute.  ``failures``
-    is a list of ``(cell_label, error_description)`` pairs the CLI
-    renders as a table before exiting nonzero.
-    """
-
-    def __init__(self, study: str, failures: Sequence[tuple[str, str]]) -> None:
-        self.study = study
-        self.failures = list(failures)
-        cells = ", ".join(label for label, _ in self.failures)
-        super().__init__(
-            f"{len(self.failures)} {study} cell(s) failed: {cells}"
-        )
-
-
-def _result_label(key: object) -> str:
-    if isinstance(key, tuple):
-        return "/".join(
-            getattr(part, "label", None) or str(part) for part in key
-        )
-    return getattr(key, "label", None) or str(key)
-
-
-def evaluation_failure_rows(study: object) -> list[dict[str, object]]:
-    """Runs whose evaluations *all* failed, as CLI-table rows.
-
-    A run that never produced a single successful measurement has no
-    best configuration worth reporting — the paper's procedure (graph
-    the best pass, re-measure the winner) is meaningless for it.  The
-    CLI prints these rows and exits nonzero so automation notices.
-    """
-    rows: list[dict[str, object]] = []
-    results_by_key = getattr(study, "results", {})
-    for key, results in results_by_key.items():
-        label = _result_label(key)
-        for result in results:
-            obs = result.observations
-            if not obs or not all(o.failed for o in obs):
-                continue
-            rows.append(
-                {
-                    "cell": label,
-                    "pass": result.metadata.get("pass", ""),
-                    "failed_steps": len(obs),
-                    "last_reason": obs[-1].failure_reason or "unknown",
-                }
-            )
-    return rows
-
-
-def _sanitize_label(label: str) -> str:
-    """Cell labels contain ``/`` and spaces; make them path-safe."""
-    return re.sub(r"[^A-Za-z0-9._-]+", "_", label)
-
-
-def _load_done_cell(path: Path) -> list[TuningResult] | None:
-    """Load a completed cell's cached results; None when absent/bad."""
-    if not path.is_file():
-        return None
-    try:
-        payload = json.loads(path.read_text())
-        return [TuningResult.from_dict(entry) for entry in payload]
-    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-        return None
-
-
-def _save_done_cell(path: Path, results: list[TuningResult]) -> None:
-    atomic_write_text(
-        path, json.dumps([r.as_dict() for r in results], default=str)
-    )
-
-
-def _worker_obs_off() -> None:
-    """Disable obs in pool workers (module-level for picklability).
-
-    Under the fork start method a worker inherits the parent's live
-    context — including the JSONL sink's file handle, whose shared
-    offset makes concurrent writes from several processes interleave.
-    Workers run disabled instead and report home through the metrics
-    snapshot in ``TuningResult.metadata["obs_metrics"]``.
-    """
-    obs_runtime.deactivate()
-
-
-def _run_cells(
-    study_name: str,
-    specs: Sequence[object],
-    labels: Sequence[str],
-    cell_fn: Callable[..., list[TuningResult]],
-    n_jobs: int,
-    budget: Budget,
-) -> list[list[TuningResult]]:
-    """Run every study cell, reporting through the active obs context.
-
-    Emits ``study_start`` / ``cell_start`` / ``cell_finish`` /
-    ``study_finish`` events (the progress sink renders them with a
-    per-cell ETA) and, for process-parallel execution, merges each
-    worker cell's metrics snapshot back into the session registry —
-    worker processes carry their own (disabled) obs state, so their
-    per-run registries come home inside ``TuningResult.metadata``.
-
-    A cell that raises is recorded (``cell_error`` event) while the
-    remaining cells keep running; once every cell has been attempted a
-    :class:`StudyError` aggregating the failures is raised.
-    """
-    ctx = obs_runtime.current()
-    ctx.tracer.event(
-        "study_start",
-        study=study_name,
-        n_cells=len(specs),
-        budget=asdict(budget),
-    )
-    outcomes: list[list[TuningResult]] = [[] for _ in specs]
-    failures: list[tuple[str, str]] = []
-
-    def cell_failed(i: int, exc: Exception) -> None:
-        detail = f"{type(exc).__name__}: {exc}"
-        failures.append((labels[i], detail))
-        ctx.tracer.event(
-            "cell_error", study=study_name, cell=labels[i], error=detail
-        )
-
-    if n_jobs > 1:
-        submitted = time.perf_counter()
-        with ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=_worker_obs_off
-        ) as pool:
-            futures = {}
-            for i, spec in enumerate(specs):
-                ctx.tracer.event(
-                    "cell_start",
-                    study=study_name,
-                    cell=labels[i],
-                    seed=getattr(spec, "seed", None),
-                )
-                futures[pool.submit(cell_fn, spec)] = i
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    outcomes[i] = future.result()
-                except Exception as exc:
-                    cell_failed(i, exc)
-                    continue
-                seconds = _cell_seconds(outcomes[i], time.perf_counter() - submitted)
-                for result in outcomes[i]:
-                    snap = result.metadata.get("obs_metrics")
-                    if snap is not None:
-                        ctx.metrics.merge_snapshot(snap)  # type: ignore[arg-type]
-                ctx.tracer.event(
-                    "cell_finish",
-                    study=study_name,
-                    cell=labels[i],
-                    seconds=seconds,
-                    best=max(r.best_value for r in outcomes[i]),
-                )
-    else:
-        for i, spec in enumerate(specs):
-            ctx.tracer.event(
-                "cell_start",
-                study=study_name,
-                cell=labels[i],
-                seed=getattr(spec, "seed", None),
-            )
-            t0 = time.perf_counter()
-            try:
-                outcomes[i] = cell_fn(spec)
-            except Exception as exc:
-                cell_failed(i, exc)
-                continue
-            ctx.tracer.event(
-                "cell_finish",
-                study=study_name,
-                cell=labels[i],
-                seconds=time.perf_counter() - t0,
-                best=max(r.best_value for r in outcomes[i]),
-            )
-    ctx.tracer.event(
-        "study_finish",
-        study=study_name,
-        n_cells=len(specs),
-        n_failed_cells=len(failures),
-    )
-    if failures:
-        raise StudyError(study_name, failures)
-    return outcomes
-
-
-def _cell_seconds(results: list[TuningResult], fallback: float) -> float:
-    """Per-cell wall time, preferring the cell's own in-process stamp."""
-    stamped = [
-        float(r.metadata["cell_seconds"])  # type: ignore[arg-type]
-        for r in results
-        if "cell_seconds" in r.metadata
-    ]
-    return sum(stamped) if stamped else fallback
 
 
 def _default_hint_config(codec: ParallelismCodec) -> dict[str, object]:
@@ -374,10 +190,14 @@ class SyntheticCellSpec:
     in-flight proposals — default the worker count); per-evaluation
     seeds keep the observations order-independent.
 
-    ``checkpoint_dir`` makes the cell crash-safe: each pass checkpoints
-    its tuning loop to ``<dir>/<cell>.pass<N>.jsonl`` after every
-    ``tell``, and a finished cell writes ``<dir>/<cell>.done.json`` so
-    a resumed study skips it entirely (see docs/ROBUSTNESS.md).
+    ``checkpoint_dir`` makes the cell crash-safe: it is an
+    :func:`repro.store.open_store` spec (a directory or a ``*.db``
+    file); each pass checkpoints its tuning loop to the store after
+    every ``tell``, and a finished cell saves its results there so a
+    resumed study skips it entirely (see docs/STORE.md).
+
+    ``resilience`` applies a :class:`~repro.core.resilience.RetryPolicy`
+    to the cell's evaluations (retry/timeout/circuit-breaker).
     """
 
     size: str
@@ -390,19 +210,18 @@ class SyntheticCellSpec:
     loop_executor: str = "thread"
     batch_size: int | None = None
     checkpoint_dir: str | None = None
+    resilience: RetryPolicy | None = None
 
 
 def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
     """Run all passes of one cell (module-level for process pools)."""
-    ckpt_dir = Path(spec.checkpoint_dir) if spec.checkpoint_dir else None
-    cell_stem = _sanitize_label(
-        f"{spec.condition.label}/{spec.size}/{spec.strategy}"
-    )
-    done_path = None
-    if ckpt_dir is not None:
-        ckpt_dir.mkdir(parents=True, exist_ok=True)
-        done_path = ckpt_dir / f"{cell_stem}.done.json"
-        cached = _load_done_cell(done_path)
+    store = None
+    cell_label = f"{spec.condition.label}/{spec.size}/{spec.strategy}"
+    if spec.checkpoint_dir:
+        from repro.store import open_store
+
+        store = open_store(spec.checkpoint_dir)
+        cached = store.load_results(SYNTHETIC_STUDY_NAME, cell_label)
         if cached is not None:
             return cached
     topology = make_topology(spec.size, spec.condition)
@@ -418,9 +237,11 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
     cell_t0 = time.perf_counter()
     for pass_idx in range(spec.budget.passes):
         pass_seed = base + pass_idx
-        checkpoint_path = (
-            ckpt_dir / f"{cell_stem}.pass{pass_idx}.jsonl"
-            if ckpt_dir is not None
+        slot = (
+            store.checkpoint_slot(
+                SYNTHETIC_STUDY_NAME, cell_label, f"pass{pass_idx}"
+            )
+            if store is not None
             else None
         )
         optimizer, codec = make_synthetic_optimizer(
@@ -461,10 +282,11 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
                 # same noise streams the uninterrupted run would draw.
                 seed=(
                     pass_seed + 991
-                    if executor is not None or checkpoint_path is not None
+                    if executor is not None or slot is not None
                     else None
                 ),
-                checkpoint_path=checkpoint_path,
+                checkpoint=slot,
+                resilience=spec.resilience,
             )
             result = loop.run()
         finally:
@@ -481,13 +303,18 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
         )
         cell_t0 = time.perf_counter()
         results.append(result)
-    if done_path is not None:
-        _save_done_cell(done_path, results)
+    if store is not None:
+        store.save_results(SYNTHETIC_STUDY_NAME, cell_label, results)
     return results
 
 
 class SyntheticStudy:
     """The Figure 4–7 grid over synthetic topologies.
+
+    A thin strategy facade over :class:`~repro.service.campaign.
+    CampaignRunner`: this class keeps the paper-facing API (keyed
+    results, ``passes``/``best_pass``) while the campaign layer owns
+    orchestration and the store layer persistence.
 
     ``n_jobs`` controls cell-level process parallelism directly;
     ``workers``, when given, is a *total* budget split between cell
@@ -508,6 +335,7 @@ class SyntheticStudy:
         workers: int | None = None,
         batch_size: int | None = None,
         checkpoint_dir: str | None = None,
+        resilience: RetryPolicy | None = None,
     ) -> None:
         self.budget = budget or default_budget()
         self.conditions = tuple(conditions)
@@ -518,44 +346,39 @@ class SyntheticStudy:
         self.workers = workers
         self.batch_size = batch_size
         self.checkpoint_dir = checkpoint_dir
-        if workers is not None:
-            n_cells = len(self.conditions) * len(self.sizes) * len(self.strategies)
-            self.n_jobs, self.loop_workers = split_worker_budget(workers, n_cells)
-        else:
-            self.n_jobs = max(1, n_jobs)
-            self.loop_workers = 1
+        self.resilience = resilience
+        self.campaign = CampaignSpec(
+            study=SYNTHETIC_STUDY_NAME,
+            budget=self.budget,
+            seed=seed,
+            fidelity=fidelity,
+            workers=workers,
+            n_jobs=n_jobs,
+            batch_size=batch_size,
+            store=checkpoint_dir,
+            resilience=resilience,
+            conditions=self.conditions,
+            sizes=self.sizes,
+            strategies=self.strategies,
+        )
+        self._runner = CampaignRunner(self.campaign)
+        self.n_jobs = self._runner.n_jobs
+        self.loop_workers = self._runner.loop_workers
         self.results: dict[
             tuple[TopologyCondition, str, str], list[TuningResult]
         ] = {}
 
     def specs(self) -> list[SyntheticCellSpec]:
-        return [
-            SyntheticCellSpec(
-                size=size,
-                condition=condition,
-                strategy=strategy,
-                budget=self.budget,
-                seed=self.seed,
-                fidelity=self.fidelity,
-                loop_workers=self.loop_workers,
-                batch_size=self.batch_size,
-                checkpoint_dir=self.checkpoint_dir,
-            )
-            for condition in self.conditions
-            for size in self.sizes
-            for strategy in self.strategies
-        ]
+        return self._runner.cell_specs()[0]  # type: ignore[return-value]
 
     def run(self) -> "SyntheticStudy":
         specs = self.specs()
-        labels = [
-            f"{spec.condition.label}/{spec.size}/{spec.strategy}" for spec in specs
-        ]
-        outcomes = _run_cells(
-            "synthetic", specs, labels, run_synthetic_cell, self.n_jobs, self.budget
-        )
-        for spec, results in zip(specs, outcomes):
-            self.results[(spec.condition, spec.size, spec.strategy)] = results
+        by_label = self._runner.run()
+        for spec in specs:
+            label = f"{spec.condition.label}/{spec.size}/{spec.strategy}"
+            self.results[(spec.condition, spec.size, spec.strategy)] = (
+                by_label[label]
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -584,6 +407,7 @@ class SundogArmSpec:
     loop_executor: str = "thread"
     batch_size: int | None = None
     checkpoint_dir: str | None = None
+    resilience: RetryPolicy | None = None
 
     @property
     def label(self) -> str:
@@ -613,13 +437,13 @@ def _sundog_codec(
 
 def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
     """Run all passes of one Figure 8 arm."""
-    ckpt_dir = Path(spec.checkpoint_dir) if spec.checkpoint_dir else None
-    cell_stem = _sanitize_label(f"sundog_{spec.label}")
-    done_path = None
-    if ckpt_dir is not None:
-        ckpt_dir.mkdir(parents=True, exist_ok=True)
-        done_path = ckpt_dir / f"{cell_stem}.done.json"
-        cached = _load_done_cell(done_path)
+    store = None
+    cell_label = f"sundog_{spec.label}"
+    if spec.checkpoint_dir:
+        from repro.store import open_store
+
+        store = open_store(spec.checkpoint_dir)
+        cached = store.load_results(SUNDOG_STUDY_NAME, cell_label)
         if cached is not None:
             return cached
     topology = sundog_topology()
@@ -636,9 +460,11 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
     cell_t0 = time.perf_counter()
     for pass_idx in range(spec.budget.passes):
         pass_seed = base + pass_idx
-        checkpoint_path = (
-            ckpt_dir / f"{cell_stem}.pass{pass_idx}.jsonl"
-            if ckpt_dir is not None
+        slot = (
+            store.checkpoint_slot(
+                SUNDOG_STUDY_NAME, cell_label, f"pass{pass_idx}"
+            )
+            if store is not None
             else None
         )
         if spec.strategy == "pla":
@@ -684,10 +510,11 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
                 batch_size=spec.batch_size,
                 seed=(
                     pass_seed + 991
-                    if executor is not None or checkpoint_path is not None
+                    if executor is not None or slot is not None
                     else None
                 ),
-                checkpoint_path=checkpoint_path,
+                checkpoint=slot,
+                resilience=spec.resilience,
             )
             result = loop.run()
         finally:
@@ -704,8 +531,8 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
         )
         cell_t0 = time.perf_counter()
         results.append(result)
-    if done_path is not None:
-        _save_done_cell(done_path, results)
+    if store is not None:
+        store.save_results(SUNDOG_STUDY_NAME, cell_label, results)
     return results
 
 
@@ -756,6 +583,7 @@ class SundogStudy:
         workers: int | None = None,
         batch_size: int | None = None,
         checkpoint_dir: str | None = None,
+        resilience: RetryPolicy | None = None,
     ) -> None:
         self.budget = budget or default_budget()
         self.arms = tuple(arms)
@@ -764,38 +592,32 @@ class SundogStudy:
         self.workers = workers
         self.batch_size = batch_size
         self.checkpoint_dir = checkpoint_dir
-        if workers is not None:
-            self.n_jobs, self.loop_workers = split_worker_budget(
-                workers, len(self.arms)
-            )
-        else:
-            self.n_jobs = max(1, n_jobs)
-            self.loop_workers = 1
+        self.resilience = resilience
+        self.campaign = CampaignSpec(
+            study=SUNDOG_STUDY_NAME,
+            budget=self.budget,
+            seed=seed,
+            fidelity=fidelity,
+            workers=workers,
+            n_jobs=n_jobs,
+            batch_size=batch_size,
+            store=checkpoint_dir,
+            resilience=resilience,
+            arms=self.arms,
+        )
+        self._runner = CampaignRunner(self.campaign)
+        self.n_jobs = self._runner.n_jobs
+        self.loop_workers = self._runner.loop_workers
         self.results: dict[tuple[str, str], list[TuningResult]] = {}
 
     def specs(self) -> list[SundogArmSpec]:
-        return [
-            SundogArmSpec(
-                strategy=strategy,
-                param_set=param_set,
-                budget=self.budget,
-                seed=self.seed,
-                fidelity=self.fidelity,
-                loop_workers=self.loop_workers,
-                batch_size=self.batch_size,
-                checkpoint_dir=self.checkpoint_dir,
-            )
-            for strategy, param_set in self.arms
-        ]
+        return self._runner.cell_specs()[0]  # type: ignore[return-value]
 
     def run(self) -> "SundogStudy":
         specs = self.specs()
-        labels = [spec.label for spec in specs]
-        outcomes = _run_cells(
-            "sundog", specs, labels, run_sundog_arm, self.n_jobs, self.budget
-        )
-        for spec, results in zip(specs, outcomes):
-            self.results[(spec.strategy, spec.param_set)] = results
+        by_label = self._runner.run()
+        for spec in specs:
+            self.results[(spec.strategy, spec.param_set)] = by_label[spec.label]
         return self
 
     def passes(self, strategy: str, param_set: str) -> list[TuningResult]:

@@ -1,0 +1,25 @@
+"""Campaign service layer: run serializable study grids over a store.
+
+Sits between :mod:`repro.experiments` (the paper's concrete grids) and
+:mod:`repro.core` (the tuning loop): a
+:class:`~repro.service.campaign.CampaignSpec` describes *what* to run
+as plain data, and a :class:`~repro.service.campaign.CampaignRunner`
+executes it — cell-level process parallelism, per-cell obs events, and
+store-backed resume — without knowing which figure the grid belongs to.
+"""
+
+from repro.service.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    StudyError,
+    run_cells,
+    split_worker_budget,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignSpec",
+    "StudyError",
+    "run_cells",
+    "split_worker_budget",
+]

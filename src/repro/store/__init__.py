@@ -1,0 +1,66 @@
+"""Study-store persistence layer (docs/STORE.md).
+
+One interface, two stdlib-only backends::
+
+    from repro.store import open_store
+
+    store = open_store("ckpts")          # directory -> JsonlStudyStore
+    store = open_store("campaign.db")    # *.db      -> SqliteStudyStore
+
+Everything the tuning stack persists — run checkpoints, finished-cell
+results, continuous-tuning epoch state — flows through a
+:class:`~repro.store.base.StudyStore`, so a campaign can switch
+backends (or be migrated between them, see
+:func:`~repro.store.migrate.migrate_store`) without touching the loop
+or the experiment runner.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.store.base import (
+    SchemaVersionError,
+    StoreCheckpointSlot,
+    StoreError,
+    StudyStore,
+    cell_stem,
+    sanitize_label,
+)
+from repro.store.jsonl import JsonlStudyStore
+from repro.store.migrate import MigrationReport, migrate_store
+from repro.store.sqlite import SqliteStudyStore
+
+#: Path suffixes routed to the SQLite backend by :func:`open_store`.
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def open_store(spec: str | Path | StudyStore) -> StudyStore:
+    """A store for ``spec``: a :class:`StudyStore` passes through, a
+    path ending in ``.db``/``.sqlite``/``.sqlite3`` opens the SQLite
+    backend, and anything else is a JSONL store directory (created on
+    first write) — which is how every pre-store ``--resume DIR`` and
+    ``checkpoint_dir=`` call site keeps its exact old behavior.
+    """
+    if isinstance(spec, StudyStore):
+        return spec
+    path = Path(spec)
+    if path.suffix.lower() in SQLITE_SUFFIXES:
+        return SqliteStudyStore(path)
+    return JsonlStudyStore(path)
+
+
+__all__ = [
+    "JsonlStudyStore",
+    "MigrationReport",
+    "SchemaVersionError",
+    "SqliteStudyStore",
+    "StoreCheckpointSlot",
+    "StoreError",
+    "StudyStore",
+    "cell_stem",
+    "migrate_store",
+    "open_store",
+    "sanitize_label",
+    "SQLITE_SUFFIXES",
+]

@@ -1,0 +1,261 @@
+"""The study-store contract: who owns persisted tuning state.
+
+Before this layer existed, persistence was smeared across three places
+— :mod:`repro.core.checkpoint` JSONL files, per-cell ``pass``/``done``
+files inside the experiment runner, and ``continuous.json`` sidecars in
+:mod:`repro.core.continuous`.  :class:`StudyStore` centralizes all of
+it behind one interface with two interchangeable backends:
+
+* :class:`repro.store.jsonl.JsonlStudyStore` — a directory of
+  atomic-write JSONL/JSON files, bit-compatible with the pre-store
+  layout (``--resume DIR`` keeps working on old directories);
+* :class:`repro.store.sqlite.SqliteStudyStore` — one stdlib ``sqlite3``
+  database with a versioned schema and migration runner, safe for many
+  concurrent campaign processes.
+
+The data model is three kinds of documents under a ``(study, cell)``
+address:
+
+===========  =====================================================
+document     contents
+===========  =====================================================
+checkpoint   one tuning run's :class:`~repro.core.checkpoint.
+             TuningCheckpoint` (observations + optimizer snapshot),
+             keyed by a run name (``pass0``, ``epoch-0003``, ...)
+results      a finished cell's :class:`~repro.core.history.
+             TuningResult` list (the runner's old ``done`` file)
+state        an arbitrary JSON document, keyed by name (the
+             continuous-tuning loop's old ``continuous.json``)
+===========  =====================================================
+
+``tests/test_store.py`` holds the shared contract suite both backends
+must pass; docs/STORE.md documents layouts and the migration CLI.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from typing import Mapping
+
+from repro.core.checkpoint import TuningCheckpoint
+from repro.core.history import TuningResult
+from repro.core.seeding import label_digest
+from repro.obs import runtime as obs_runtime
+
+
+class StoreError(RuntimeError):
+    """A study-store operation failed."""
+
+
+class SchemaVersionError(StoreError):
+    """The store was written by an incompatible schema version.
+
+    Raised instead of guessing: a newer schema may record state this
+    build cannot interpret, and "resume from garbage" is worse than
+    refusing.  The store CLI maps this to exit code 2, the same
+    convention ``obs perf-compare`` uses for schema drift.
+    """
+
+
+def sanitize_label(label: str) -> str:
+    """Make a cell label path-safe (``/`` and spaces become ``_``)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label)
+
+
+def cell_stem(label: str) -> str:
+    """Collision-free path stem for a cell label.
+
+    Sanitizing alone is lossy: ``a/b`` and ``a.b`` both sanitize to the
+    same stem, and two such cells would silently overwrite each other's
+    ``done``/``pass`` files.  Appending a short blake2b digest of the
+    *raw* label (:func:`repro.core.seeding.label_digest`) keeps stems
+    readable while making distinct labels map to distinct files.
+    """
+    if not label:
+        return ""
+    return f"{sanitize_label(label)}-{label_digest(label)}"
+
+
+def _count(name: str, n: int = 1) -> None:
+    """Fold one store operation into the active obs registry (no-op
+    fast path when no session is active — same budget as the tracer)."""
+    obs_runtime.current().metrics.counter(name).inc(n)
+
+
+class StudyStore(abc.ABC):
+    """Persistence for studies, cells, observations, and epoch state.
+
+    Subclasses implement the underscore hooks; the public methods add
+    uniform ``store.*`` metrics accounting on top so every backend
+    reports reads and writes the same way (docs/OBSERVABILITY.md).
+    """
+
+    #: Backend identifier (``jsonl`` / ``sqlite``) for events and `ls`.
+    kind: str = "store"
+
+    # ------------------------------------------------------------------
+    # Checkpoints (one tuning run each)
+    # ------------------------------------------------------------------
+    def save_checkpoint(
+        self, study: str, cell: str, run: str, checkpoint: TuningCheckpoint
+    ) -> None:
+        self._save_checkpoint(study, cell, run, checkpoint)
+        _count("store.checkpoint_writes")
+
+    def load_checkpoint(
+        self, study: str, cell: str, run: str
+    ) -> TuningCheckpoint | None:
+        checkpoint = self._load_checkpoint(study, cell, run)
+        _count("store.checkpoint_reads")
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Finished-cell results (the runner's old ``done`` files)
+    # ------------------------------------------------------------------
+    def save_results(
+        self, study: str, cell: str, results: list[TuningResult]
+    ) -> None:
+        self._save_results(study, cell, results)
+        _count("store.result_writes")
+
+    def load_results(
+        self, study: str, cell: str
+    ) -> list[TuningResult] | None:
+        results = self._load_results(study, cell)
+        _count("store.result_reads")
+        if results is not None:
+            _count("store.result_hits")
+        return results
+
+    # ------------------------------------------------------------------
+    # Named state documents (continuous-tuning epoch state, ...)
+    # ------------------------------------------------------------------
+    def save_state(
+        self, study: str, cell: str, name: str, state: Mapping[str, object]
+    ) -> None:
+        self._save_state(study, cell, name, dict(state))
+        _count("store.state_writes")
+
+    def load_state(
+        self, study: str, cell: str, name: str
+    ) -> dict[str, object] | None:
+        state = self._load_state(study, cell, name)
+        _count("store.state_reads")
+        return state
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _save_checkpoint(
+        self, study: str, cell: str, run: str, checkpoint: TuningCheckpoint
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def _load_checkpoint(
+        self, study: str, cell: str, run: str
+    ) -> TuningCheckpoint | None: ...
+
+    @abc.abstractmethod
+    def _save_results(
+        self, study: str, cell: str, results: list[TuningResult]
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def _load_results(
+        self, study: str, cell: str
+    ) -> list[TuningResult] | None: ...
+
+    @abc.abstractmethod
+    def _save_state(
+        self, study: str, cell: str, name: str, state: dict[str, object]
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def _load_state(
+        self, study: str, cell: str, name: str
+    ) -> dict[str, object] | None: ...
+
+    # ------------------------------------------------------------------
+    # Enumeration (the `store ls` / migration surface)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def studies(self) -> list[str]: ...
+
+    @abc.abstractmethod
+    def cells(self, study: str) -> list[str]: ...
+
+    @abc.abstractmethod
+    def runs(self, study: str, cell: str) -> list[str]: ...
+
+    @abc.abstractmethod
+    def state_names(self, study: str, cell: str) -> list[str]: ...
+
+    @abc.abstractmethod
+    def has_results(self, study: str, cell: str) -> bool: ...
+
+    def observation_count(self, study: str, cell: str) -> int:
+        """Total observations across a cell's run checkpoints."""
+        total = 0
+        for run in self.runs(study, cell):
+            checkpoint = self.load_checkpoint(study, cell, run)
+            if checkpoint is not None:
+                total += checkpoint.completed
+        return total
+
+    # ------------------------------------------------------------------
+    # Lifecycle / maintenance
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable location (directory path, database file)."""
+
+    def schema_version(self) -> int:
+        """The store's on-disk format version."""
+        return 1
+
+    def vacuum(self) -> None:
+        """Reclaim space / compact the backing storage (may be no-op)."""
+
+    def close(self) -> None:
+        """Release backend resources; the store is unusable after."""
+
+    def __enter__(self) -> "StudyStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def checkpoint_slot(
+        self, study: str, cell: str, run: str
+    ) -> "StoreCheckpointSlot":
+        """Bind one run's checkpoint address as a loop-compatible slot."""
+        return StoreCheckpointSlot(self, study, cell, run)
+
+
+class StoreCheckpointSlot:
+    """A :class:`~repro.core.checkpoint.CheckpointSlot` over one store
+    address, handed to :class:`~repro.core.loop.TuningLoop` so the loop
+    checkpoints through the store without knowing the backend."""
+
+    def __init__(
+        self, store: StudyStore, study: str, cell: str, run: str
+    ) -> None:
+        self.store = store
+        self.study = study
+        self.cell = cell
+        self.run = run
+
+    def load(self) -> TuningCheckpoint | None:
+        return self.store.load_checkpoint(self.study, self.cell, self.run)
+
+    def save(self, checkpoint: TuningCheckpoint) -> None:
+        self.store.save_checkpoint(self.study, self.cell, self.run, checkpoint)
+
+    def describe(self) -> str:
+        return (
+            f"{self.store.kind}:{self.store.describe()}"
+            f"::{self.study}/{self.cell or '-'}/{self.run}"
+        )

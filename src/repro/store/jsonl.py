@@ -1,0 +1,305 @@
+"""Directory-of-JSONL study store (the pre-store layout, formalized).
+
+One directory holds every document, named exactly the way the
+experiment runner and continuous-tuning loop named their files before
+the store layer existed — so an old ``--resume DIR`` directory is a
+valid store and a new one is readable by old eyes:
+
+* ``<stem>.<run>.jsonl``   — run checkpoints (``pass0``, ``epoch-0003``)
+  in the :mod:`repro.core.checkpoint` record format, atomic-rewritten
+  after every tell;
+* ``<stem>.done.json``     — a finished cell's results list;
+* ``<stem>.<name>.json``   — named state documents (the continuous
+  loop's sidecar: cell ``""`` + name ``continuous`` → the literal
+  ``continuous.json``).
+
+``<stem>`` is :func:`repro.store.base.cell_stem`: the sanitized label
+plus a short blake2b digest of the raw label, so ``a/b`` and ``a.b``
+(identical after sanitizing) can no longer overwrite each other.  Reads
+fall back to the digest-less legacy stem, keeping pre-digest resume
+directories loadable.  An ``store-index.json`` sidecar remembers which
+stem belongs to which (study, raw label) so enumeration and migration
+recover the original addresses; directories without one (legacy) still
+enumerate, with stems standing in for labels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.checkpoint import (
+    TuningCheckpoint,
+    atomic_write_text,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.history import TuningResult
+from repro.store.base import (
+    SchemaVersionError,
+    StudyStore,
+    cell_stem,
+    sanitize_label,
+)
+
+INDEX_VERSION = 1
+INDEX_NAME = "store-index.json"
+
+#: Reserved file names that are never store documents.
+_RESERVED = frozenset({INDEX_NAME})
+
+
+class JsonlStudyStore(StudyStore):
+    """Study store over a directory of atomic-write JSONL/JSON files."""
+
+    kind = "jsonl"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        #: (study, cell) addresses this instance already indexed — the
+        #: index is rewritten once per new cell, not once per tell.
+        self._registered: set[tuple[str, str]] = set()
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _join(stem: str, suffix: str) -> str:
+        return f"{stem}.{suffix}" if stem else suffix
+
+    def _checkpoint_path(self, cell: str, run: str, *, legacy: bool = False) -> Path:
+        stem = sanitize_label(cell) if legacy else cell_stem(cell)
+        return self.root / self._join(stem, f"{run}.jsonl")
+
+    def _results_path(self, cell: str, *, legacy: bool = False) -> Path:
+        stem = sanitize_label(cell) if legacy else cell_stem(cell)
+        return self.root / self._join(stem, "done.json")
+
+    def _state_path(self, cell: str, name: str, *, legacy: bool = False) -> Path:
+        stem = sanitize_label(cell) if legacy else cell_stem(cell)
+        return self.root / self._join(stem, f"{name}.json")
+
+    def _read(self, fresh: Path, legacy: Path) -> Path | None:
+        """The freshest readable variant of a document, digest-stem
+        first, then the pre-digest legacy name."""
+        if fresh.is_file():
+            return fresh
+        if legacy != fresh and legacy.is_file():
+            return legacy
+        return None
+
+    # ------------------------------------------------------------------
+    # Index (stem -> study/raw-label, for enumeration and migration)
+    # ------------------------------------------------------------------
+    def _load_index(self) -> dict[str, dict[str, str]]:
+        path = self.root / INDEX_NAME
+        if not path.is_file():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        version = data.get("version")
+        if version != INDEX_VERSION:
+            raise SchemaVersionError(
+                f"store index {path} has version {version!r} but this "
+                f"build reads version {INDEX_VERSION}"
+            )
+        cells = data.get("cells", {})
+        return {str(k): dict(v) for k, v in cells.items()}
+
+    def _register(self, study: str, cell: str) -> None:
+        if (study, cell) in self._registered:
+            return
+        # Merge-on-write: concurrent cell processes each re-read the
+        # index before rewriting, so parallel studies interleave their
+        # registrations instead of clobbering each other wholesale.
+        index = self._load_index()
+        entry = {"study": study, "label": cell}
+        if index.get(cell_stem(cell)) != entry:
+            index[cell_stem(cell)] = entry
+            atomic_write_text(
+                self.root / INDEX_NAME,
+                json.dumps(
+                    {"version": INDEX_VERSION, "cells": index}, sort_keys=True
+                ),
+            )
+        self._registered.add((study, cell))
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+    def _save_checkpoint(
+        self, study: str, cell: str, run: str, checkpoint: TuningCheckpoint
+    ) -> None:
+        self._register(study, cell)
+        save_checkpoint(self._checkpoint_path(cell, run), checkpoint)
+
+    def _load_checkpoint(
+        self, study: str, cell: str, run: str
+    ) -> TuningCheckpoint | None:
+        path = self._read(
+            self._checkpoint_path(cell, run),
+            self._checkpoint_path(cell, run, legacy=True),
+        )
+        return None if path is None else load_checkpoint(path)
+
+    def _save_results(
+        self, study: str, cell: str, results: list[TuningResult]
+    ) -> None:
+        self._register(study, cell)
+        atomic_write_text(
+            self._results_path(cell),
+            json.dumps([r.as_dict() for r in results], default=str),
+        )
+
+    def _load_results(
+        self, study: str, cell: str
+    ) -> list[TuningResult] | None:
+        path = self._read(
+            self._results_path(cell), self._results_path(cell, legacy=True)
+        )
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return [TuningResult.from_dict(entry) for entry in payload]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def _save_state(
+        self, study: str, cell: str, name: str, state: dict[str, object]
+    ) -> None:
+        self._register(study, cell)
+        atomic_write_text(
+            self._state_path(cell, name), json.dumps(state, sort_keys=True)
+        )
+
+    def _load_state(
+        self, study: str, cell: str, name: str
+    ) -> dict[str, object] | None:
+        path = self._read(
+            self._state_path(cell, name),
+            self._state_path(cell, name, legacy=True),
+        )
+        if path is None:
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return dict(data) if isinstance(data, dict) else None
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def _scan(self) -> Iterator[tuple[str, str, str, str]]:
+        """Yield ``(stem, doc_kind, doc_name, file_name)`` for every
+        store document in the directory.
+
+        ``doc_kind`` is ``checkpoint`` / ``results`` / ``state``.  Stems
+        come from the index when possible (longest match wins, so a
+        stem containing dots cannot shadow a shorter one); unindexed
+        files fall back to the empty stem (whole name = document name),
+        which is exactly how the continuous-tuning layout reads.
+        """
+        if not self.root.is_dir():
+            return
+        stems = sorted(
+            (s for s in self._load_index() if s), key=len, reverse=True
+        )
+
+        def split(name: str) -> tuple[str, str]:
+            for stem in stems:
+                if name.startswith(stem + "."):
+                    return stem, name[len(stem) + 1 :]
+            return "", name
+
+        for path in sorted(self.root.iterdir()):
+            name = path.name
+            if not path.is_file() or name in _RESERVED or name.endswith(".tmp"):
+                continue
+            if name.endswith(".jsonl"):
+                stem, rest = split(name[: -len(".jsonl")] + ".")
+                yield stem, "checkpoint", rest.rstrip("."), name
+            elif name.endswith(".done.json"):
+                yield name[: -len(".done.json")], "results", "done", name
+            elif name.endswith(".json"):
+                stem, rest = split(name[: -len(".json")] + ".")
+                yield stem, "state", rest.rstrip("."), name
+
+    @staticmethod
+    def _address(
+        stem: str, index: dict[str, dict[str, str]]
+    ) -> tuple[str, str]:
+        """(study, raw cell label) for a stem; legacy fallbacks."""
+        entry = index.get(stem)
+        if entry is not None:
+            return str(entry.get("study", "default")), str(
+                entry.get("label", stem)
+            )
+        return "default", stem
+
+    def studies(self) -> list[str]:
+        index = self._load_index()
+        found = {self._address(stem, index)[0] for stem, *_ in self._scan()}
+        return sorted(found)
+
+    def cells(self, study: str) -> list[str]:
+        index = self._load_index()
+        found = set()
+        for stem, *_ in self._scan():
+            cell_study, label = self._address(stem, index)
+            if cell_study == study:
+                found.add(label)
+        return sorted(found)
+
+    def _documents_of(self, study: str, cell: str, doc_kind: str) -> list[str]:
+        index = self._load_index()
+        found = set()
+        for stem, kind, doc_name, _ in self._scan():
+            if kind != doc_kind:
+                continue
+            cell_study, label = self._address(stem, index)
+            if cell_study == study and label == cell:
+                found.add(doc_name)
+        return sorted(found)
+
+    def runs(self, study: str, cell: str) -> list[str]:
+        return self._documents_of(study, cell, "checkpoint")
+
+    def state_names(self, study: str, cell: str) -> list[str]:
+        return self._documents_of(study, cell, "state")
+
+    def has_results(self, study: str, cell: str) -> bool:
+        return (
+            self._read(
+                self._results_path(cell), self._results_path(cell, legacy=True)
+            )
+            is not None
+        )
+
+    # ------------------------------------------------------------------
+    def schema_version(self) -> int:
+        path = self.root / INDEX_NAME
+        if not path.is_file():
+            return INDEX_VERSION
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return INDEX_VERSION
+        return int(data.get("version", INDEX_VERSION))
+
+    def vacuum(self) -> None:
+        """Remove orphaned temp files left by crashed atomic writes."""
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

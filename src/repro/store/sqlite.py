@@ -1,0 +1,401 @@
+"""SQLite study store: one database, many concurrent campaigns.
+
+Stdlib ``sqlite3`` only — no new runtime dependencies.  The schema is
+versioned through an explicit ``schema_version`` table and a migration
+runner: opening a database created by an older build applies the
+missing migrations in order (each in its own transaction), and opening
+one created by a *newer* build raises
+:class:`~repro.store.base.SchemaVersionError` instead of misreading it
+(the store CLI maps that to exit code 2).
+
+Observations are stored as their canonical JSON payloads —
+``Observation.as_dict()`` verbatim — so a JSONL→SQLite→JSONL migration
+round-trips byte-identically under
+:func:`repro.core.checkpoint.canonical_history`.  WAL journaling plus a
+generous busy timeout make the single file safe for the campaign
+runner's process-parallel cells, which each open their own connection.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import warnings
+from pathlib import Path
+
+from repro.core.checkpoint import TuningCheckpoint, _json_default
+from repro.core.history import Observation, TuningResult
+from repro.store.base import SchemaVersionError, StoreError, StudyStore
+
+SCHEMA_VERSION = 2
+
+#: Migration steps, applied in version order inside one transaction
+#: each.  Never edit a shipped entry — append a new version instead;
+#: the runner replays exactly the missing suffix on old databases.
+MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: (
+        """CREATE TABLE studies (
+               id INTEGER PRIMARY KEY,
+               name TEXT NOT NULL UNIQUE
+           )""",
+        """CREATE TABLE cells (
+               id INTEGER PRIMARY KEY,
+               study_id INTEGER NOT NULL REFERENCES studies(id),
+               label TEXT NOT NULL,
+               UNIQUE (study_id, label)
+           )""",
+        """CREATE TABLE runs (
+               id INTEGER PRIMARY KEY,
+               cell_id INTEGER NOT NULL REFERENCES cells(id),
+               name TEXT NOT NULL,
+               strategy TEXT NOT NULL DEFAULT '',
+               seed TEXT,
+               max_steps INTEGER NOT NULL DEFAULT 0,
+               optimizer_state TEXT,
+               UNIQUE (cell_id, name)
+           )""",
+        """CREATE TABLE observations (
+               run_id INTEGER NOT NULL REFERENCES runs(id),
+               step INTEGER NOT NULL,
+               payload TEXT NOT NULL,
+               PRIMARY KEY (run_id, step)
+           )""",
+        """CREATE TABLE results (
+               cell_id INTEGER PRIMARY KEY REFERENCES cells(id),
+               payload TEXT NOT NULL
+           )""",
+        """CREATE TABLE states (
+               cell_id INTEGER NOT NULL REFERENCES cells(id),
+               name TEXT NOT NULL,
+               payload TEXT NOT NULL,
+               PRIMARY KEY (cell_id, name)
+           )""",
+    ),
+    2: (
+        # `store ls` walks cells-per-study and runs-per-cell; the v1
+        # UNIQUE constraints cover the lookups but not the reverse
+        # walks on big multi-tenant databases.
+        "CREATE INDEX idx_cells_study ON cells(study_id)",
+        "CREATE INDEX idx_runs_cell ON runs(cell_id)",
+    ),
+}
+
+
+class SqliteStudyStore(StudyStore):
+    """Study store over one stdlib-``sqlite3`` database file."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._migrate()
+
+    def describe(self) -> str:
+        return str(self.path)
+
+    # ------------------------------------------------------------------
+    # Schema versioning
+    # ------------------------------------------------------------------
+    def _migrate(self) -> None:
+        conn = self._conn
+        with conn:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS schema_version "
+                "(version INTEGER NOT NULL)"
+            )
+        row = conn.execute("SELECT MAX(version) FROM schema_version").fetchone()
+        current = int(row[0]) if row and row[0] is not None else 0
+        if current > SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"store {self.path} has schema version {current} but this "
+                f"build reads version {SCHEMA_VERSION}; refusing to touch it"
+            )
+        for version in range(current + 1, SCHEMA_VERSION + 1):
+            with conn:
+                for statement in MIGRATIONS[version]:
+                    conn.execute(statement)
+                conn.execute("DELETE FROM schema_version")
+                conn.execute(
+                    "INSERT INTO schema_version (version) VALUES (?)",
+                    (version,),
+                )
+
+    def schema_version(self) -> int:
+        row = self._conn.execute(
+            "SELECT MAX(version) FROM schema_version"
+        ).fetchone()
+        return int(row[0]) if row and row[0] is not None else 0
+
+    # ------------------------------------------------------------------
+    # Row helpers
+    # ------------------------------------------------------------------
+    def _cell_id(self, study: str, cell: str, *, create: bool) -> int | None:
+        conn = self._conn
+        row = conn.execute(
+            "SELECT cells.id FROM cells JOIN studies "
+            "ON cells.study_id = studies.id "
+            "WHERE studies.name = ? AND cells.label = ?",
+            (study, cell),
+        ).fetchone()
+        if row is not None:
+            return int(row[0])
+        if not create:
+            return None
+        with conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO studies (name) VALUES (?)", (study,)
+            )
+            study_id = int(
+                conn.execute(
+                    "SELECT id FROM studies WHERE name = ?", (study,)
+                ).fetchone()[0]
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO cells (study_id, label) VALUES (?, ?)",
+                (study_id, cell),
+            )
+        return self._cell_id(study, cell, create=False)
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+    def _save_checkpoint(
+        self, study: str, cell: str, run: str, checkpoint: TuningCheckpoint
+    ) -> None:
+        cell_id = self._cell_id(study, cell, create=True)
+        conn = self._conn
+        state = (
+            None
+            if checkpoint.optimizer_state is None
+            else json.dumps(checkpoint.optimizer_state, default=_json_default)
+        )
+        with conn:
+            conn.execute(
+                "INSERT INTO runs (cell_id, name, strategy, seed, max_steps, "
+                "optimizer_state) VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT (cell_id, name) DO UPDATE SET "
+                "strategy = excluded.strategy, seed = excluded.seed, "
+                "max_steps = excluded.max_steps, "
+                "optimizer_state = excluded.optimizer_state",
+                (
+                    cell_id,
+                    run,
+                    checkpoint.strategy,
+                    # Derived seeds routinely exceed SQLite's signed
+                    # 64-bit INTEGER range; store them as decimal text.
+                    None if checkpoint.seed is None else str(checkpoint.seed),
+                    checkpoint.max_steps,
+                    state,
+                ),
+            )
+            run_id = int(
+                conn.execute(
+                    "SELECT id FROM runs WHERE cell_id = ? AND name = ?",
+                    (cell_id, run),
+                ).fetchone()[0]
+            )
+            # The checkpoint is a whole-state replacement, exactly like
+            # the JSONL atomic rewrite: drop any rows past the new
+            # history before (re)writing the current one.
+            conn.execute(
+                "DELETE FROM observations WHERE run_id = ? AND step >= ?",
+                (run_id, len(checkpoint.observations)),
+            )
+            conn.executemany(
+                "INSERT OR REPLACE INTO observations (run_id, step, payload) "
+                "VALUES (?, ?, ?)",
+                (
+                    (
+                        run_id,
+                        i,
+                        json.dumps(
+                            obs.as_dict(), sort_keys=True, default=_json_default
+                        ),
+                    )
+                    for i, obs in enumerate(checkpoint.observations)
+                ),
+            )
+
+    def _load_checkpoint(
+        self, study: str, cell: str, run: str
+    ) -> TuningCheckpoint | None:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return None
+        row = self._conn.execute(
+            "SELECT id, strategy, seed, max_steps, optimizer_state "
+            "FROM runs WHERE cell_id = ? AND name = ?",
+            (cell_id, run),
+        ).fetchone()
+        if row is None:
+            return None
+        run_id, strategy, seed, max_steps, state = row
+        checkpoint = TuningCheckpoint(
+            strategy=str(strategy),
+            seed=None if seed is None else int(seed),
+            max_steps=int(max_steps),
+            optimizer_state=None if state is None else json.loads(state),
+        )
+        cursor = self._conn.execute(
+            "SELECT rowid, payload FROM observations WHERE run_id = ? "
+            "ORDER BY step",
+            (run_id,),
+        )
+        for rowid, payload in cursor:
+            try:
+                checkpoint.observations.append(
+                    Observation.from_dict(json.loads(payload))
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                # Mirror the JSONL torn-tail contract: stop at the first
+                # bad record, keep the trusted prefix, and *name* the
+                # rejected row so the operator can inspect it.
+                warnings.warn(
+                    f"store {self.path}: observations rowid {rowid} for run "
+                    f"{study}/{cell}/{run} is malformed ({exc}); keeping the "
+                    f"{checkpoint.completed} observation(s) before it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+        return checkpoint
+
+    def _save_results(
+        self, study: str, cell: str, results: list[TuningResult]
+    ) -> None:
+        cell_id = self._cell_id(study, cell, create=True)
+        payload = json.dumps([r.as_dict() for r in results], default=str)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (cell_id, payload) "
+                "VALUES (?, ?)",
+                (cell_id, payload),
+            )
+
+    def _load_results(
+        self, study: str, cell: str
+    ) -> list[TuningResult] | None:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return None
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE cell_id = ?", (cell_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return [TuningResult.from_dict(r) for r in json.loads(row[0])]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def _save_state(
+        self, study: str, cell: str, name: str, state: dict[str, object]
+    ) -> None:
+        cell_id = self._cell_id(study, cell, create=True)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO states (cell_id, name, payload) "
+                "VALUES (?, ?, ?)",
+                (cell_id, name, json.dumps(state, sort_keys=True)),
+            )
+
+    def _load_state(
+        self, study: str, cell: str, name: str
+    ) -> dict[str, object] | None:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return None
+        row = self._conn.execute(
+            "SELECT payload FROM states WHERE cell_id = ? AND name = ?",
+            (cell_id, name),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            data = json.loads(row[0])
+        except json.JSONDecodeError:
+            return None
+        return dict(data) if isinstance(data, dict) else None
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def studies(self) -> list[str]:
+        return [
+            str(row[0])
+            for row in self._conn.execute(
+                "SELECT name FROM studies ORDER BY name"
+            )
+        ]
+
+    def cells(self, study: str) -> list[str]:
+        return [
+            str(row[0])
+            for row in self._conn.execute(
+                "SELECT cells.label FROM cells JOIN studies "
+                "ON cells.study_id = studies.id "
+                "WHERE studies.name = ? ORDER BY cells.label",
+                (study,),
+            )
+        ]
+
+    def runs(self, study: str, cell: str) -> list[str]:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return []
+        return [
+            str(row[0])
+            for row in self._conn.execute(
+                "SELECT name FROM runs WHERE cell_id = ? ORDER BY name",
+                (cell_id,),
+            )
+        ]
+
+    def state_names(self, study: str, cell: str) -> list[str]:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return []
+        return [
+            str(row[0])
+            for row in self._conn.execute(
+                "SELECT name FROM states WHERE cell_id = ? ORDER BY name",
+                (cell_id,),
+            )
+        ]
+
+    def has_results(self, study: str, cell: str) -> bool:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return False
+        return (
+            self._conn.execute(
+                "SELECT 1 FROM results WHERE cell_id = ?", (cell_id,)
+            ).fetchone()
+            is not None
+        )
+
+    def observation_count(self, study: str, cell: str) -> int:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return 0
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM observations JOIN runs "
+            "ON observations.run_id = runs.id WHERE runs.cell_id = ?",
+            (cell_id,),
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    def vacuum(self) -> None:
+        self._conn.execute("VACUUM")
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except sqlite3.Error as exc:  # pragma: no cover - defensive
+            raise StoreError(f"closing {self.path} failed: {exc}") from exc

@@ -1,0 +1,126 @@
+"""Campaign specs, worker-budget splitting, and the runner facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import Budget
+from repro.core.resilience import RetryPolicy
+from repro.experiments.runner import SyntheticStudy
+from repro.service.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    split_worker_budget,
+)
+from repro.topology_gen.suite import CONDITIONS
+
+
+class TestSplitWorkerBudget:
+    def test_workers_zero_raises(self):
+        with pytest.raises(ValueError, match="workers"):
+            split_worker_budget(0, 4)
+
+    def test_workers_negative_raises(self):
+        with pytest.raises(ValueError, match="workers"):
+            split_worker_budget(-3, 4)
+
+    def test_workers_one_is_fully_serial(self):
+        assert split_worker_budget(1, 24) == (1, 1)
+        assert split_worker_budget(1, 1) == (1, 1)
+
+    def test_more_cells_than_workers_spends_budget_on_processes(self):
+        assert split_worker_budget(8, 24) == (8, 1)
+
+    def test_fewer_cells_than_workers_spends_remainder_in_loop(self):
+        assert split_worker_budget(8, 2) == (2, 4)
+
+    def test_zero_cells_still_yields_one_job(self):
+        n_jobs, loop_workers = split_worker_budget(4, 0)
+        assert n_jobs == 1
+        assert loop_workers == 4
+
+
+class TestCampaignSpec:
+    def test_unknown_study_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="study"):
+            CampaignSpec(study="mystery")
+
+    def test_synthetic_defaults_cover_the_paper_grid(self):
+        spec = CampaignSpec.synthetic()
+        assert spec.conditions == CONDITIONS
+        assert spec.n_cells == (
+            len(spec.conditions) * len(spec.sizes) * len(spec.strategies)
+        )
+
+    def test_sundog_defaults_cover_figure8_arms(self):
+        spec = CampaignSpec.sundog()
+        assert spec.n_cells == len(spec.arms) > 0
+
+    def test_round_trip_through_dict(self):
+        spec = CampaignSpec.synthetic(
+            budget=Budget(steps=4, steps_extended=6, baseline_steps=8, passes=1, repeat_best=2),
+            seed=3,
+            workers=4,
+            store="ckpts",
+            resilience=RetryPolicy(max_retries=1, breaker_threshold=2),
+        )
+        clone = CampaignSpec.from_dict(spec.as_dict())
+        assert clone == spec
+        assert clone.resilience == spec.resilience
+        assert clone.conditions == spec.conditions
+
+    def test_dict_form_is_json_plain(self):
+        import json
+
+        spec = CampaignSpec.sundog(resilience=RetryPolicy())
+        encoded = json.dumps(spec.as_dict(), sort_keys=True)
+        assert CampaignSpec.from_dict(json.loads(encoded)) == spec
+
+    def test_worker_split_prefers_explicit_workers(self):
+        spec = CampaignSpec.synthetic(workers=2)
+        assert spec.worker_split() == split_worker_budget(2, spec.n_cells)
+        spec = CampaignSpec.synthetic(n_jobs=3)
+        assert spec.worker_split() == (3, 1)
+
+
+class TestCampaignRunner:
+    def _tiny_spec(self, **kwargs):
+        return CampaignSpec.synthetic(
+            budget=Budget(steps=4, steps_extended=6, baseline_steps=8, passes=1, repeat_best=2),
+            conditions=CONDITIONS[:1],
+            sizes=("small",),
+            strategies=("pla",),
+            **kwargs,
+        )
+
+    def test_cell_specs_match_the_grid(self):
+        runner = CampaignRunner(self._tiny_spec())
+        specs, labels, _ = runner.cell_specs()
+        assert len(specs) == len(labels) == 1
+        assert labels[0] == f"{CONDITIONS[0].label}/small/pla"
+
+    def test_run_matches_study_facade(self, tmp_path):
+        spec = self._tiny_spec(seed=5)
+        direct = CampaignRunner(spec).run()
+        study = SyntheticStudy(
+            budget=Budget(steps=4, steps_extended=6, baseline_steps=8, passes=1, repeat_best=2),
+            conditions=CONDITIONS[:1],
+            sizes=("small",),
+            strategies=("pla",),
+            seed=5,
+        )
+        via_study = study.run().results
+        (key,) = via_study.keys()
+        label = f"{key[0].label}/{key[1]}/{key[2]}"
+        assert [r.best_value for r in direct[label]] == [
+            r.best_value for r in via_study[key]
+        ]
+
+    def test_store_backed_campaign_skips_finished_cells(self, tmp_path):
+        spec = self._tiny_spec(store=str(tmp_path / "ckpts"))
+        first = CampaignRunner(spec).run()
+        again = CampaignRunner(spec).run()
+        (label,) = first.keys()
+        assert [r.best_value for r in first[label]] == [
+            r.best_value for r in again[label]
+        ]

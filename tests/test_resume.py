@@ -89,9 +89,16 @@ class TestCheckpointFile:
         )
         text = path.read_text().rstrip("\n")
         path.write_text(text[: len(text) - 20])  # simulate a torn write
-        loaded = load_checkpoint(path)
+        with pytest.warns(RuntimeWarning) as caught:
+            loaded = load_checkpoint(path)
         assert loaded is not None
         assert loaded.completed == 2  # last record was torn, rest kept
+        # The warning must name the exact rejected record — which file
+        # and which line — so a post-hoc resume diagnosis can find it.
+        message = str(caught[0].message)
+        assert str(path) in message
+        assert "line 4" in message
+        assert "keeping the 2 observation(s)" in message
 
     def test_no_meta_means_no_checkpoint(self, tmp_path):
         path = tmp_path / "run.jsonl"

@@ -1,0 +1,451 @@
+"""Study-store contract, backends, migration, and the store CLI.
+
+The shared contract suite runs against both backends: whatever one can
+persist and enumerate, the other must too, byte-identically under
+:func:`repro.core.checkpoint.canonical_history`.  Backend-specific
+classes pin the JSONL layout compatibility (legacy stems, the
+collision-proof digest suffix, index versioning) and the SQLite schema
+machinery (migration runner, future-version refusal, torn-row
+diagnostics).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.checkpoint import (
+    TuningCheckpoint,
+    canonical_history,
+    histories_match,
+)
+from repro.core.history import Observation, TuningResult
+from repro.core.loop import TuningLoop
+from repro.core.optimizer import BayesianOptimizer
+from repro.core.parameters import IntParameter, ParameterSpace
+from repro.store import (
+    JsonlStudyStore,
+    SchemaVersionError,
+    SqliteStudyStore,
+    cell_stem,
+    migrate_store,
+    open_store,
+    sanitize_label,
+)
+from repro.store.jsonl import INDEX_NAME, INDEX_VERSION
+from repro.store.sqlite import MIGRATIONS, SCHEMA_VERSION
+
+
+def _objective(params):
+    return float((int(params["x"]) * 7) % 13)
+
+
+def _space():
+    return ParameterSpace([IntParameter("x", 1, 32)])
+
+
+def _observations(n=3):
+    return [
+        Observation(step=i, config={"x": i + 1}, value=float(i * 10))
+        for i in range(n)
+    ]
+
+
+def _checkpoint(n=3, state=None):
+    return TuningCheckpoint(
+        strategy="bo",
+        seed=7,
+        max_steps=10,
+        observations=_observations(n),
+        optimizer_state=state,
+    )
+
+
+def _results():
+    result = TuningResult(strategy="bo")
+    result.observations.extend(_observations(2))
+    result.metadata["pass"] = 0
+    return [result]
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "jsonl":
+        backend = JsonlStudyStore(tmp_path / "store-dir")
+    else:
+        backend = SqliteStudyStore(tmp_path / "store.db")
+    with backend:
+        yield backend
+
+
+class TestStoreContract:
+    """Both backends must satisfy every test in this class."""
+
+    def test_checkpoint_round_trip(self, store):
+        ckpt = _checkpoint(state={"kind": "test", "n": 3})
+        store.save_checkpoint("synthetic", "a/b", "pass0", ckpt)
+        loaded = store.load_checkpoint("synthetic", "a/b", "pass0")
+        assert loaded is not None
+        assert loaded.strategy == "bo"
+        assert loaded.seed == 7
+        assert loaded.max_steps == 10
+        assert loaded.optimizer_state == {"kind": "test", "n": 3}
+        assert canonical_history(loaded.observations) == canonical_history(
+            ckpt.observations
+        )
+
+    def test_derived_seed_beyond_64_bits_round_trips(self, store):
+        # derive_seed routinely exceeds SQLite's signed INTEGER range;
+        # both backends must round-trip it losslessly.
+        from repro.core.seeding import derive_seed
+
+        big = derive_seed(123456789, "cell", "bo")
+        assert big > 2**63
+        ckpt = _checkpoint(1)
+        ckpt.seed = big
+        store.save_checkpoint("s", "c", "r", ckpt)
+        assert store.load_checkpoint("s", "c", "r").seed == big
+
+    def test_missing_documents_are_none(self, store):
+        assert store.load_checkpoint("s", "c", "pass0") is None
+        assert store.load_results("s", "c") is None
+        assert store.load_state("s", "c", "sidecar") is None
+        assert not store.has_results("s", "c")
+
+    def test_checkpoint_rewrite_replaces_whole_state(self, store):
+        store.save_checkpoint("s", "c", "r", _checkpoint(5))
+        store.save_checkpoint("s", "c", "r", _checkpoint(2))
+        loaded = store.load_checkpoint("s", "c", "r")
+        assert loaded.completed == 2
+
+    def test_results_round_trip(self, store):
+        results = _results()
+        store.save_results("synthetic", "a/b", results)
+        assert store.has_results("synthetic", "a/b")
+        loaded = store.load_results("synthetic", "a/b")
+        assert loaded is not None
+        assert len(loaded) == 1
+        assert loaded[0].strategy == "bo"
+        assert loaded[0].metadata["pass"] == 0
+        assert histories_match(
+            loaded[0].observations, results[0].observations
+        )
+
+    def test_state_round_trip(self, store):
+        data = {"version": 1, "mode": "continuous", "epochs_completed": 2}
+        store.save_state("drift", "diurnal/cold", "continuous", data)
+        assert store.load_state("drift", "diurnal/cold", "continuous") == data
+
+    def test_empty_cell_label_is_a_valid_address(self, store):
+        store.save_checkpoint("continuous", "", "epoch-0000", _checkpoint())
+        store.save_state("continuous", "", "continuous", {"version": 1})
+        assert store.load_checkpoint("continuous", "", "epoch-0000") is not None
+        assert store.runs("continuous", "") == ["epoch-0000"]
+        assert store.state_names("continuous", "") == ["continuous"]
+
+    def test_enumeration(self, store):
+        store.save_checkpoint("synthetic", "a", "pass0", _checkpoint(2))
+        store.save_checkpoint("synthetic", "a", "pass1", _checkpoint(3))
+        store.save_checkpoint("synthetic", "b", "pass0", _checkpoint(1))
+        store.save_results("synthetic", "b", _results())
+        store.save_state("sundog", "arm", "notes", {"k": 1})
+        assert store.studies() == ["sundog", "synthetic"]
+        assert store.cells("synthetic") == ["a", "b"]
+        assert store.runs("synthetic", "a") == ["pass0", "pass1"]
+        assert store.state_names("sundog", "arm") == ["notes"]
+        assert store.observation_count("synthetic", "a") == 5
+        assert store.has_results("synthetic", "b")
+        assert not store.has_results("synthetic", "a")
+
+    def test_checkpoint_slot_is_loop_compatible(self, store, tmp_path):
+        slot = store.checkpoint_slot("synthetic", "cell", "pass0")
+        assert "synthetic" in slot.describe()
+        result = TuningLoop(
+            _objective,
+            BayesianOptimizer(_space(), seed=3),
+            max_steps=4,
+            seed=11,
+            checkpoint=slot,
+        ).run()
+        loaded = slot.load()
+        assert loaded.completed == 4
+        assert histories_match(loaded.observations, result.observations)
+
+    def test_schema_version_reports_current(self, store):
+        assert store.schema_version() >= 1
+
+    def test_vacuum_is_safe_on_live_store(self, store):
+        store.save_checkpoint("s", "c", "r", _checkpoint())
+        store.vacuum()
+        assert store.load_checkpoint("s", "c", "r") is not None
+
+
+class TestLabelCollisions:
+    """The satellite-1 regression: sanitize-only stems collide."""
+
+    def test_sanitized_labels_collide_without_digest(self):
+        assert sanitize_label("a/b") == sanitize_label("a b") == "a_b"
+        assert cell_stem("a/b") != cell_stem("a b")
+        for label in ("a/b", "a b"):
+            assert cell_stem(label).startswith("a_b-")
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_colliding_labels_do_not_clobber(self, tmp_path, backend):
+        store = (
+            JsonlStudyStore(tmp_path)
+            if backend == "jsonl"
+            else SqliteStudyStore(tmp_path / "s.db")
+        )
+        with store:
+            store.save_checkpoint("s", "a/b", "pass0", _checkpoint(2))
+            store.save_checkpoint("s", "a b", "pass0", _checkpoint(5))
+            assert store.load_checkpoint("s", "a/b", "pass0").completed == 2
+            assert store.load_checkpoint("s", "a b", "pass0").completed == 5
+
+
+class TestJsonlBackend:
+    def test_layout_is_bit_compatible_with_pre_store_names(self, tmp_path):
+        store = JsonlStudyStore(tmp_path)
+        store.save_checkpoint("synthetic", "a/b", "pass0", _checkpoint())
+        store.save_results("synthetic", "a/b", _results())
+        store.save_state("continuous", "", "continuous", {"version": 1})
+        names = {p.name for p in tmp_path.iterdir()}
+        stem = cell_stem("a/b")
+        assert f"{stem}.pass0.jsonl" in names
+        assert f"{stem}.done.json" in names
+        # Empty cell → bare document names: the continuous-tuning
+        # sidecar stays the literal continuous.json.
+        assert "continuous.json" in names
+
+    def test_legacy_digestless_files_still_load(self, tmp_path):
+        store = JsonlStudyStore(tmp_path)
+        store.save_checkpoint("s", "a/b", "pass0", _checkpoint(4))
+        store.save_results("s", "a/b", _results())
+        stem = cell_stem("a/b")
+        legacy = sanitize_label("a/b")
+        for suffix in ("pass0.jsonl", "done.json"):
+            (tmp_path / f"{stem}.{suffix}").rename(
+                tmp_path / f"{legacy}.{suffix}"
+            )
+        assert store.load_checkpoint("s", "a/b", "pass0").completed == 4
+        assert store.load_results("s", "a/b") is not None
+        assert store.has_results("s", "a/b")
+
+    def test_index_version_mismatch_raises(self, tmp_path):
+        (tmp_path / INDEX_NAME).write_text(
+            json.dumps({"version": INDEX_VERSION + 1, "cells": {}})
+        )
+        store = JsonlStudyStore(tmp_path)
+        with pytest.raises(SchemaVersionError):
+            store.save_checkpoint("s", "c", "r", _checkpoint())
+
+    def test_vacuum_removes_crash_leftovers(self, tmp_path):
+        store = JsonlStudyStore(tmp_path)
+        store.save_checkpoint("s", "c", "r", _checkpoint())
+        (tmp_path / "run.jsonl.abc123.tmp").write_text("torn")
+        store.vacuum()
+        assert not list(tmp_path.glob("*.tmp"))
+        assert store.load_checkpoint("s", "c", "r") is not None
+
+
+class TestSqliteBackend:
+    def test_schema_version_is_current_after_open(self, tmp_path):
+        with SqliteStudyStore(tmp_path / "s.db") as store:
+            assert store.schema_version() == SCHEMA_VERSION
+
+    def test_future_schema_version_is_refused(self, tmp_path):
+        path = tmp_path / "future.db"
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "CREATE TABLE schema_version (version INTEGER NOT NULL)"
+            )
+            conn.execute(
+                "INSERT INTO schema_version (version) VALUES (?)",
+                (SCHEMA_VERSION + 1,),
+            )
+        conn.close()
+        with pytest.raises(SchemaVersionError, match="refusing"):
+            SqliteStudyStore(path)
+
+    def test_migration_runner_upgrades_old_databases(self, tmp_path):
+        # Build a database as a v1-era build would have left it, then
+        # reopen: the runner must apply exactly the missing migrations.
+        path = tmp_path / "old.db"
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "CREATE TABLE schema_version (version INTEGER NOT NULL)"
+            )
+            for statement in MIGRATIONS[1]:
+                conn.execute(statement)
+            conn.execute("INSERT INTO schema_version (version) VALUES (1)")
+        conn.close()
+        with SqliteStudyStore(path) as store:
+            assert store.schema_version() == SCHEMA_VERSION
+            store.save_checkpoint("s", "c", "r", _checkpoint())
+            assert store.load_checkpoint("s", "c", "r").completed == 3
+
+    def test_malformed_row_warning_names_the_rowid(self, tmp_path):
+        path = tmp_path / "s.db"
+        store = SqliteStudyStore(path)
+        store.save_checkpoint("s", "c", "r", _checkpoint(3))
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT rowid FROM observations WHERE step = 2"
+        ).fetchone()
+        with conn:
+            conn.execute(
+                "UPDATE observations SET payload = '{torn' WHERE rowid = ?",
+                (row[0],),
+            )
+        conn.close()
+        with pytest.warns(RuntimeWarning) as caught:
+            loaded = store.load_checkpoint("s", "c", "r")
+        message = str(caught[0].message)
+        assert str(path) in message
+        assert f"rowid {row[0]}" in message
+        # The trusted prefix before the torn row survives.
+        assert loaded.completed == 2
+        store.close()
+
+    def test_two_connections_share_one_database(self, tmp_path):
+        path = tmp_path / "shared.db"
+        writer = SqliteStudyStore(path)
+        reader = SqliteStudyStore(path)
+        writer.save_checkpoint("s", "c", "r", _checkpoint(4))
+        assert reader.load_checkpoint("s", "c", "r").completed == 4
+        writer.close()
+        reader.close()
+
+
+class TestOpenStore:
+    def test_routing_by_suffix(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "x.db"), SqliteStudyStore)
+        assert isinstance(open_store(tmp_path / "x.sqlite3"), SqliteStudyStore)
+        assert isinstance(open_store(tmp_path / "ckpts"), JsonlStudyStore)
+
+    def test_store_passes_through(self, tmp_path):
+        store = JsonlStudyStore(tmp_path)
+        assert open_store(store) is store
+
+
+class TestMigration:
+    def test_round_trip_is_byte_identical_for_a_seeded_bo_run(self, tmp_path):
+        """The acceptance criterion: JSONL → SQLite → JSONL preserves a
+        seeded 30-step BO run's history byte-for-byte."""
+        source = JsonlStudyStore(tmp_path / "src")
+        slot = source.checkpoint_slot("synthetic", "cell/a", "pass0")
+        result = TuningLoop(
+            _objective,
+            BayesianOptimizer(_space(), seed=3),
+            max_steps=30,
+            seed=11,
+            checkpoint=slot,
+        ).run()
+        source.save_results("synthetic", "cell/a", [result])
+        source.save_state("synthetic", "cell/a", "notes", {"k": 1})
+
+        db = SqliteStudyStore(tmp_path / "mid.db")
+        report = migrate_store(source, db)
+        assert report.checkpoints == 1
+        assert report.observations == 30
+        assert report.results == 1
+        assert report.states == 1
+
+        back = JsonlStudyStore(tmp_path / "dst")
+        migrate_store(db, back)
+        db.close()
+        loaded = back.load_checkpoint("synthetic", "cell/a", "pass0")
+        assert canonical_history(loaded.observations) == canonical_history(
+            result.observations
+        )
+        assert back.load_state("synthetic", "cell/a", "notes") == {"k": 1}
+        migrated_results = back.load_results("synthetic", "cell/a")
+        assert histories_match(
+            migrated_results[0].observations, result.observations
+        )
+
+    def test_resume_through_sqlite_matches_uninterrupted(self, tmp_path):
+        """Kill-free variant of the resume criterion: a run cut at 15
+        steps and resumed from the SQLite store must reproduce the
+        uninterrupted 30-step history byte-identically."""
+
+        def run(max_steps, slot):
+            return TuningLoop(
+                _objective,
+                BayesianOptimizer(_space(), seed=3),
+                max_steps=max_steps,
+                seed=11,
+                checkpoint=slot,
+            ).run()
+
+        full_store = SqliteStudyStore(tmp_path / "full.db")
+        full = run(30, full_store.checkpoint_slot("s", "c", "r"))
+        cut_store = SqliteStudyStore(tmp_path / "cut.db")
+        run(15, cut_store.checkpoint_slot("s", "c", "r"))
+        resumed = run(30, cut_store.checkpoint_slot("s", "c", "r"))
+        assert resumed.metadata["resumed_steps"] == 15
+        assert canonical_history(resumed.observations) == canonical_history(
+            full.observations
+        )
+        full_store.close()
+        cut_store.close()
+
+
+class TestStoreCli:
+    def _seed_store(self, spec):
+        with open_store(spec) as store:
+            store.save_checkpoint("synthetic", "a/b", "pass0", _checkpoint(3))
+            store.save_results("synthetic", "a/b", _results())
+
+    def test_ls_lists_studies_and_counts(self, tmp_path, capsys):
+        self._seed_store(tmp_path / "dir")
+        assert cli_main(["store", "ls", str(tmp_path / "dir")]) == 0
+        out = capsys.readouterr().out
+        assert "'synthetic'" in out
+        assert "3 observation(s)" in out
+        assert "done" in out
+
+    def test_migrate_reports_counts(self, tmp_path, capsys):
+        self._seed_store(tmp_path / "dir")
+        dst = tmp_path / "out.db"
+        code = cli_main(["store", "migrate", str(tmp_path / "dir"), str(dst)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 checkpoints" in out
+        assert "3 observations" in out
+        with open_store(dst) as store:
+            assert store.load_checkpoint("synthetic", "a/b", "pass0") is not None
+
+    def test_vacuum_exits_zero(self, tmp_path, capsys):
+        self._seed_store(tmp_path / "s.db")
+        assert cli_main(["store", "vacuum", str(tmp_path / "s.db")]) == 0
+        assert "vacuumed" in capsys.readouterr().out
+
+    def test_schema_mismatch_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "future.db"
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "CREATE TABLE schema_version (version INTEGER NOT NULL)"
+            )
+            conn.execute(
+                "INSERT INTO schema_version (version) VALUES (?)",
+                (SCHEMA_VERSION + 1,),
+            )
+        conn.close()
+        assert cli_main(["store", "ls", str(path)]) == 2
+        assert "SCHEMA VERSION MISMATCH" in capsys.readouterr().out
+
+    def test_jsonl_index_mismatch_exits_two(self, tmp_path, capsys):
+        root = tmp_path / "dir"
+        root.mkdir()
+        (root / INDEX_NAME).write_text(
+            json.dumps({"version": INDEX_VERSION + 1, "cells": {}})
+        )
+        (root / "run.jsonl").write_text("")
+        assert cli_main(["store", "ls", str(root)]) == 2
