@@ -257,11 +257,12 @@ def obs_main(argv: list[str]) -> int:
             return 1
         text = render_openmetrics(snap)
         if args.output:
-            from pathlib import Path
+            from repro.core.checkpoint import atomic_write_text
 
-            tmp = Path(args.output).with_suffix(".tmp")
-            tmp.write_text(text, encoding="utf-8")
-            tmp.replace(args.output)  # atomic for textfile scrapers
+            # Atomic *and durable* for textfile scrapers: fsync the
+            # file and its directory so a crash right after the rename
+            # cannot leave a truncated or missing export behind.
+            atomic_write_text(args.output, text)
             sink.info(f"(wrote {args.output})")
         else:
             sink.result(text.rstrip("\n"))
@@ -322,6 +323,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.cli import store_main
 
         return store_main(list(argv[1:]))
+    if argv and argv[0] == "campaign":
+        from repro.service.cli import campaign_main
+
+        return campaign_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",

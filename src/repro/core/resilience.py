@@ -20,7 +20,10 @@ production tuner needs (docs/ROBUSTNESS.md):
 * **circuit breaker** — a configuration that fails persistently
   ``breaker_threshold`` times is short-circuited: further submissions
   return an immediate synthesized failure without touching the
-  substrate.
+  substrate.  With ``breaker_cooldown_seconds`` set, a rested circuit
+  goes *half-open*: one probe submission runs for real, and its success
+  re-closes the circuit (a failed probe re-opens it for another
+  cooldown).
 
 Everything is deterministic given the objective's fault plan and the
 loop's per-evaluation seeds: retry seeds derive from the original seed
@@ -96,6 +99,12 @@ class RetryPolicy:
     backoff_multiplier: float = 2.0
     backoff_jitter: float = 0.25
     breaker_threshold: int = 3
+    #: After an open circuit has rested this long, the next submission
+    #: of that configuration runs as a *half-open probe*: success
+    #: re-closes the circuit, another persistent failure re-opens it
+    #: for a fresh cooldown.  ``None`` (the default) keeps the classic
+    #: behavior: an open circuit never recovers within a run.
+    breaker_cooldown_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -110,6 +119,11 @@ class RetryPolicy:
             raise ValueError("backoff_jitter must be >= 0")
         if self.breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1")
+        if (
+            self.breaker_cooldown_seconds is not None
+            and self.breaker_cooldown_seconds <= 0
+        ):
+            raise ValueError("breaker_cooldown_seconds must be > 0 (or None)")
 
     def as_dict(self) -> dict[str, object]:
         """JSON-safe form (campaign specs serialize their policy)."""
@@ -238,6 +252,8 @@ class ResilientExecutor(EvaluationExecutor):
         self._attempts: dict[int, _Attempt] = {}
         self._ready: deque[EvaluationOutcome] = deque()
         self._breaker: dict[str, int] = {}
+        self._breaker_opened: dict[str, float] = {}
+        self._clock = time.perf_counter  # patchable in tests
         self.stats: dict[str, int] = {
             "retries": 0,
             "timeouts": 0,
@@ -245,6 +261,8 @@ class ResilientExecutor(EvaluationExecutor):
             "transient_failures": 0,
             "persistent_failures": 0,
             "circuit_opens": 0,
+            "circuit_half_opens": 0,
+            "circuit_closes": 0,
             "short_circuits": 0,
             "gave_up": 0,
         }
@@ -259,21 +277,31 @@ class ResilientExecutor(EvaluationExecutor):
         config = dict(config)
         key = config_key(config)
         if self._breaker.get(key, 0) >= self.policy.breaker_threshold:
-            self.stats["short_circuits"] += 1
-            obs_runtime.current().tracer.event(
-                "resilience.short_circuit", eval_id=eval_id
-            )
-            self._ready.append(
-                self._synthesize(
-                    eval_id,
-                    config,
-                    seed,
-                    "circuit_open: configuration failed persistently "
-                    f"{self._breaker[key]} times",
-                    turnaround=0.0,
+            if self._cooldown_elapsed(key):
+                # Half-open probe: let exactly this submission through
+                # and re-arm the cooldown, so a failed probe waits a
+                # full rest before the next one.
+                self._breaker_opened[key] = self._clock()
+                self.stats["circuit_half_opens"] += 1
+                obs_runtime.current().tracer.event(
+                    "resilience.circuit_half_open", eval_id=eval_id
                 )
-            )
-            return
+            else:
+                self.stats["short_circuits"] += 1
+                obs_runtime.current().tracer.event(
+                    "resilience.short_circuit", eval_id=eval_id
+                )
+                self._ready.append(
+                    self._synthesize(
+                        eval_id,
+                        config,
+                        seed,
+                        "circuit_open: configuration failed persistently "
+                        f"{self._breaker[key]} times",
+                        turnaround=0.0,
+                    )
+                )
+                return
         record = _Attempt(config=config, seed=seed)
         self._arm_deadline(record)
         self._attempts[eval_id] = record
@@ -313,6 +341,18 @@ class ResilientExecutor(EvaluationExecutor):
         self.inner.close()
 
     # ------------------------------------------------------------------
+    def _cooldown_elapsed(self, key: str) -> bool:
+        """True when an open circuit has rested long enough to probe."""
+        cooldown = self.policy.breaker_cooldown_seconds
+        if cooldown is None:
+            return False
+        opened = self._breaker_opened.get(key)
+        if opened is None:
+            # Opened before cooldowns were tracked (or state was
+            # externally seeded): treat the rest as already served.
+            return True
+        return self._clock() - opened >= cooldown
+
     def _arm_deadline(self, record: _Attempt) -> None:
         if self.policy.timeout_seconds is not None:
             record.deadline = time.perf_counter() + self.policy.timeout_seconds
@@ -409,6 +449,16 @@ class ResilientExecutor(EvaluationExecutor):
         record = self._attempts.pop(outcome.eval_id, None)
         failed = bool(getattr(outcome.run, "failed", False))
         if not failed:
+            key = config_key(outcome.config)
+            if self._breaker.get(key, 0) >= self.policy.breaker_threshold:
+                # A successful half-open probe: the configuration
+                # recovered, re-close the circuit.
+                self._breaker[key] = 0
+                self._breaker_opened.pop(key, None)
+                self.stats["circuit_closes"] += 1
+                obs_runtime.current().tracer.event(
+                    "resilience.circuit_close", eval_id=outcome.eval_id
+                )
             return outcome
         reason = str(getattr(outcome.run, "failure_reason", ""))
         kind = classify_failure(reason)
@@ -417,6 +467,11 @@ class ResilientExecutor(EvaluationExecutor):
             key = config_key(outcome.config)
             count = self._breaker.get(key, 0) + 1
             self._breaker[key] = count
+            if count >= self.policy.breaker_threshold:
+                # Newly opened (== threshold) or a failed half-open
+                # probe (> threshold): either way the circuit is open
+                # as of *now*.
+                self._breaker_opened[key] = self._clock()
             if count == self.policy.breaker_threshold:
                 self.stats["circuit_opens"] += 1
                 obs_runtime.current().tracer.event(

@@ -211,6 +211,21 @@ class SyntheticCellSpec:
     batch_size: int | None = None
     checkpoint_dir: str | None = None
     resilience: RetryPolicy | None = None
+    #: ``(owner, fencing token)`` when a fleet worker runs the cell
+    #: under a store lease: the final results write is fenced, so a
+    #: stale worker cannot clobber a newer owner's cell (docs/
+    #: ROBUSTNESS.md).
+    lease: tuple[str, int] | None = None
+
+
+def _save_cell_results(store, study, cell, results, lease) -> None:
+    """Persist a finished cell, fenced when run under a fleet lease."""
+    if lease is not None:
+        store.save_results_fenced(
+            study, cell, results, owner=lease[0], token=int(lease[1])
+        )
+    else:
+        store.save_results(study, cell, results)
 
 
 def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
@@ -304,7 +319,9 @@ def run_synthetic_cell(spec: SyntheticCellSpec) -> list[TuningResult]:
         cell_t0 = time.perf_counter()
         results.append(result)
     if store is not None:
-        store.save_results(SYNTHETIC_STUDY_NAME, cell_label, results)
+        _save_cell_results(
+            store, SYNTHETIC_STUDY_NAME, cell_label, results, spec.lease
+        )
     return results
 
 
@@ -408,6 +425,9 @@ class SundogArmSpec:
     batch_size: int | None = None
     checkpoint_dir: str | None = None
     resilience: RetryPolicy | None = None
+    #: ``(owner, fencing token)`` for fleet workers; see
+    #: :class:`SyntheticCellSpec`.
+    lease: tuple[str, int] | None = None
 
     @property
     def label(self) -> str:
@@ -532,7 +552,9 @@ def run_sundog_arm(spec: SundogArmSpec) -> list[TuningResult]:
         cell_t0 = time.perf_counter()
         results.append(result)
     if store is not None:
-        store.save_results(SUNDOG_STUDY_NAME, cell_label, results)
+        _save_cell_results(
+            store, SUNDOG_STUDY_NAME, cell_label, results, spec.lease
+        )
     return results
 
 

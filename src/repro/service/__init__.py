@@ -6,20 +6,40 @@ Sits between :mod:`repro.experiments` (the paper's concrete grids) and
 as plain data, and a :class:`~repro.service.campaign.CampaignRunner`
 executes it — cell-level process parallelism, per-cell obs events, and
 store-backed resume — without knowing which figure the grid belongs to.
+
+Fleet mode layers :mod:`repro.service.queue` on top: N independent
+worker processes share one campaign through lease-based claims on the
+study store, surviving worker crashes (docs/ROBUSTNESS.md).
 """
 
 from repro.service.campaign import (
+    CAMPAIGN_MODES,
+    CAMPAIGN_STATE_NAME,
     CampaignRunner,
     CampaignSpec,
     StudyError,
     run_cells,
     split_worker_budget,
 )
+from repro.service.queue import (
+    CellQueue,
+    QueuePolicy,
+    WorkerReport,
+    default_owner,
+    run_worker,
+)
 
 __all__ = [
+    "CAMPAIGN_MODES",
+    "CAMPAIGN_STATE_NAME",
     "CampaignRunner",
     "CampaignSpec",
+    "CellQueue",
+    "QueuePolicy",
     "StudyError",
+    "WorkerReport",
+    "default_owner",
     "run_cells",
+    "run_worker",
     "split_worker_budget",
 ]

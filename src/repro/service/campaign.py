@@ -43,6 +43,24 @@ from repro.obs import runtime as obs_runtime
 from repro.topology_gen.suite import CONDITIONS, TopologyCondition
 
 CAMPAIGN_KINDS = ("synthetic", "sundog")
+CAMPAIGN_MODES = ("pool", "fleet")
+
+#: Store state-document name under which a fleet campaign publishes its
+#: spec (cell ``""``), so `campaign workers` can attach by store alone.
+CAMPAIGN_STATE_NAME = "campaign"
+
+
+def store_cell_label(study: str, label: str) -> str:
+    """The store cell a campaign cell persists under.
+
+    Synthetic cells persist under their campaign label verbatim; sundog
+    arms carry a ``sundog_`` prefix in the store (the experiment runner
+    predates the campaign layer).  Fleet leases key on *store* labels so
+    the fenced result write and the lease land on the same cell.
+    """
+    if study == "sundog":
+        return f"sundog_{label}"
+    return label
 
 
 def split_worker_budget(workers: int, n_cells: int) -> tuple[int, int]:
@@ -275,6 +293,14 @@ class CampaignSpec:
     store: str | None = None
     loop_executor: str = "thread"
     resilience: RetryPolicy | None = None
+    #: ``pool``: one coordinator fans cells over a process pool.
+    #: ``fleet``: ``workers`` independent, crash-safe worker processes
+    #: lease cells through the store (requires ``store``); see
+    #: :mod:`repro.service.queue` and docs/ROBUSTNESS.md.
+    mode: str = "pool"
+    #: Fleet lease heartbeat timeout and poisoned-cell claim bound.
+    lease_ttl_seconds: float = 30.0
+    max_claim_attempts: int = 5
     #: Synthetic axes (ignored for sundog).
     conditions: tuple[TopologyCondition, ...] = ()
     sizes: tuple[str, ...] = ()
@@ -287,6 +313,16 @@ class CampaignSpec:
             raise ValueError(
                 f"study must be one of {CAMPAIGN_KINDS}, got {self.study!r}"
             )
+        if self.mode not in CAMPAIGN_MODES:
+            raise ValueError(
+                f"mode must be one of {CAMPAIGN_MODES}, got {self.mode!r}"
+            )
+        if self.mode == "fleet" and not self.store:
+            raise ValueError("fleet mode needs a store the workers share")
+        if self.lease_ttl_seconds <= 0:
+            raise ValueError("lease_ttl_seconds must be > 0")
+        if self.max_claim_attempts < 1:
+            raise ValueError("max_claim_attempts must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -299,6 +335,11 @@ class CampaignSpec:
 
     def worker_split(self) -> tuple[int, int]:
         """``(n_jobs, loop_workers)`` for this campaign."""
+        if self.mode == "fleet":
+            # Fleet workers are whole processes; each runs its cells
+            # with a serial loop so any worker's cell is byte-identical
+            # to a serial run of the same cell.
+            return max(1, self.workers or self.n_jobs), 1
         if self.workers is not None:
             return split_worker_budget(self.workers, self.n_cells)
         return max(1, self.n_jobs), 1
@@ -318,6 +359,9 @@ class CampaignSpec:
             "resilience": (
                 None if self.resilience is None else self.resilience.as_dict()
             ),
+            "mode": self.mode,
+            "lease_ttl_seconds": self.lease_ttl_seconds,
+            "max_claim_attempts": self.max_claim_attempts,
             "conditions": [
                 {
                     "time_imbalance": c.time_imbalance,
@@ -350,6 +394,9 @@ class CampaignSpec:
                 if resilience is None
                 else RetryPolicy.from_dict(resilience)  # type: ignore[arg-type]
             ),
+            mode=str(data.get("mode", "pool")),
+            lease_ttl_seconds=float(data.get("lease_ttl_seconds", 30.0)),  # type: ignore[arg-type]
+            max_claim_attempts=int(data.get("max_claim_attempts", 5)),  # type: ignore[arg-type]
             conditions=tuple(
                 TopologyCondition(
                     time_imbalance=float(c["time_imbalance"]),
@@ -453,9 +500,145 @@ class CampaignRunner:
         return specs, labels, runner.run_sundog_arm
 
     def run(self) -> dict[str, list[TuningResult]]:
+        if self.spec.mode == "fleet":
+            return self._run_fleet()
         specs, labels, cell_fn = self.cell_specs()
         outcomes = run_cells(
             self.spec.study, specs, labels, cell_fn, self.n_jobs, self.spec.budget
         )
         self.results = dict(zip(labels, outcomes))
         return self.results
+
+    # ------------------------------------------------------------------
+    # Fleet mode (repro.service.queue)
+    # ------------------------------------------------------------------
+    def _run_fleet(self) -> dict[str, list[TuningResult]]:
+        """Supervise a crash-safe worker fleet over the shared store.
+
+        Publishes the spec as the store's ``campaign`` state document
+        (so detached ``campaign workers`` processes can join), spawns
+        ``n_jobs`` worker processes, and respawns any that die while
+        non-terminal cells remain — a worker loss costs at most one
+        lease TTL of progress, never the campaign.  Quarantined cells
+        surface as a :class:`StudyError` after everything else ran.
+        """
+        import multiprocessing
+
+        from repro.service.queue import CellQueue, QueuePolicy
+        from repro.store import open_store
+
+        spec = self.spec
+        _specs, labels, _cell_fn = self.cell_specs()
+        cells = [store_cell_label(spec.study, label) for label in labels]
+        ctx = obs_runtime.current()
+        with open_store(spec.store) as store:
+            store.save_state(
+                spec.study, "", CAMPAIGN_STATE_NAME,
+                {"version": 1, "spec": spec.as_dict()},
+            )
+            policy = QueuePolicy(
+                ttl_seconds=spec.lease_ttl_seconds,
+                max_claim_attempts=spec.max_claim_attempts,
+            )
+            queue = CellQueue(store, spec.study, cells, policy)
+            ctx.tracer.event(
+                "study_start",
+                study=spec.study,
+                n_cells=len(labels),
+                budget=asdict(spec.budget),
+                mode="fleet",
+                workers=self.n_jobs,
+            )
+            procs: dict[str, multiprocessing.Process] = {}
+            spawned = 0
+            # Every respawn means a worker died mid-campaign; the
+            # quarantine bound guarantees per-cell progress, so this
+            # cap only stops a systemically broken fleet.
+            max_spawns = self.n_jobs + 4 * len(labels)
+            t0 = time.perf_counter()
+            while True:
+                pending = queue.pending_labels()
+                if not pending:
+                    break
+                for owner, proc in list(procs.items()):
+                    if proc.is_alive():
+                        continue
+                    proc.join()
+                    del procs[owner]
+                    ctx.tracer.event(
+                        "worker.lost" if proc.exitcode else "worker.done",
+                        worker=owner,
+                        exitcode=proc.exitcode,
+                    )
+                while len(procs) < min(self.n_jobs, len(pending)):
+                    if spawned >= max_spawns:
+                        raise StudyError(
+                            spec.study,
+                            [
+                                (label, "fleet stalled: worker respawn "
+                                 f"budget ({max_spawns}) exhausted")
+                                for label in pending
+                            ],
+                        )
+                    owner = f"fleet-{spawned}"
+                    spawned += 1
+                    proc = multiprocessing.Process(
+                        target=_fleet_worker_main,
+                        args=(spec.as_dict(), owner, policy.as_dict()),
+                        name=owner,
+                    )
+                    proc.start()
+                    procs[owner] = proc
+                    ctx.tracer.event("worker.spawn", worker=owner)
+                time.sleep(min(0.2, policy.poll_interval()))
+            for proc in procs.values():
+                proc.join()
+            seconds = time.perf_counter() - t0
+            failures: list[tuple[str, str]] = []
+            results: dict[str, list[TuningResult]] = {}
+            for label, cell in zip(labels, cells):
+                lease = store.read_lease(spec.study, cell)
+                if lease is not None and lease.status == "quarantined":
+                    failures.append((label, lease.reason or "quarantined"))
+                    continue
+                cell_results = store.load_results(spec.study, cell)
+                if not cell_results:
+                    failures.append((label, "no results in the store"))
+                    continue
+                for result in cell_results:
+                    snap = result.metadata.get("obs_metrics")
+                    if isinstance(snap, dict):
+                        ctx.metrics.merge_snapshot(snap)  # type: ignore[arg-type]
+                results[label] = cell_results
+            ctx.tracer.event(
+                "study_finish",
+                study=spec.study,
+                n_cells=len(labels),
+                n_failed_cells=len(failures),
+                seconds=seconds,
+            )
+            if failures:
+                raise StudyError(spec.study, failures)
+        self.results = results
+        return results
+
+
+def _fleet_worker_main(
+    spec_dict: dict[str, object],
+    owner: str,
+    policy_dict: dict[str, object],
+) -> None:
+    """Fleet worker process entry (module-level for picklability).
+
+    Workers deactivate obs for the same reason pool workers do (the
+    inherited JSONL sink handle is not multi-process safe) and report
+    home through the store.
+    """
+    from repro.service.queue import QueuePolicy, run_worker
+
+    obs_runtime.deactivate()
+    run_worker(
+        CampaignSpec.from_dict(spec_dict),
+        owner,
+        policy=QueuePolicy.from_dict(policy_dict),
+    )

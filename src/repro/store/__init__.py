@@ -20,7 +20,10 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.store.base import (
+    Lease,
+    LeaseError,
     SchemaVersionError,
+    StaleLeaseError,
     StoreCheckpointSlot,
     StoreError,
     StudyStore,
@@ -52,8 +55,11 @@ def open_store(spec: str | Path | StudyStore) -> StudyStore:
 
 __all__ = [
     "JsonlStudyStore",
+    "Lease",
+    "LeaseError",
     "MigrationReport",
     "SchemaVersionError",
+    "StaleLeaseError",
     "SqliteStudyStore",
     "StoreCheckpointSlot",
     "StoreError",

@@ -11,7 +11,10 @@ valid store and a new one is readable by old eyes:
 * ``<stem>.done.json``     — a finished cell's results list;
 * ``<stem>.<name>.json``   — named state documents (the continuous
   loop's sidecar: cell ``""`` + name ``continuous`` → the literal
-  ``continuous.json``).
+  ``continuous.json``);
+* ``<stem>.lease-<token>.json`` — cell work leases, one file per
+  fencing token, claimed via exclusive create (docs/ROBUSTNESS.md);
+  transient coordination state, excluded from enumeration/migration.
 
 ``<stem>`` is :func:`repro.store.base.cell_stem`: the sanitized label
 plus a short blake2b digest of the raw label, so ``a/b`` and ``a.b``
@@ -25,19 +28,25 @@ enumerate, with stems standing in for labels.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
+import re
 from pathlib import Path
 from typing import Iterator
 
 from repro.core.checkpoint import (
     TuningCheckpoint,
+    _fsync_directory,
     atomic_write_text,
     load_checkpoint,
     save_checkpoint,
 )
 from repro.core.history import TuningResult
 from repro.store.base import (
+    Lease,
     SchemaVersionError,
+    StaleLeaseError,
     StudyStore,
     cell_stem,
     sanitize_label,
@@ -48,6 +57,12 @@ INDEX_NAME = "store-index.json"
 
 #: Reserved file names that are never store documents.
 _RESERVED = frozenset({INDEX_NAME})
+
+#: Lease token files: ``<stem>.lease-<token>.json`` (root cell: bare
+#: ``lease-<token>.json``).  Excluded from document enumeration — they
+#: are transient coordination state, not study data (and `store
+#: migrate` deliberately does not copy them).
+_LEASE_FILE_RE = re.compile(r"(?:^|\.)lease-(\d{6,})\.json$")
 
 
 class JsonlStudyStore(StudyStore):
@@ -195,6 +210,132 @@ class JsonlStudyStore(StudyStore):
         return dict(data) if isinstance(data, dict) else None
 
     # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    # One file per fencing token, claimed with O_CREAT|O_EXCL (the
+    # atomic only-one-racer-wins primitive POSIX gives a directory);
+    # the *highest* token file is the current lease, renew/commit
+    # atomic-rewrite the owner's own token file, and a torn claim (file
+    # created, JSON never landed) just burns its token — the next
+    # claimant writes token+1 and the unreadable file is ignored.
+
+    def _lease_path(self, cell: str, token: int) -> Path:
+        return self.root / self._join(cell_stem(cell), f"lease-{token:06d}.json")
+
+    def _lease_files(self, cell: str) -> list[tuple[int, Path]]:
+        stem = cell_stem(cell)
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in self.root.glob(self._join(stem, "lease-*.json")):
+            match = _LEASE_FILE_RE.search(path.name)
+            if match and path.name == self._join(stem, f"lease-{match.group(1)}.json"):
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def _lease_doc(self, study: str, cell: str, path: Path) -> Lease | None:
+        try:
+            data = json.loads(path.read_text())
+            lease = Lease.from_dict(data)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+        return dataclasses.replace(lease, study=study, cell=cell)
+
+    def _read_lease(self, study: str, cell: str) -> Lease | None:
+        # Highest *readable* token wins; unreadable (torn) claims above
+        # it are burned tokens, not leases.
+        for _, path in reversed(self._lease_files(cell)):
+            lease = self._lease_doc(study, cell, path)
+            if lease is not None:
+                return lease
+        return None
+
+    def _acquire_lease(
+        self, study: str, cell: str, owner: str, ttl: float, now: float
+    ) -> Lease | None:
+        files = self._lease_files(cell)
+        top_token = files[-1][0] if files else 0
+        current = self._read_lease(study, cell)
+        if current is not None:
+            if current.status in ("committed", "quarantined"):
+                return None
+            if current.status == "leased" and current.deadline > now:
+                return None
+        lease = Lease(
+            study=study,
+            cell=cell,
+            owner=owner,
+            token=top_token + 1,
+            deadline=now + ttl,
+            attempts=(current.attempts if current else 0) + 1,
+            status="leased",
+            reason=current.reason if current else "",
+        )
+        path = self._lease_path(cell, lease.token)
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return None  # lost the claim race to a concurrent worker
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(lease.as_dict(), sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            return None
+        _fsync_directory(self.root)
+        self._register(study, cell)
+        return lease
+
+    def _update_lease(
+        self, lease: Lease, *, status: str, deadline: float, reason: str
+    ) -> Lease:
+        def stale(detail: str) -> StaleLeaseError:
+            return StaleLeaseError(
+                f"lease on {lease.study}/{lease.cell or '(root)'} "
+                f"({lease.owner!r} token {lease.token}) is stale: {detail}"
+            )
+
+        files = self._lease_files(lease.cell)
+        if files and files[-1][0] > lease.token:
+            raise stale(f"token {files[-1][0]} supersedes it")
+        own_path = self._lease_path(lease.cell, lease.token)
+        current = self._lease_doc(lease.study, lease.cell, own_path)
+        if current is None:
+            raise stale("its token file is missing or unreadable")
+        if current.owner != lease.owner or current.status != "leased":
+            raise stale(
+                f"current record is {current.owner!r} {current.status}"
+            )
+        updated = dataclasses.replace(
+            lease, status=status, deadline=deadline, reason=reason
+        )
+        atomic_write_text(
+            own_path, json.dumps(updated.as_dict(), sort_keys=True)
+        )
+        # Close the check-then-write window: if a reclaimer bumped the
+        # token while we were writing, our record is shadowed (highest
+        # readable token wins) — report stale so the caller drops the
+        # work instead of believing the no-op update.
+        files = self._lease_files(lease.cell)
+        if files and files[-1][0] > lease.token:
+            raise stale(f"token {files[-1][0]} claimed during the update")
+        return updated
+
+    def _leases(self, study: str) -> list[Lease]:
+        index = self._load_index()
+        found = []
+        for entry in index.values():
+            if str(entry.get("study", "default")) != study:
+                continue
+            label = str(entry.get("label", ""))
+            lease = self._read_lease(study, label)
+            if lease is not None:
+                found.append(lease)
+        return found
+
+    # ------------------------------------------------------------------
     # Enumeration
     # ------------------------------------------------------------------
     def _scan(self) -> Iterator[tuple[str, str, str, str]]:
@@ -223,6 +364,8 @@ class JsonlStudyStore(StudyStore):
             name = path.name
             if not path.is_file() or name in _RESERVED or name.endswith(".tmp"):
                 continue
+            if _LEASE_FILE_RE.search(name):
+                continue  # coordination state, not a study document
             if name.endswith(".jsonl"):
                 stem, rest = split(name[: -len(".jsonl")] + ".")
                 yield stem, "checkpoint", rest.rstrip("."), name
@@ -295,7 +438,8 @@ class JsonlStudyStore(StudyStore):
         return int(data.get("version", INDEX_VERSION))
 
     def vacuum(self) -> None:
-        """Remove orphaned temp files left by crashed atomic writes."""
+        """Remove orphaned temp files left by crashed atomic writes and
+        lease token files superseded by a newer claim."""
         if not self.root.is_dir():
             return
         for path in self.root.glob("*.tmp"):
@@ -303,3 +447,16 @@ class JsonlStudyStore(StudyStore):
                 path.unlink()
             except OSError:
                 pass
+        by_stem: dict[str, list[tuple[int, Path]]] = {}
+        for path in self.root.glob("*lease-*.json"):
+            match = _LEASE_FILE_RE.search(path.name)
+            if match is None:
+                continue
+            stem = path.name[: -len(f"lease-{match.group(1)}.json")].rstrip(".")
+            by_stem.setdefault(stem, []).append((int(match.group(1)), path))
+        for files in by_stem.values():
+            for _, path in sorted(files)[:-1]:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

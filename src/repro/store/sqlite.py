@@ -18,16 +18,35 @@ runner's process-parallel cells, which each open their own connection.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import random
 import sqlite3
+import time
 import warnings
 from pathlib import Path
+from typing import Callable, TypeVar
 
 from repro.core.checkpoint import TuningCheckpoint, _json_default
 from repro.core.history import Observation, TuningResult
-from repro.store.base import SchemaVersionError, StoreError, StudyStore
+from repro.store.base import (
+    Lease,
+    SchemaVersionError,
+    StaleLeaseError,
+    StoreError,
+    StudyStore,
+)
 
-SCHEMA_VERSION = 2
+T = TypeVar("T")
+
+SCHEMA_VERSION = 3
+
+#: Explicit driver-level lock wait (milliseconds) before SQLITE_BUSY
+#: surfaces at all, plus the bounded retry-with-jitter below for the
+#: cases the driver cannot wait out (writer starvation under WAL).
+BUSY_TIMEOUT_MS = 30_000
+_BUSY_RETRIES = 8
+_BUSY_BASE_SLEEP = 0.005
 
 #: Migration steps, applied in version order inside one transaction
 #: each.  Never edit a shipped entry — append a new version instead;
@@ -78,6 +97,22 @@ MIGRATIONS: dict[int, tuple[str, ...]] = {
         "CREATE INDEX idx_cells_study ON cells(study_id)",
         "CREATE INDEX idx_runs_cell ON runs(cell_id)",
     ),
+    3: (
+        # One lease row per cell for the multi-worker campaign queue:
+        # `token` is the monotonic fencing token (bumped on every
+        # acquisition), `deadline` the wall-clock heartbeat deadline,
+        # `attempts` the total acquisition count (the poisoned-cell
+        # quarantine bound), `reason` the last recorded failure.
+        """CREATE TABLE leases (
+               cell_id INTEGER PRIMARY KEY REFERENCES cells(id),
+               owner TEXT NOT NULL DEFAULT '',
+               token INTEGER NOT NULL DEFAULT 0,
+               deadline REAL NOT NULL DEFAULT 0,
+               status TEXT NOT NULL DEFAULT 'released',
+               attempts INTEGER NOT NULL DEFAULT 0,
+               reason TEXT NOT NULL DEFAULT ''
+           )""",
+    ),
 }
 
 
@@ -89,14 +124,48 @@ class SqliteStudyStore(StudyStore):
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn = sqlite3.connect(self.path, timeout=BUSY_TIMEOUT_MS / 1000)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA foreign_keys=ON")
-        self._migrate()
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        #: Busy-retry knobs, patchable in tests (jitter only perturbs
+        #: wall-clock sleeps, never stored values).
+        self._sleep = time.sleep
+        self._jitter = random.Random()
+        self._retry(self._migrate)
 
     def describe(self) -> str:
         return str(self.path)
+
+    # ------------------------------------------------------------------
+    # SQLITE_BUSY handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_busy(exc: sqlite3.OperationalError) -> bool:
+        message = str(exc).lower()
+        return "locked" in message or "busy" in message
+
+    def _retry(self, op: Callable[[], T]) -> T:
+        """Run ``op`` with bounded exponential backoff + jitter on
+        SQLITE_BUSY/locked errors, so concurrent writers surface a
+        :class:`StoreError` only after the store stayed contended well
+        past the driver's own ``busy_timeout``."""
+        delay = _BUSY_BASE_SLEEP
+        for attempt in range(_BUSY_RETRIES):
+            try:
+                return op()
+            except sqlite3.OperationalError as exc:
+                if not self._is_busy(exc):
+                    raise
+                if attempt == _BUSY_RETRIES - 1:
+                    raise StoreError(
+                        f"store {self.path} stayed locked through "
+                        f"{_BUSY_RETRIES} attempts: {exc}"
+                    ) from exc
+                self._sleep(delay * (1.0 + self._jitter.random()))
+                delay *= 2.0
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Schema versioning
@@ -108,22 +177,30 @@ class SqliteStudyStore(StudyStore):
                 "CREATE TABLE IF NOT EXISTS schema_version "
                 "(version INTEGER NOT NULL)"
             )
-        row = conn.execute("SELECT MAX(version) FROM schema_version").fetchone()
-        current = int(row[0]) if row and row[0] is not None else 0
+        current = self.schema_version()
         if current > SCHEMA_VERSION:
             raise SchemaVersionError(
                 f"store {self.path} has schema version {current} but this "
                 f"build reads version {SCHEMA_VERSION}; refusing to touch it"
             )
         for version in range(current + 1, SCHEMA_VERSION + 1):
-            with conn:
-                for statement in MIGRATIONS[version]:
-                    conn.execute(statement)
-                conn.execute("DELETE FROM schema_version")
-                conn.execute(
-                    "INSERT INTO schema_version (version) VALUES (?)",
-                    (version,),
-                )
+            try:
+                with conn:
+                    for statement in MIGRATIONS[version]:
+                        conn.execute(statement)
+                    conn.execute("DELETE FROM schema_version")
+                    conn.execute(
+                        "INSERT INTO schema_version (version) VALUES (?)",
+                        (version,),
+                    )
+            except sqlite3.OperationalError:
+                # A fleet of workers can race on a fresh database: the
+                # loser sees "already exists" (or busy) for a step the
+                # winner just applied.  Trust the version table, not
+                # the exception: re-raise only if the migration truly
+                # has not landed yet.
+                if self.schema_version() < version:
+                    raise
 
     def schema_version(self) -> int:
         row = self._conn.execute(
@@ -146,19 +223,24 @@ class SqliteStudyStore(StudyStore):
             return int(row[0])
         if not create:
             return None
-        with conn:
-            conn.execute(
-                "INSERT OR IGNORE INTO studies (name) VALUES (?)", (study,)
-            )
-            study_id = int(
+
+        def insert() -> None:
+            with conn:
                 conn.execute(
-                    "SELECT id FROM studies WHERE name = ?", (study,)
-                ).fetchone()[0]
-            )
-            conn.execute(
-                "INSERT OR IGNORE INTO cells (study_id, label) VALUES (?, ?)",
-                (study_id, cell),
-            )
+                    "INSERT OR IGNORE INTO studies (name) VALUES (?)", (study,)
+                )
+                study_id = int(
+                    conn.execute(
+                        "SELECT id FROM studies WHERE name = ?", (study,)
+                    ).fetchone()[0]
+                )
+                conn.execute(
+                    "INSERT OR IGNORE INTO cells (study_id, label) "
+                    "VALUES (?, ?)",
+                    (study_id, cell),
+                )
+
+        self._retry(insert)
         return self._cell_id(study, cell, create=False)
 
     # ------------------------------------------------------------------
@@ -174,6 +256,16 @@ class SqliteStudyStore(StudyStore):
             if checkpoint.optimizer_state is None
             else json.dumps(checkpoint.optimizer_state, default=_json_default)
         )
+        self._retry(lambda: self._write_checkpoint(conn, cell_id, run, checkpoint, state))
+
+    def _write_checkpoint(
+        self,
+        conn: sqlite3.Connection,
+        cell_id: int | None,
+        run: str,
+        checkpoint: TuningCheckpoint,
+        state: str | None,
+    ) -> None:
         with conn:
             conn.execute(
                 "INSERT INTO runs (cell_id, name, strategy, seed, max_steps, "
@@ -270,12 +362,16 @@ class SqliteStudyStore(StudyStore):
     ) -> None:
         cell_id = self._cell_id(study, cell, create=True)
         payload = json.dumps([r.as_dict() for r in results], default=str)
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results (cell_id, payload) "
-                "VALUES (?, ?)",
-                (cell_id, payload),
-            )
+
+        def write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results (cell_id, payload) "
+                    "VALUES (?, ?)",
+                    (cell_id, payload),
+                )
+
+        self._retry(write)
 
     def _load_results(
         self, study: str, cell: str
@@ -297,12 +393,16 @@ class SqliteStudyStore(StudyStore):
         self, study: str, cell: str, name: str, state: dict[str, object]
     ) -> None:
         cell_id = self._cell_id(study, cell, create=True)
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO states (cell_id, name, payload) "
-                "VALUES (?, ?, ?)",
-                (cell_id, name, json.dumps(state, sort_keys=True)),
-            )
+
+        def write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO states (cell_id, name, payload) "
+                    "VALUES (?, ?, ?)",
+                    (cell_id, name, json.dumps(state, sort_keys=True)),
+                )
+
+        self._retry(write)
 
     def _load_state(
         self, study: str, cell: str, name: str
@@ -323,6 +423,158 @@ class SqliteStudyStore(StudyStore):
         return dict(data) if isinstance(data, dict) else None
 
     # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    _LEASE_COLUMNS = "owner, token, deadline, status, attempts, reason"
+
+    @staticmethod
+    def _lease_from_row(
+        study: str, cell: str, row: tuple[object, ...]
+    ) -> Lease:
+        owner, token, deadline, status, attempts, reason = row
+        return Lease(
+            study=study,
+            cell=cell,
+            owner=str(owner),
+            token=int(token),  # type: ignore[arg-type]
+            deadline=float(deadline),  # type: ignore[arg-type]
+            attempts=int(attempts),  # type: ignore[arg-type]
+            status=str(status),
+            reason=str(reason),
+        )
+
+    def _acquire_lease(
+        self, study: str, cell: str, owner: str, ttl: float, now: float
+    ) -> Lease | None:
+        cell_id = self._cell_id(study, cell, create=True)
+
+        def claim() -> Lease | None:
+            conn = self._conn
+            # One transaction: the conditional UPDATE is the atomic
+            # claim (it serializes on the write lock), and the readback
+            # of the bumped token happens before anyone else can write.
+            with conn:
+                conn.execute(
+                    "INSERT OR IGNORE INTO leases (cell_id) VALUES (?)",
+                    (cell_id,),
+                )
+                cursor = conn.execute(
+                    "UPDATE leases SET owner = ?, token = token + 1, "
+                    "deadline = ?, status = 'leased', "
+                    "attempts = attempts + 1 "
+                    "WHERE cell_id = ? "
+                    "AND status NOT IN ('committed', 'quarantined') "
+                    "AND NOT (status = 'leased' AND deadline > ?)",
+                    (owner, now + ttl, cell_id, now),
+                )
+                if cursor.rowcount != 1:
+                    return None
+                row = conn.execute(
+                    f"SELECT {self._LEASE_COLUMNS} FROM leases "
+                    "WHERE cell_id = ?",
+                    (cell_id,),
+                ).fetchone()
+            return self._lease_from_row(study, cell, row)
+
+        return self._retry(claim)
+
+    def _update_lease(
+        self, lease: Lease, *, status: str, deadline: float, reason: str
+    ) -> Lease:
+        cell_id = self._cell_id(lease.study, lease.cell, create=False)
+
+        def update() -> int:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "UPDATE leases SET status = ?, deadline = ?, reason = ? "
+                    "WHERE cell_id = ? AND token = ? AND owner = ? "
+                    "AND status = 'leased'",
+                    (
+                        status,
+                        deadline,
+                        reason,
+                        cell_id,
+                        lease.token,
+                        lease.owner,
+                    ),
+                )
+                return cursor.rowcount
+
+        if cell_id is None or self._retry(update) != 1:
+            current = self._read_lease(lease.study, lease.cell)
+            raise StaleLeaseError(
+                f"lease on {lease.study}/{lease.cell or '(root)'} "
+                f"({lease.owner!r} token {lease.token}) is stale; current: "
+                + (
+                    "none"
+                    if current is None
+                    else f"{current.owner!r} token {current.token} "
+                    f"{current.status}"
+                )
+            )
+        return dataclasses.replace(
+            lease, status=status, deadline=deadline, reason=reason
+        )
+
+    def _read_lease(self, study: str, cell: str) -> Lease | None:
+        cell_id = self._cell_id(study, cell, create=False)
+        if cell_id is None:
+            return None
+        row = self._conn.execute(
+            f"SELECT {self._LEASE_COLUMNS} FROM leases "
+            "WHERE cell_id = ? AND token > 0",
+            (cell_id,),
+        ).fetchone()
+        return None if row is None else self._lease_from_row(study, cell, row)
+
+    def _leases(self, study: str) -> list[Lease]:
+        rows = self._conn.execute(
+            f"SELECT cells.label, {self._LEASE_COLUMNS} FROM leases "
+            "JOIN cells ON leases.cell_id = cells.id "
+            "JOIN studies ON cells.study_id = studies.id "
+            "WHERE studies.name = ? AND leases.token > 0",
+            (study,),
+        ).fetchall()
+        return [
+            self._lease_from_row(study, str(row[0]), row[1:]) for row in rows
+        ]
+
+    def _save_results_fenced(
+        self,
+        study: str,
+        cell: str,
+        results: list[TuningResult],
+        owner: str,
+        token: int,
+    ) -> None:
+        cell_id = self._cell_id(study, cell, create=False)
+        payload = json.dumps([r.as_dict() for r in results], default=str)
+
+        def write() -> bool:
+            if cell_id is None:
+                return False
+            with self._conn:
+                held = self._conn.execute(
+                    "SELECT 1 FROM leases WHERE cell_id = ? AND token = ? "
+                    "AND owner = ? AND status = 'leased'",
+                    (cell_id, token, owner),
+                ).fetchone()
+                if held is None:
+                    return False
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results (cell_id, payload) "
+                    "VALUES (?, ?)",
+                    (cell_id, payload),
+                )
+            return True
+
+        if not self._retry(write):
+            raise StaleLeaseError(
+                f"results for {study}/{cell or '(root)'} rejected: "
+                f"{owner!r} token {token} is not the current lease"
+            )
+
+    # ------------------------------------------------------------------
     # Enumeration
     # ------------------------------------------------------------------
     def studies(self) -> list[str]:
@@ -334,12 +586,21 @@ class SqliteStudyStore(StudyStore):
         ]
 
     def cells(self, study: str) -> list[str]:
+        # A cell counts once it holds *content* (runs, results, or
+        # state).  A bare lease row is coordination metadata — matching
+        # the JSONL backend, which never enumerates lease files.
         return [
             str(row[0])
             for row in self._conn.execute(
                 "SELECT cells.label FROM cells JOIN studies "
                 "ON cells.study_id = studies.id "
-                "WHERE studies.name = ? ORDER BY cells.label",
+                "WHERE studies.name = ? AND ("
+                "EXISTS (SELECT 1 FROM runs WHERE runs.cell_id = cells.id)"
+                " OR EXISTS "
+                "(SELECT 1 FROM results WHERE results.cell_id = cells.id)"
+                " OR EXISTS "
+                "(SELECT 1 FROM states WHERE states.cell_id = cells.id)"
+                ") ORDER BY cells.label",
                 (study,),
             )
         ]

@@ -11,6 +11,7 @@ from repro.service.campaign import (
     CampaignRunner,
     CampaignSpec,
     split_worker_budget,
+    store_cell_label,
 )
 from repro.topology_gen.suite import CONDITIONS
 
@@ -124,3 +125,83 @@ class TestCampaignRunner:
         assert [r.best_value for r in first[label]] == [
             r.best_value for r in again[label]
         ]
+
+
+class TestFleetMode:
+    def _tiny(self, **kwargs):
+        return CampaignSpec.synthetic(
+            budget=Budget(
+                steps=4, steps_extended=6, baseline_steps=8, passes=1,
+                repeat_best=2,
+            ),
+            conditions=CONDITIONS[:1],
+            sizes=("small",),
+            strategies=("pla", "bo"),
+            **kwargs,
+        )
+
+    def test_fleet_requires_a_store(self):
+        with pytest.raises(ValueError, match="store"):
+            CampaignSpec.synthetic(mode="fleet")
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            CampaignSpec.synthetic(mode="swarm")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"lease_ttl_seconds": 0.0}, {"max_claim_attempts": 0}],
+    )
+    def test_lease_knobs_are_validated(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignSpec.synthetic(mode="fleet", store="ckpts", **kwargs)
+
+    def test_fleet_fields_round_trip_through_dict(self):
+        spec = self._tiny(
+            store="ckpts", mode="fleet", workers=3,
+            lease_ttl_seconds=7.5, max_claim_attempts=9,
+        )
+        clone = CampaignSpec.from_dict(spec.as_dict())
+        assert clone == spec
+        assert (clone.mode, clone.lease_ttl_seconds) == ("fleet", 7.5)
+        assert clone.max_claim_attempts == 9
+
+    def test_dicts_without_fleet_fields_default_to_pool(self):
+        data = self._tiny().as_dict()
+        for key in ("mode", "lease_ttl_seconds", "max_claim_attempts"):
+            data.pop(key)
+        assert CampaignSpec.from_dict(data).mode == "pool"
+
+    def test_fleet_workers_run_serial_loops(self):
+        spec = self._tiny(store="ckpts", mode="fleet", workers=4)
+        assert spec.worker_split() == (4, 1)
+
+    def test_store_cell_label_maps_sundog(self):
+        assert store_cell_label("synthetic", "a/small/bo") == "a/small/bo"
+        assert store_cell_label("sundog", "bo.h") == "sundog_bo.h"
+
+    def test_fleet_run_matches_a_serial_pool_run(self, tmp_path):
+        from repro.core.checkpoint import canonical_history
+
+        fleet_spec = self._tiny(
+            seed=2, store=str(tmp_path / "fleet"), mode="fleet", workers=2,
+            lease_ttl_seconds=15.0,
+        )
+        pool_spec = self._tiny(
+            seed=2, store=str(tmp_path / "pool"), mode="pool", n_jobs=1
+        )
+        fleet = CampaignRunner(fleet_spec).run()
+        pool = CampaignRunner(pool_spec).run()
+        assert fleet.keys() == pool.keys()
+        for label in pool:
+            assert [
+                canonical_history(r.observations) for r in fleet[label]
+            ] == [canonical_history(r.observations) for r in pool[label]]
+        from repro.store import open_store
+
+        with open_store(fleet_spec.store) as store:
+            statuses = {
+                lease.cell: lease.status
+                for lease in store.leases("synthetic")
+            }
+        assert set(statuses.values()) == {"committed"}

@@ -425,6 +425,27 @@ class TestObsCli:
         assert len(out.strip().splitlines()) == 5
         assert "metrics snapshot" in out
 
+    def test_obs_export_output_is_written_durably(self, tmp_path, monkeypatch):
+        """Regression: the .prom export must go through the fsyncing
+        atomic writer, not a bare temp-file rename a crash can lose."""
+        import repro.core.checkpoint as checkpoint
+        from repro.cli import main
+
+        path = self._write_trace(tmp_path)
+        target = tmp_path / "metrics.prom"
+        calls = []
+        real_write = checkpoint.atomic_write_text
+
+        def spying_write(p, text):
+            calls.append(str(p))
+            real_write(p, text)
+
+        monkeypatch.setattr(checkpoint, "atomic_write_text", spying_write)
+        assert main(["obs", "export", str(path), "--output", str(target)]) == 0
+        assert calls == [str(target)]
+        assert target.read_text(encoding="utf-8").endswith("# EOF\n")
+        assert not list(tmp_path.glob("*.tmp"))
+
     def test_exhibit_with_trace_flag(self, tmp_path, capsys):
         from repro.cli import main
 

@@ -209,6 +209,126 @@ class TestCircuitBreaker:
         assert not outcome.run.failure_reason.startswith("circuit_open")
         assert config_key({"x": 1}) != config_key({"x": 2})
 
+    def test_without_cooldown_an_open_circuit_never_recovers(self):
+        objective = FlakyObjective(fail_first=1, reason="scheduling: full")
+        policy = RetryPolicy(breaker_threshold=1)  # cooldown defaults None
+        ex = _resilient(objective, policy, seed=0)
+        ex.submit(0, {"x": 1}, seed=0)
+        ex.wait_one()
+        ex._clock = lambda: 1e9  # any amount of rest
+        ex.submit(1, {"x": 1}, seed=1)
+        assert ex.wait_one().run.failure_reason.startswith("circuit_open")
+        assert len(objective.calls) == 1
+
+    def _half_open_executor(self, objective):
+        """Breaker at 1 with a 10s cooldown and a settable clock."""
+        policy = RetryPolicy(
+            breaker_threshold=1, breaker_cooldown_seconds=10.0
+        )
+        ex = _resilient(objective, policy, seed=0)
+        clock = {"now": 0.0}
+        ex._clock = lambda: clock["now"]
+        return ex, clock
+
+    def test_half_open_probe_success_recloses_the_circuit(self):
+        objective = FlakyObjective(fail_first=1, reason="scheduling: full")
+        ex, clock = self._half_open_executor(objective)
+        ex.submit(0, {"x": 1}, seed=0)
+        assert ex.wait_one().run.failed
+        assert ex.stats["circuit_opens"] == 1
+
+        # Still resting: submissions short-circuit.
+        clock["now"] = 5.0
+        ex.submit(1, {"x": 1}, seed=1)
+        assert ex.wait_one().run.failure_reason.startswith("circuit_open")
+
+        # Cooldown served: the next submission is a real probe, its
+        # success re-closes the circuit, and traffic flows again.
+        clock["now"] = 11.0
+        ex.submit(2, {"x": 1}, seed=2)
+        outcome = ex.wait_one()
+        assert not outcome.run.failed
+        assert ex.stats["circuit_half_opens"] == 1
+        assert ex.stats["circuit_closes"] == 1
+        ex.submit(3, {"x": 1}, seed=3)
+        assert not ex.wait_one().run.failed
+        assert ex.stats["short_circuits"] == 1  # only the resting one
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        objective = FlakyObjective(fail_first=100, reason="scheduling: full")
+        ex, clock = self._half_open_executor(objective)
+        ex.submit(0, {"x": 1}, seed=0)
+        assert ex.wait_one().run.failed
+
+        clock["now"] = 11.0
+        ex.submit(1, {"x": 1}, seed=1)  # probe, fails persistently again
+        assert ex.wait_one().run.failed
+        assert ex.stats["circuit_half_opens"] == 1
+        assert ex.stats["circuit_closes"] == 0
+
+        # Re-armed as of the probe: short-circuits until another rest.
+        clock["now"] = 15.0
+        ex.submit(2, {"x": 1}, seed=2)
+        assert ex.wait_one().run.failure_reason.startswith("circuit_open")
+        clock["now"] = 22.0
+        ex.submit(3, {"x": 1}, seed=3)
+        assert ex.wait_one().run.failure_reason.startswith("scheduling")
+        assert ex.stats["circuit_half_opens"] == 2
+        assert len(objective.calls) == 3
+
+    def test_cooldown_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(breaker_cooldown_seconds=0.0)
+        policy = RetryPolicy(breaker_cooldown_seconds=2.5)
+        assert RetryPolicy.from_dict(policy.as_dict()) == policy
+
+
+class TestControlFlowExceptions:
+    """KeyboardInterrupt / SystemExit must re-raise, never retry."""
+
+    @pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+    def test_interrupts_propagate_through_the_resilient_layer(self, exc_type):
+        class InterruptingObjective:
+            calls = 0
+
+            def measure(self, params, *, seed=None):
+                type(self).calls += 1
+                raise exc_type()
+
+        objective = InterruptingObjective()
+        policy = RetryPolicy(max_retries=5, backoff_base_seconds=0.0)
+        ex = _resilient(objective, policy, seed=0)
+        ex.submit(0, {"x": 1}, seed=0)
+        with pytest.raises(exc_type):
+            ex.wait_one()
+        assert objective.calls == 1  # never retried
+
+    @pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+    def test_worker_drain_reraises_interrupts(self, exc_type, tmp_path):
+        """The fleet worker loop must hand control-flow exceptions to
+        the signal layer instead of classifying them as cell failures."""
+        import dataclasses as dc
+
+        from repro.service.campaign import CampaignSpec
+        from repro.service.queue import run_worker
+
+        @dc.dataclass(frozen=True)
+        class Cell:
+            label: str
+            lease: tuple | None = None
+
+        def interrupting_cell(cell):
+            raise exc_type()
+
+        spec = CampaignSpec(
+            study="synthetic", store=str(tmp_path / "q.db"), mode="fleet"
+        )
+        with pytest.raises(exc_type):
+            run_worker(
+                spec, "w1",
+                cells=([Cell("a")], ["a"], interrupting_cell, "synthetic"),
+            )
+
 
 class TestTimeouts:
     def test_thread_timeout_abandons_and_fails(self):

@@ -322,6 +322,107 @@ class TestSqliteBackend:
         reader.close()
 
 
+class TestSqliteBusyRetry:
+    """SQLITE_BUSY surfaces as bounded retry-with-jitter, never a raw
+    OperationalError (the multi-worker fleet hammers one .db)."""
+
+    def _store(self, tmp_path):
+        store = SqliteStudyStore(tmp_path / "busy.db")
+        store._jitter.seed(0)
+        return store
+
+    def test_busy_errors_retry_with_backoff_until_success(self, tmp_path):
+        store = self._store(tmp_path)
+        sleeps = []
+        store._sleep = sleeps.append
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] <= 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "done"
+
+        assert store._retry(flaky) == "done"
+        assert attempts["n"] == 4
+        assert len(sleeps) == 3
+        # Exponential backoff: each (jittered) delay at least doubles
+        # the base of the previous one.
+        assert sleeps[0] < sleeps[1] < sleeps[2]
+        store.close()
+
+    def test_busy_exhaustion_raises_store_error(self, tmp_path):
+        from repro.store import StoreError
+        from repro.store.sqlite import _BUSY_RETRIES
+
+        store = self._store(tmp_path)
+        store._sleep = lambda _s: None
+        calls = {"n": 0}
+
+        def always_locked():
+            calls["n"] += 1
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(StoreError, match="stayed locked"):
+            store._retry(always_locked)
+        assert calls["n"] == _BUSY_RETRIES
+        store.close()
+
+    def test_non_busy_operational_errors_propagate_immediately(
+        self, tmp_path
+    ):
+        store = self._store(tmp_path)
+        sleeps = []
+        store._sleep = sleeps.append
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            store._retry(broken)
+        assert sleeps == []  # not a contention error: no retry
+        store.close()
+
+    def test_two_threads_hammering_one_database(self, tmp_path):
+        """Regression: concurrent writers on one .db must all land."""
+        import threading
+
+        path = tmp_path / "hammer.db"
+        SqliteStudyStore(path).close()  # migrate once up front
+        errors = []
+        rounds = 25
+
+        def hammer(worker):
+            store = SqliteStudyStore(path)
+            try:
+                for i in range(rounds):
+                    cell = f"w{worker}-c{i}"
+                    store.save_checkpoint("s", cell, "r", _checkpoint(2))
+                    lease = store.acquire_lease("s", cell, f"w{worker}", 30.0)
+                    store.save_results("s", cell, _results())
+                    store.commit_lease(lease)
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+            finally:
+                store.close()
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        with SqliteStudyStore(path) as store:
+            cells = store.cells("s")
+            assert len(cells) == 2 * rounds
+            assert all(store.has_results("s", cell) for cell in cells)
+            assert all(
+                lease.status == "committed" for lease in store.leases("s")
+            )
+
+
 class TestOpenStore:
     def test_routing_by_suffix(self, tmp_path):
         assert isinstance(open_store(tmp_path / "x.db"), SqliteStudyStore)
