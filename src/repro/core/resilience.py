@@ -450,9 +450,16 @@ class ResilientExecutor(EvaluationExecutor):
         failed = bool(getattr(outcome.run, "failed", False))
         if not failed:
             key = config_key(outcome.config)
-            if self._breaker.get(key, 0) >= self.policy.breaker_threshold:
+            if (
+                self.policy.breaker_cooldown_seconds is not None
+                and self._breaker.get(key, 0) >= self.policy.breaker_threshold
+            ):
                 # A successful half-open probe: the configuration
-                # recovered, re-close the circuit.
+                # recovered, re-close the circuit.  Classic mode
+                # (cooldown None) never issues probes, so a success
+                # here is an evaluation that was already in flight
+                # when the circuit opened — it must not re-close a
+                # circuit documented to stay open for the whole run.
                 self._breaker[key] = 0
                 self._breaker_opened.pop(key, None)
                 self.stats["circuit_closes"] += 1

@@ -572,6 +572,17 @@ class CampaignRunner:
                     )
                 while len(procs) < min(self.n_jobs, len(pending)):
                     if spawned >= max_spawns:
+                        # Tear the fleet down before reporting failure:
+                        # orphaned children would keep claiming cells
+                        # and writing to the store after the supervisor
+                        # declared the campaign dead.
+                        for proc in procs.values():
+                            proc.terminate()
+                        for proc in procs.values():
+                            proc.join(timeout=5.0)
+                            if proc.is_alive():
+                                proc.kill()
+                                proc.join()
                         raise StudyError(
                             spec.study,
                             [

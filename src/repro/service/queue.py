@@ -220,19 +220,22 @@ class CellQueue:
 class _Heartbeat(threading.Thread):
     """Renew one lease every heartbeat interval until stopped.
 
-    Runs against its *own* store handle (SQLite connections are bound
-    to their creating thread).  A stale renewal stops the beat and
-    flags the worker; transient store errors are retried on the next
-    beat — the deadline has two missed beats of slack by construction.
+    Opens its *own* store handle inside the thread — SQLite connections
+    are bound to their creating thread, so renewing through a handle
+    the worker opened would raise on every beat and the lease would
+    silently expire under a live worker.  A stale renewal stops the
+    beat and flags the worker; transient store errors (including a
+    failed open) are retried on the next beat — the deadline has two
+    missed beats of slack by construction.
     """
 
     def __init__(
-        self, store: StudyStore, lease: Lease, policy: QueuePolicy
+        self, store_spec: str, lease: Lease, policy: QueuePolicy
     ) -> None:
         super().__init__(
             name=f"lease-heartbeat-{lease.cell or 'root'}", daemon=True
         )
-        self._store = store
+        self._store_spec = store_spec
         self._policy = policy
         # Not named _stop: threading.Thread owns a private _stop method
         # and shadowing it breaks join() on CPython.
@@ -242,22 +245,32 @@ class _Heartbeat(threading.Thread):
 
     def run(self) -> None:
         interval = self._policy.heartbeat_interval()
-        while not self._halt.wait(interval):
-            try:
-                self.lease = self._store.renew_lease(
-                    self.lease, self._policy.ttl_seconds
-                )
-            except StaleLeaseError:
-                self.stale = True
-                obs_runtime.current().tracer.event(
-                    "lease.heartbeat_stale",
-                    cell=self.lease.cell,
-                    worker=self.lease.owner,
-                    token=self.lease.token,
-                )
-                return
-            except Exception:  # noqa: BLE001 - retried next beat
-                _count("lease.heartbeat_errors")
+        store: StudyStore | None = None
+        try:
+            while not self._halt.wait(interval):
+                try:
+                    if store is None:
+                        store = open_store(self._store_spec)
+                    self.lease = store.renew_lease(
+                        self.lease, self._policy.ttl_seconds
+                    )
+                except StaleLeaseError:
+                    self.stale = True
+                    obs_runtime.current().tracer.event(
+                        "lease.heartbeat_stale",
+                        cell=self.lease.cell,
+                        worker=self.lease.owner,
+                        token=self.lease.token,
+                    )
+                    return
+                except Exception:  # noqa: BLE001 - retried next beat
+                    _count("lease.heartbeat_errors")
+        finally:
+            if store is not None:
+                try:
+                    store.close()
+                except Exception:  # noqa: BLE001 - daemon-thread exit
+                    pass
 
     def stop(self) -> None:
         self._halt.set()
@@ -326,7 +339,6 @@ def run_worker(
         specs, labels, cell_fn, study = cells
     by_label = dict(zip(labels, specs))
     store = open_store(spec.store)
-    heartbeat_store = open_store(spec.store)
     queue = CellQueue(store, study, labels, policy)
     report = WorkerReport(owner=owner)
     ctx = obs_runtime.current()
@@ -369,7 +381,7 @@ def run_worker(
                 token=lease.token,
             )
             continue
-        heartbeat = _Heartbeat(heartbeat_store, lease, policy)
+        heartbeat = _Heartbeat(spec.store, lease, policy)
         heartbeat.start()
         ctx.tracer.event(
             "worker.cell_start",
@@ -448,7 +460,6 @@ def run_worker(
         drained=report.drained,
     )
     store.close()
-    heartbeat_store.close()
     return report
 
 

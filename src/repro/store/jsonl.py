@@ -455,8 +455,29 @@ class JsonlStudyStore(StudyStore):
             stem = path.name[: -len(f"lease-{match.group(1)}.json")].rstrip(".")
             by_stem.setdefault(stem, []).append((int(match.group(1)), path))
         for files in by_stem.values():
-            for _, path in sorted(files)[:-1]:
+            ordered = sorted(files)
+            # Keep everything from the highest *readable* lease up: the
+            # top token file alone may be a torn, unreadable claim, and
+            # deleting the readable record below it would erase the
+            # cell's attempts counter and last-failure reason (the
+            # poisoned-cell quarantine bound).  Files above the
+            # readable lease are burned tokens _read_lease skips, but
+            # the top one must survive so token monotonicity holds.
+            keep_from = len(ordered) - 1
+            for i in range(len(ordered) - 1, -1, -1):
+                if self._readable_lease(ordered[i][1]):
+                    keep_from = i
+                    break
+            for _, path in ordered[:keep_from]:
                 try:
                     path.unlink()
                 except OSError:
                     pass
+
+    @staticmethod
+    def _readable_lease(path: Path) -> bool:
+        try:
+            Lease.from_dict(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return False
+        return True

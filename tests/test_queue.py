@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 
 import pytest
 
@@ -161,6 +162,28 @@ class TestJsonlLeaseFiles:
             assert len(files) == 1
             current = store.read_lease(STUDY, "a")
             assert (current.owner, current.token) == ("w3", lease.token)
+
+    def test_vacuum_keeps_the_readable_lease_under_a_torn_claim(
+        self, tmp_path
+    ):
+        # The top token file can be a torn claim (created, JSON never
+        # landed).  vacuum must keep the highest *readable* lease too —
+        # deleting it would erase the cell's attempts counter and last
+        # failure reason, resetting the poisoned-cell quarantine bound.
+        with JsonlStudyStore(tmp_path / "s") as store:
+            store.acquire_lease(STUDY, "a", "w1", 0.01, now=1000.0)
+            lease = store.acquire_lease(STUDY, "a", "w2", 30.0, now=2000.0)
+            store.release_lease(lease, reason="flaky")
+            store._lease_path("a", lease.token + 1).write_text("")
+            store.vacuum()
+            current = store.read_lease(STUDY, "a")
+            assert current is not None
+            assert (current.owner, current.token) == ("w2", lease.token)
+            assert (current.attempts, current.reason) == (2, "flaky")
+            # The torn top file survives so tokens stay monotonic.
+            again = store.acquire_lease(STUDY, "a", "w3", 30.0, now=3000.0)
+            assert again.token == lease.token + 2
+            assert again.attempts == 3
 
 
 class TestQueuePolicy:
@@ -360,6 +383,61 @@ class TestRunWorker:
         with open_store(str(db)) as store:
             assert store.read_lease(STUDY, "a").status == "committed"
             assert store.read_lease(STUDY, "b") is None
+
+    @pytest.mark.parametrize("store_name", ["q.db", "store-dir"])
+    def test_heartbeat_keeps_a_slow_cell_leased_past_the_ttl(
+        self, tmp_path, store_name
+    ):
+        # Regression: renewals must run on the heartbeat thread's *own*
+        # store handle.  A SQLite connection shared from the worker's
+        # thread raises on every renewal (sqlite3 binds connections to
+        # their creating thread), the errors are swallowed, and a live
+        # worker's lease silently expires — a concurrent claimant then
+        # reclaims the cell mid-run and the worker's commit is dropped
+        # as stale.
+        store_spec = tmp_path / store_name
+        ttl = 0.5
+        spec = _worker_spec(store_spec, lease_ttl_seconds=ttl)
+        calls: list[str] = []
+        inner = _make_cell_fn(store_spec, calls)
+        started = threading.Event()
+
+        def slow_cell_fn(cell):
+            started.set()
+            time.sleep(2.5 * ttl)  # only heartbeats keep the lease alive
+            inner(cell)
+
+        specs = [_CellSpec("a")]
+        result: dict[str, WorkerReport] = {}
+
+        def drive():
+            result["report"] = run_worker(
+                spec, "w1", cells=(specs, ["a"], slow_cell_fn, STUDY)
+            )
+
+        worker = threading.Thread(target=drive)
+        worker.start()
+        assert started.wait(10.0)
+        # A rival polling for the cell must never see the lease expire.
+        reclaimed = None
+        with open_store(str(store_spec)) as rival_store:
+            rival = CellQueue(
+                rival_store, STUDY, ["a"], QueuePolicy(ttl_seconds=ttl)
+            )
+            while worker.is_alive():
+                reclaimed = rival.claim_next("w2")
+                if reclaimed is not None:
+                    break
+                time.sleep(0.05)
+        worker.join()
+        assert reclaimed is None
+        report = result["report"]
+        assert report.committed == ["a"]
+        assert not report.stale_drops
+        with open_store(str(store_spec)) as store:
+            lease = store.read_lease(STUDY, "a")
+            assert (lease.status, lease.owner) == ("committed", "w1")
+            assert lease.attempts == 1  # never reclaimed
 
     def test_two_workers_split_the_cells(self, tmp_path):
         db = tmp_path / "q.db"

@@ -220,6 +220,23 @@ class TestCircuitBreaker:
         assert ex.wait_one().run.failure_reason.startswith("circuit_open")
         assert len(objective.calls) == 1
 
+    def test_in_flight_success_does_not_reclose_without_cooldown(self):
+        # An evaluation submitted before the circuit opened can still
+        # succeed afterwards; in classic mode (no cooldown — no probes)
+        # that straggler must not reset the breaker: the circuit stays
+        # open for the rest of the run.
+        objective = FlakyObjective(fail_first=1, reason="scheduling: full")
+        policy = RetryPolicy(breaker_threshold=1)  # cooldown defaults None
+        ex = _resilient(objective, policy, seed=0)
+        ex.submit(0, {"x": 1}, seed=0)  # will fail: opens the circuit
+        ex.submit(1, {"x": 1}, seed=1)  # in flight before it opened
+        assert ex.wait_one().run.failed
+        assert not ex.wait_one().run.failed  # the straggler surfaces...
+        assert ex.stats["circuit_closes"] == 0  # ...but never re-closes
+        ex.submit(2, {"x": 1}, seed=2)
+        assert ex.wait_one().run.failure_reason.startswith("circuit_open")
+        assert len(objective.calls) == 2
+
     def _half_open_executor(self, objective):
         """Breaker at 1 with a 10s cooldown and a settable clock."""
         policy = RetryPolicy(
