@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import math
 import operator as operator_mod
+import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Sequence
 
 import numpy as np
@@ -301,6 +303,10 @@ class AnalyticBatchModel:
         # Grouping-skew lookup tables, grown lazily: table[g][n] is the
         # scalar effective_parallelism(g, n); index 0 is unused.
         self._par_tables: dict[Grouping, np.ndarray] = {}
+        #: How many times a lookup table was (re)built — regression
+        #: telemetry for the screener-reuse fix (tables grow
+        #: geometrically, so this stays O(log n_max), not O(rounds)).
+        self.table_constructions = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -350,12 +356,19 @@ class AnalyticBatchModel:
     def _table(self, grouping: Grouping, n_max: int) -> np.ndarray:
         table = self._par_tables.get(grouping)
         if table is None or table.shape[0] <= n_max:
+            # Grow geometrically: a hint ceiling that creeps upward one
+            # step per ask round must not rebuild the table every call.
+            # Entries are pure functions of n, so regrowing is exact.
+            size = n_max
+            if table is not None:
+                size = max(size, 2 * (table.shape[0] - 1))
             values = [math.nan]
             values.extend(
-                effective_parallelism(grouping, n) for n in range(1, n_max + 1)
+                effective_parallelism(grouping, n) for n in range(1, size + 1)
             )
             table = np.asarray(values, dtype=np.float64)
             self._par_tables[grouping] = table
+            self.table_constructions += 1
         return table
 
     def _extract(
@@ -702,6 +715,45 @@ class AnalyticBatchModel:
         )
 
 
+#: Screener model reuse: optimizer factories build a fresh screener per
+#: pass, but the (topology, cluster, calibration) triple — and hence the
+#: batch model with its grouping tables — is identical across passes and
+#: ask rounds.  A small LRU keyed by object identity (entries hold
+#: strong references, so the ids stay valid while cached) hands every
+#: screener for the same deployment the same shared model.
+_SCREENER_CACHE_SIZE = 32
+_screener_lock = threading.Lock()
+_screener_models: OrderedDict[
+    tuple[int, int],
+    tuple[Topology, ClusterSpec, CalibrationParams | None, AnalyticBatchModel],
+] = OrderedDict()
+
+
+def _screener_model(
+    topology: Topology,
+    cluster: ClusterSpec,
+    calibration: CalibrationParams | None,
+) -> AnalyticBatchModel:
+    key = (id(topology), id(cluster))
+    with _screener_lock:
+        entry = _screener_models.get(key)
+        if entry is not None:
+            cached_topo, cached_cluster, cached_cal, model = entry
+            if (
+                cached_topo is topology
+                and cached_cluster is cluster
+                and cached_cal == calibration
+            ):
+                _screener_models.move_to_end(key)
+                return model
+        model = AnalyticBatchModel(topology, cluster, calibration)
+        _screener_models[key] = (topology, cluster, calibration, model)
+        _screener_models.move_to_end(key)
+        while len(_screener_models) > _SCREENER_CACHE_SIZE:
+            _screener_models.popitem(last=False)
+        return model
+
+
 def make_analytic_screener(
     codec: object,
     topology: Topology,
@@ -720,8 +772,13 @@ def make_analytic_screener(
     ``codec`` is any :class:`repro.storm.spaces.ConfigCodec`; its
     ``space`` decodes rows to parameter dicts and its ``decode`` maps
     those to :class:`TopologyConfig`.
+
+    Screeners for the same (topology, cluster, calibration) share one
+    :class:`AnalyticBatchModel`, so repeat passes reuse the
+    already-built grouping tables instead of rebuilding them per ask
+    round.
     """
-    batch_model = AnalyticBatchModel(topology, cluster, calibration)
+    batch_model = _screener_model(topology, cluster, calibration)
     space = codec.space  # type: ignore[attr-defined]
 
     def screen(candidates: np.ndarray) -> np.ndarray:

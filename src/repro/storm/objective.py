@@ -229,6 +229,7 @@ class StormObjective:
             if key is not None:
                 with self._lock:
                     self._cache_put(key, run)
+        self._publish_cache_gauges(ctx)
         return run
 
     @property
@@ -247,6 +248,7 @@ class StormObjective:
         params_list: Sequence[Mapping[str, object]],
         *,
         seeds: Sequence[int | None] | None = None,
+        mechanics_runs: Sequence[MeasuredRun] | None = None,
     ) -> list[MeasuredRun]:
         """Measure many proposals in one pass; returns runs in order.
 
@@ -258,6 +260,11 @@ class StormObjective:
         supports it.  Duplicate proposals within a batch are evaluated
         once and counted as a miss then hits, exactly as a serial loop
         over the memo cache would.
+
+        ``mechanics_runs`` optionally supplies precomputed noise-free
+        mechanics, one per proposal (the cross-cell broker's fused
+        packed dispatch); cache-hit rows ignore theirs, miss rows hand
+        theirs to the engine so no per-cell mechanics pass runs at all.
         """
         params_list = list(params_list)
         n = len(params_list)
@@ -265,6 +272,8 @@ class StormObjective:
             seeds = list(seeds)
             if len(seeds) != n:
                 raise ValueError("seeds must match params_list in length")
+        if mechanics_runs is not None and len(mechanics_runs) != n:
+            raise ValueError("mechanics_runs must match params_list in length")
         if n == 0:
             return []
         ctx = obs_runtime.current()
@@ -323,14 +332,14 @@ class StormObjective:
                     self.n_engine_evaluations += len(misses)
                 engine_batch = getattr(self.engine, "evaluate_batch", None)
                 if callable(engine_batch):
+                    kwargs: dict[str, object] = {"seeds": miss_seeds}
                     if self.schedule is not None:
-                        runs = engine_batch(
-                            configs,
-                            seeds=miss_seeds,
-                            workload_time_s=self.workload_time_s,
-                        )
-                    else:
-                        runs = engine_batch(configs, seeds=miss_seeds)
+                        kwargs["workload_time_s"] = self.workload_time_s
+                    if mechanics_runs is not None:
+                        kwargs["mechanics_runs"] = [
+                            mechanics_runs[i] for i in misses
+                        ]
+                    runs = engine_batch(configs, **kwargs)
                 else:
                     runs = [
                         self._engine_evaluate(
@@ -356,6 +365,7 @@ class StormObjective:
             for i, j in dup_of.items():
                 results[i] = results[j]
         assert all(run is not None for run in results)
+        self._publish_cache_gauges(ctx)
         return results  # type: ignore[return-value]
 
     def measure_config(
@@ -398,6 +408,30 @@ class StormObjective:
                 "evictions": self.cache_evictions,
                 "max_entries": self.cache_max_entries,
             }
+
+    def _publish_cache_gauges(self, ctx) -> None:
+        """Mirror :meth:`cache_info` into obs gauges after each measure.
+
+        Gauges (not counters) because the underlying tallies are
+        cumulative already; repeated sets are idempotent and merge as a
+        max across processes.
+        """
+        if not self.memoize:
+            return
+        with self._lock:
+            hits = self.cache_hits
+            misses = self.cache_misses
+            evictions = self.cache_evictions
+            size = len(self._cache)
+        metrics = ctx.metrics
+        metrics.gauge("objective.cache.hits").set(float(hits))
+        metrics.gauge("objective.cache.misses").set(float(misses))
+        metrics.gauge("objective.cache.evictions").set(float(evictions))
+        metrics.gauge("objective.cache.size").set(float(size))
+        total = hits + misses
+        metrics.gauge("objective.cache.hit_ratio").set(
+            hits / total if total else 0.0
+        )
 
     def clear_cache(self) -> None:
         with self._lock:

@@ -1,0 +1,1005 @@
+"""Cross-cell packed evaluation: one tensor pass over a whole study grid.
+
+:class:`~repro.storm.analytic_batch.AnalyticBatchModel` (PR 5)
+vectorized evaluation *within* one (topology, condition) cell.  A
+Figure-4/5 study still pays one NumPy dispatch per cell per optimizer
+round — dozens of small ``(N, D)`` passes instead of a handful of big
+ones.  This module fuses them: :class:`PackedTopologySet` packs M
+heterogeneous cells (different topologies, clusters, calibrations,
+workload schedules) into padded ``(M, O_max, ...)`` operator/edge
+tensors with validity masks, and :class:`PackedBatchModel` evaluates an
+arbitrary mix of rows — each row a (cell, config) pair — in **one**
+masked NumPy pass via :meth:`PackedBatchModel.evaluate_cells`.
+
+Bit-compatibility contract
+--------------------------
+Every row is **bit-identical** to evaluating the same configuration
+through that cell's own ``AnalyticBatchModel`` (and therefore to the
+scalar engine; property-tested in ``tests/test_packed.py``).  The
+packing preserves the scalar operation order by construction:
+
+* Padded operators/edges/sources carry exactly-zero cost, volume and
+  byte coefficients, and sit at the *end* of their axis — adding
+  ``+0.0`` at the tail of a ``np.cumsum`` scan leaves every partial sum
+  bit-identical.
+* Per-cell constants (core speed, calibration knobs, ack demand) are
+  gathered into per-row vectors; ``x op row_constant`` is elementwise,
+  so values match the per-cell broadcast exactly.
+* Workload load/skew multipliers are applied unconditionally with a
+  per-row factor that is ``1.0`` for cells without a schedule —
+  ``x * 1.0`` is an exact IEEE-754 identity, matching the scalar
+  engine's *conditional* multiply bit-for-bit.
+* max/argmax reductions see padded entries as ``-inf`` (max is exact
+  and order-independent; padding at the tail preserves argmax's
+  first-max-wins tie-break).
+* Grouping skew tables are fused per (cell, operator): the combined
+  table entry is ``min`` over the operator's distinct incoming
+  groupings of ``effective_parallelism(g, n)`` — a min over the same
+  floats the per-cell model gathers, so the single fused gather equals
+  the per-grouping gather-then-minimum loop.
+
+Optional JIT kernel
+-------------------
+``engine="packed-jit"`` (or ``REPRO_JIT=1``) compiles the stage/layer
+inner kernel with numba when it is importable and silently falls back
+to the pure-NumPy path otherwise.  The kernel replays the exact same
+elementwise operation sequence, so it stays bit-compatible
+(parity-tested; the test skips cleanly when numba is absent).
+"""
+
+from __future__ import annotations
+
+import math
+import operator as operator_mod
+import os
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.obs import runtime as obs_runtime
+from repro.storm.acker import AckerModel
+from repro.storm.analytic import CalibrationParams, CapacityBreakdown
+from repro.storm.analytic_batch import _CONFIG_SCALARS, CAP_NAMES
+from repro.storm.cluster import ClusterSpec
+from repro.storm.config import TopologyConfig
+from repro.storm.grouping import Grouping, effective_parallelism, remote_fraction
+from repro.storm.metrics import MeasuredRun
+from repro.storm.schedule import WorkloadSchedule
+from repro.storm.topology import Topology
+
+__all__ = [
+    "PACKED_ENGINES",
+    "CellPack",
+    "PackedTopologySet",
+    "PackedEvaluation",
+    "PackedBatchModel",
+    "jit_available",
+    "pack_cells",
+]
+
+#: Engine names accepted by :class:`PackedBatchModel`.
+PACKED_ENGINES = ("packed", "packed-jit")
+
+
+
+# ----------------------------------------------------------------------
+# Optional numba JIT kernel
+# ----------------------------------------------------------------------
+def _stage_layer_core(
+    work: np.ndarray,
+    parallelism: np.ndarray,
+    core_speed: np.ndarray,
+    eta: np.ndarray,
+    stage_overhead: np.ndarray,
+    lid: np.ndarray,
+    n_layers: np.ndarray,
+    n_ops: np.ndarray,
+    max_layers: int,
+    stage_out: np.ndarray,
+    t_max_out: np.ndarray,
+    sum_layers_out: np.ndarray,
+    bottleneck_out: np.ndarray,
+) -> None:
+    """Stage times, per-row stage max/argmax, and layered latency sum.
+
+    Plain-Python loop nest replaying the vectorized expressions one
+    element at a time in the same order — numba-compilable as-is, and
+    bit-identical to the NumPy path (``min``/``max`` are exact, the
+    layer sum is the same left-to-right accumulation as ``np.cumsum``).
+    """
+    n_rows = work.shape[0]
+    for r in range(n_rows):
+        cs = core_speed[r]
+        e = eta[r]
+        so = stage_overhead[r]
+        d = n_ops[r]
+        layer_max = np.full(max_layers, -np.inf)
+        t_max = -np.inf
+        b_idx = 0
+        for j in range(d):
+            p = parallelism[r, j]
+            if p < 1e-12:
+                p = 1e-12
+            rate = p * cs * e
+            w = work[r, j]
+            if w > 0.0:
+                ct = w / rate
+            else:
+                ct = 0.0
+            st = ct + so
+            stage_out[r, j] = st
+            if st > t_max:
+                t_max = st
+                b_idx = j
+            lj = lid[r, j]
+            if st > layer_max[lj]:
+                layer_max[lj] = st
+        s = 0.0
+        for layer in range(n_layers[r]):
+            s += layer_max[layer]
+        t_max_out[r] = t_max
+        sum_layers_out[r] = s
+        bottleneck_out[r] = b_idx
+
+
+_JIT_KERNEL: Callable[..., None] | None = None
+_JIT_STATE = "cold"  # "cold" | "ready" | "unavailable"
+
+
+def jit_available() -> bool:
+    """True when numba is importable (the JIT leg can run)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _compiled_kernel() -> Callable[..., None] | None:
+    """The numba-compiled stage/layer kernel, or None when unavailable."""
+    global _JIT_KERNEL, _JIT_STATE
+    if _JIT_STATE == "cold":
+        try:
+            import numba
+
+            _JIT_KERNEL = numba.njit(cache=False)(_stage_layer_core)
+            _JIT_STATE = "ready"
+        except Exception:
+            _JIT_KERNEL = None
+            _JIT_STATE = "unavailable"
+    return _JIT_KERNEL
+
+
+# ----------------------------------------------------------------------
+# Per-cell precompute
+# ----------------------------------------------------------------------
+class CellPack:
+    """One cell's topology/cluster/calibration constants, pack-ready.
+
+    Mirrors ``AnalyticBatchModel.__init__``'s precompute as flat 1-D
+    arrays plus scalar knobs, so a :class:`PackedTopologySet` can stack
+    many cells into padded tensors without re-walking any topology.
+    Building a pack is the expensive step; reuse packs across set
+    rebuilds (the cross-cell broker caches them per objective).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cluster: ClusterSpec,
+        calibration: CalibrationParams | None = None,
+        schedule: WorkloadSchedule | None = None,
+    ) -> None:
+        self.topology = topology
+        self.cluster = cluster
+        self.calibration = calibration or CalibrationParams()
+        self.schedule = schedule
+        cal = self.calibration
+        machine = cluster.machine
+
+        self.order: tuple[str, ...] = tuple(topology.topological_order())
+        self.n_ops = len(self.order)
+        volumes = topology.volumes()
+        ops = [topology.operator(name) for name in self.order]
+        self.cost = np.asarray([float(op.cost) for op in ops], dtype=np.float64)
+        self.volume = np.asarray(
+            [float(volumes[name]) for name in self.order], dtype=np.float64
+        )
+        self.contentious = np.asarray(
+            [bool(op.contentious) for op in ops], dtype=bool
+        )
+        self.default_hints = [int(op.default_hint) for op in ops]
+        layer_of = {name: topology.layer_of(name) for name in self.order}
+        self.n_layers = max(layer_of.values()) + 1 if self.order else 0
+        self.layer_ids = np.asarray(
+            [layer_of[name] for name in self.order], dtype=np.int64
+        )
+        # Distinct incoming groupings per operator, first-seen order —
+        # the key the set fuses into one combined parallelism table.
+        self.grouping_keys: list[tuple[Grouping, ...] | None] = []
+        for name in self.order:
+            gs = [topology.edge(p, name).grouping for p in topology.parents(name)]
+            self.grouping_keys.append(tuple(dict.fromkeys(gs)) if gs else None)
+        self.grouped = np.asarray(
+            [key is not None for key in self.grouping_keys], dtype=bool
+        )
+        # Network demand coefficients (1-D; the set pads/stacks them).
+        edge_terms = [
+            (
+                float(volumes[edge.src]),
+                float(topology.operator(edge.src).selectivity),
+                float(remote_fraction(edge.grouping, cluster.n_machines)),
+                float(topology.operator(edge.src).tuple_bytes),
+            )
+            for edge in topology.edges
+        ]
+        edge_matrix = np.asarray(edge_terms, dtype=np.float64).reshape(-1, 4)
+        self.edge_vol = edge_matrix[:, 0]
+        self.edge_sel = edge_matrix[:, 1]
+        self.edge_frac = edge_matrix[:, 2]
+        self.edge_bytes = edge_matrix[:, 3]
+        self.n_edges = edge_matrix.shape[0]
+        ingest_terms = [
+            (float(volumes[s]), float(topology.operator(s).tuple_bytes))
+            for s in topology.sources()
+        ]
+        ingest_matrix = np.asarray(ingest_terms, dtype=np.float64).reshape(-1, 2)
+        self.ingest_vol = ingest_matrix[:, 0]
+        self.ingest_bytes = ingest_matrix[:, 1]
+        self.n_sources = ingest_matrix.shape[0]
+        self.inflight_unit = sum(
+            volumes[name] * topology.operator(name).tuple_bytes
+            for name in self.order
+        )
+        self.ack_units = AckerModel(
+            ack_cost_units=cal.ack_cost_units
+        ).demand_units_per_source_tuple(topology)
+
+        # Cluster / calibration scalars, one slot per packed vector.
+        self.n_machines = int(cluster.n_machines)
+        self.cores = int(machine.cores)
+        self.core_speed = float(machine.core_speed)
+        self.workers_per_machine = int(cluster.workers_per_machine)
+        self.total_workers = int(cluster.total_workers)
+        self.total_compute_rate = float(cluster.total_compute_rate)
+        self.max_total_executors = int(cluster.max_total_executors)
+        self.nic_bytes_per_ms = float(machine.nic_bytes_per_ms)
+        self.stage_overhead_ms = float(cal.stage_overhead_ms)
+        self.batch_overhead_ms = float(cal.batch_overhead_ms)
+        self.batch_timeout_ms = float(cal.batch_timeout_ms)
+        self.context_switch_kappa = float(cal.context_switch_kappa)
+        self.per_task_cpu_overhead = float(cal.per_task_cpu_overhead)
+        self.pool_oversubscription_weight = float(cal.pool_oversubscription_weight)
+        self.receiver_tuples_per_ms = float(cal.receiver_tuples_per_ms)
+        self.per_task_memory_mb = float(cal.per_task_memory_mb)
+        self.wire = 1.0 + cal.wire_overhead
+        self.memory_budget_mb = machine.memory_mb * cal.usable_memory_fraction
+
+    def extract_hints(self, configs: list[TopologyConfig]) -> np.ndarray:
+        """Raw hint matrix for this cell (same fast path as the batch model)."""
+        n = len(configs)
+        d = self.n_ops
+        hints = None
+        if d > 1:
+            get_hints = operator_mod.itemgetter(*self.order)
+            try:
+                hints = np.array(
+                    [get_hints(c.parallelism_hints) for c in configs],
+                    dtype=np.int64,
+                ).reshape(n, d)
+            except (KeyError, TypeError, ValueError):
+                hints = None
+        if hints is None:
+            hints = np.empty((n, d), dtype=np.int64)
+            for i, config in enumerate(configs):
+                ph = config.parallelism_hints
+                row = hints[i]
+                for j, name in enumerate(self.order):
+                    hint = ph.get(name)
+                    row[j] = self.default_hints[j] if hint is None else hint
+        return hints
+
+
+# ----------------------------------------------------------------------
+# The packed set
+# ----------------------------------------------------------------------
+class PackedTopologySet:
+    """M heterogeneous cells stacked into padded ``(M, O_max, ...)`` tensors.
+
+    Cells are appended with :meth:`add`; the padded tensors are
+    (re)assembled lazily on first use after a membership change.  The
+    per-(cell, operator) grouping tables are fused into one ``(K, T)``
+    table shared across cells (``K`` distinct grouping combinations)
+    and grown geometrically as larger hints appear —
+    ``table_constructions`` counts rebuilds for the obs gauges.
+    """
+
+    def __init__(self, cells: Iterable[CellPack] = ()) -> None:
+        self._cells: list[CellPack] = []
+        self._dirty = True
+        # Combo 0 is always the "no incoming grouping" identity table
+        # (parallelism = float(hint)); padded operators also point here.
+        self._combo_index: dict[tuple[Grouping, ...] | None, int] = {None: 0}
+        self._combo_table: np.ndarray | None = None
+        self.table_constructions = 0
+        for pack in cells:
+            self.add(pack)
+
+    # -- membership ----------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def cell(self, m: int) -> CellPack:
+        return self._cells[m]
+
+    def add(self, pack: CellPack) -> int:
+        """Append a cell; returns its index."""
+        for key in pack.grouping_keys:
+            if key is not None and key not in self._combo_index:
+                self._combo_index[key] = len(self._combo_index)
+                self._combo_table = None  # force a rebuild with the new row
+        self._cells.append(pack)
+        self._dirty = True
+        return len(self._cells) - 1
+
+    # -- fused grouping tables -----------------------------------------
+    def _ensure_tables(self, n_max: int) -> np.ndarray:
+        """``(K, T)`` fused tables; entry ``[k, n]`` is the parallelism
+        bound for ``n`` tasks under combo ``k`` (min over its groupings,
+        or ``float(n)`` for the identity combo).  Grown geometrically so
+        a slowly rising ``n_max`` does not rebuild every dispatch.
+        """
+        table = self._combo_table
+        if table is not None and table.shape[1] > n_max:
+            return table
+        size = n_max
+        if table is not None:
+            size = max(size, 2 * (table.shape[1] - 1))
+        combos = sorted(self._combo_index.items(), key=lambda kv: kv[1])
+        rows = np.empty((len(combos), size + 1), dtype=np.float64)
+        for key, k in combos:
+            rows[k, 0] = math.nan
+            if key is None:
+                rows[k, 1:] = np.arange(1, size + 1, dtype=np.float64)
+            else:
+                for n in range(1, size + 1):
+                    rows[k, n] = min(
+                        effective_parallelism(g, n) for g in key
+                    )
+        self._combo_table = rows
+        self.table_constructions += 1
+        return rows
+
+    # -- padded tensor assembly ----------------------------------------
+    def _ensure_assembled(self) -> None:
+        if not self._dirty:
+            return
+        cells = self._cells
+        m_count = len(cells)
+        o_max = max((c.n_ops for c in cells), default=0)
+        e_max = max((c.n_edges for c in cells), default=0)
+        s_max = max((c.n_sources for c in cells), default=0)
+        self._O = o_max
+        self._E = e_max
+        self._S = s_max
+        self._L = max((c.n_layers for c in cells), default=0)
+
+        self._op_valid = np.zeros((m_count, o_max), dtype=bool)
+        self._cost = np.zeros((m_count, o_max), dtype=np.float64)
+        self._volume = np.zeros((m_count, o_max), dtype=np.float64)
+        self._contentious = np.zeros((m_count, o_max), dtype=bool)
+        self._combo_idx = np.zeros((m_count, o_max), dtype=np.intp)
+        self._grouped = np.zeros((m_count, o_max), dtype=bool)
+        self._lid = np.full((m_count, o_max), -1, dtype=np.int64)
+        self._edge_vol = np.zeros((m_count, e_max), dtype=np.float64)
+        self._edge_sel = np.zeros((m_count, e_max), dtype=np.float64)
+        self._edge_frac = np.zeros((m_count, e_max), dtype=np.float64)
+        self._edge_bytes = np.zeros((m_count, e_max), dtype=np.float64)
+        self._ingest_vol = np.zeros((m_count, s_max), dtype=np.float64)
+        self._ingest_bytes = np.zeros((m_count, s_max), dtype=np.float64)
+
+        def vec(attr: str, dtype: type) -> np.ndarray:
+            return np.asarray([getattr(c, attr) for c in cells], dtype=dtype)
+
+        self._n_ops = vec("n_ops", np.int64)
+        self._n_layer_count = vec("n_layers", np.int64)
+        self._n_machines = vec("n_machines", np.int64)
+        self._cores = vec("cores", np.int64)
+        self._core_speed = vec("core_speed", np.float64)
+        self._wpm = vec("workers_per_machine", np.int64)
+        self._total_workers = vec("total_workers", np.int64)
+        self._compute_rate = vec("total_compute_rate", np.float64)
+        self._max_total_executors = vec("max_total_executors", np.int64)
+        self._nic = vec("nic_bytes_per_ms", np.float64)
+        self._stage_overhead = vec("stage_overhead_ms", np.float64)
+        self._batch_overhead = vec("batch_overhead_ms", np.float64)
+        self._batch_timeout = vec("batch_timeout_ms", np.float64)
+        self._kappa = vec("context_switch_kappa", np.float64)
+        self._pt_cpu = vec("per_task_cpu_overhead", np.float64)
+        self._pool_w = vec("pool_oversubscription_weight", np.float64)
+        self._rec_tpms = vec("receiver_tuples_per_ms", np.float64)
+        self._per_task_mem = vec("per_task_memory_mb", np.float64)
+        self._wire = vec("wire", np.float64)
+        self._ack_units = vec("ack_units", np.float64)
+        self._inflight_unit = vec("inflight_unit", np.float64)
+        self._budget = vec("memory_budget_mb", np.float64)
+
+        for m, pack in enumerate(cells):
+            d = pack.n_ops
+            self._op_valid[m, :d] = True
+            self._cost[m, :d] = pack.cost
+            self._volume[m, :d] = pack.volume
+            self._contentious[m, :d] = pack.contentious
+            self._grouped[m, :d] = pack.grouped
+            self._lid[m, :d] = pack.layer_ids
+            for j, key in enumerate(pack.grouping_keys):
+                self._combo_idx[m, j] = self._combo_index[key]
+            e = pack.n_edges
+            self._edge_vol[m, :e] = pack.edge_vol
+            self._edge_sel[m, :e] = pack.edge_sel
+            self._edge_frac[m, :e] = pack.edge_frac
+            self._edge_bytes[m, :e] = pack.edge_bytes
+            s = pack.n_sources
+            self._ingest_vol[m, :s] = pack.ingest_vol
+            self._ingest_bytes[m, :s] = pack.ingest_bytes
+        self._dirty = False
+        obs_runtime.current().metrics.counter("pack.builds").inc()
+
+
+def pack_cells(
+    parts: Iterable[
+        CellPack
+        | tuple[Topology, ClusterSpec]
+        | tuple[Topology, ClusterSpec, CalibrationParams | None]
+        | tuple[
+            Topology,
+            ClusterSpec,
+            CalibrationParams | None,
+            WorkloadSchedule | None,
+        ]
+    ],
+) -> PackedTopologySet:
+    """Build a :class:`PackedTopologySet` from packs or spec tuples."""
+    packs = []
+    for part in parts:
+        if isinstance(part, CellPack):
+            packs.append(part)
+        else:
+            packs.append(CellPack(*part))
+    return PackedTopologySet(packs)
+
+
+# ----------------------------------------------------------------------
+# Packed evaluation result
+# ----------------------------------------------------------------------
+class PackedEvaluation:
+    """Result of one fused pass over R (cell, config) rows.
+
+    Row-wise mirror of
+    :class:`~repro.storm.analytic_batch.BatchEvaluation`: headline
+    vectors exposed directly, per-row :class:`MeasuredRun` materialized
+    on demand — bit-identical to each cell's own batch/scalar engines.
+    Per-batch scalars of the single-cell result (memory budget, executor
+    cap, timeout) become per-row vectors here.
+    """
+
+    def __init__(
+        self,
+        *,
+        cells: PackedTopologySet,
+        cell_indices: np.ndarray,
+        throughput_tps: np.ndarray,
+        failed_capacity: np.ndarray,
+        failed_latency: np.ndarray,
+        failed_memory: np.ndarray,
+        latency_ms: np.ndarray,
+        network_mb_per_worker_s: np.ndarray,
+        total_tasks: np.ndarray,
+        total_executors: np.ndarray,
+        total_work_ms: np.ndarray,
+        eta: np.ndarray,
+        caps: np.ndarray,
+        limiting_idx: np.ndarray,
+        bottleneck_idx: np.ndarray,
+        stage_times_ms: np.ndarray,
+        task_mb: np.ndarray,
+        data_mb: np.ndarray,
+        memory_budget_mb: np.ndarray,
+        max_total_executors: np.ndarray,
+        batch_timeout_ms: np.ndarray,
+    ) -> None:
+        self._cells = cells
+        self.cell_indices = cell_indices
+        self.throughput_tps = throughput_tps
+        self.failed_capacity = failed_capacity
+        self.failed_latency = failed_latency
+        self.failed_memory = failed_memory
+        self.failed = failed_capacity | failed_latency | failed_memory
+        self.latency_ms = latency_ms
+        self.network_mb_per_worker_s = network_mb_per_worker_s
+        self.total_tasks = total_tasks
+        self.total_executors = total_executors
+        self.total_work_ms = total_work_ms
+        self.eta = eta
+        self.caps = caps
+        self.limiting_idx = limiting_idx
+        self.bottleneck_idx = bottleneck_idx
+        self.stage_times_ms = stage_times_ms  # (R, O_max), row-major
+        self._task_mb = task_mb
+        self._data_mb = data_mb
+        self._memory_budget_mb = memory_budget_mb
+        self._max_total_executors = max_total_executors
+        self._batch_timeout_ms = batch_timeout_ms
+
+    def __len__(self) -> int:
+        return int(self.throughput_tps.shape[0])
+
+    def _order(self, i: int) -> tuple[str, ...]:
+        return self._cells.cell(int(self.cell_indices[i])).order
+
+    @property
+    def limiting_cap(self) -> list[str]:
+        return [
+            "" if self.failed[i] else CAP_NAMES[int(self.limiting_idx[i])]
+            for i in range(len(self))
+        ]
+
+    @property
+    def bottleneck(self) -> list[str]:
+        return [
+            "" if self.failed[i] else self._order(i)[int(self.bottleneck_idx[i])]
+            for i in range(len(self))
+        ]
+
+    def failure_reason(self, i: int) -> str:
+        if self.failed_capacity[i]:
+            return (
+                f"{int(self.total_executors[i])} executors exceed cluster "
+                f"capacity {int(self._max_total_executors[i])}"
+            )
+        if self.failed_latency[i]:
+            return (
+                f"batch latency {float(self.latency_ms[i]):.0f} ms exceeds "
+                f"the {float(self._batch_timeout_ms[i]):.0f} ms message "
+                "timeout (batches replay forever)"
+            )
+        if self.failed_memory[i]:
+            return (
+                f"memory exhausted: {float(self._task_mb[i]):.0f} MB task "
+                f"overhead + {float(self._data_mb[i]):.0f} MB in-flight "
+                f"data > {float(self._memory_budget_mb[i]):.0f} MB budget"
+            )
+        return ""
+
+    def run(self, i: int) -> MeasuredRun:
+        """Materialize row ``i`` as the scalar engine's ``MeasuredRun``."""
+        total_tasks = int(self.total_tasks[i])
+        if self.failed[i]:
+            return MeasuredRun.failure(self.failure_reason(i), total_tasks=total_tasks)
+        caps = CapacityBreakdown(
+            pipeline_fill=float(self.caps[0, i]),
+            bottleneck_stage=float(self.caps[1, i]),
+            cpu_saturation=float(self.caps[2, i]),
+            acker=float(self.caps[3, i]),
+            receiver=float(self.caps[4, i]),
+            nic=float(self.caps[5, i]),
+        )
+        stage_times = {
+            name: float(self.stage_times_ms[i, j])
+            for j, name in enumerate(self._order(i))
+        }
+        return MeasuredRun(
+            throughput_tps=float(self.throughput_tps[i]),
+            network_mb_per_worker_s=float(self.network_mb_per_worker_s[i]),
+            batch_latency_ms=float(self.latency_ms[i]),
+            total_tasks=total_tasks,
+            details={
+                "caps": caps,
+                "limiting_cap": CAP_NAMES[int(self.limiting_idx[i])],
+                "eta": float(self.eta[i]),
+                "stage_times_ms": stage_times,
+                "total_work_ms": float(self.total_work_ms[i]),
+                "total_executors": int(self.total_executors[i]),
+            },
+        )
+
+    def runs(self) -> list[MeasuredRun]:
+        return [self.run(i) for i in range(len(self))]
+
+
+# ----------------------------------------------------------------------
+# The packed model
+# ----------------------------------------------------------------------
+class PackedBatchModel:
+    """Evaluate an R-row (cell, config) matrix in one masked NumPy pass."""
+
+    def __init__(
+        self,
+        cells: PackedTopologySet,
+        engine: str | None = None,
+    ) -> None:
+        if engine is None:
+            engine = (
+                "packed-jit" if os.environ.get("REPRO_JIT") == "1" else "packed"
+            )
+        if engine not in PACKED_ENGINES:
+            raise ValueError(
+                f"unknown packed engine {engine!r}; expected one of "
+                f"{PACKED_ENGINES}"
+            )
+        self.cells = cells
+        self.engine = engine
+        self._kernel = _compiled_kernel() if engine == "packed-jit" else None
+        #: True when the numba kernel actually compiled (the "packed-jit"
+        #: engine silently degrades to pure NumPy when numba is absent).
+        self.jit_active = self._kernel is not None
+        if engine == "packed-jit" and not self.jit_active:
+            obs_runtime.current().metrics.counter("pack.jit_fallbacks").inc()
+
+    # -- public API ----------------------------------------------------
+    def evaluate_cells(
+        self,
+        cell_indices: Sequence[int],
+        configs: Sequence[TopologyConfig],
+        *,
+        workload_times_s: Sequence[float] | None = None,
+    ) -> PackedEvaluation:
+        """One fused pass: row ``i`` evaluates ``configs[i]`` on cell
+        ``cell_indices[i]`` (optionally at workload offset
+        ``workload_times_s[i]`` for cells with a schedule).
+        """
+        if len(cell_indices) != len(configs):
+            raise ValueError(
+                f"{len(cell_indices)} cell indices for {len(configs)} configs"
+            )
+        if workload_times_s is not None and len(workload_times_s) != len(configs):
+            raise ValueError(
+                f"{len(workload_times_s)} workload times for "
+                f"{len(configs)} configs"
+            )
+        ctx = obs_runtime.current()
+        started = time.perf_counter()
+        with ctx.tracer.span(
+            "engine.packed.evaluate_cells",
+            n_rows=len(configs),
+            n_cells=self.cells.n_cells,
+            engine=self.engine,
+        ) as span:
+            result = self._mechanics(
+                list(cell_indices), list(configs), workload_times_s
+            )
+            span.set_attribute("n_failed", int(result.failed.sum()))
+        seconds = time.perf_counter() - started
+        ctx.metrics.counter("pack.dispatches").inc()
+        ctx.metrics.histogram("pack.rows").record(float(len(configs)))
+        ctx.metrics.histogram("pack.seconds").record(seconds)
+        return result
+
+    def evaluate_cell(
+        self,
+        cell_index: int,
+        configs: Sequence[TopologyConfig],
+        *,
+        workload_time_s: float = 0.0,
+    ) -> PackedEvaluation:
+        """Single-cell convenience wrapper around :meth:`evaluate_cells`."""
+        n = len(configs)
+        return self.evaluate_cells(
+            [cell_index] * n,
+            configs,
+            workload_times_s=[workload_time_s] * n,
+        )
+
+    # -- internals -----------------------------------------------------
+    def _mechanics(
+        self,
+        cell_indices: list[int],
+        configs: list[TopologyConfig],
+        workload_times_s: Sequence[float] | None,
+    ) -> PackedEvaluation:
+        pset = self.cells
+        pset._ensure_assembled()
+        cell = np.asarray(cell_indices, dtype=np.intp)
+        n_rows = cell.shape[0]
+        o_max = pset._O
+        if n_rows == 0:
+            empty = np.empty(0)
+            empty_bool = np.empty(0, dtype=bool)
+            empty_int = np.empty(0, dtype=np.int64)
+            return PackedEvaluation(
+                cells=pset,
+                cell_indices=cell,
+                throughput_tps=empty,
+                failed_capacity=empty_bool,
+                failed_latency=empty_bool,
+                failed_memory=empty_bool,
+                latency_ms=empty,
+                network_mb_per_worker_s=empty,
+                total_tasks=empty_int,
+                total_executors=empty_int,
+                total_work_ms=empty,
+                eta=empty,
+                caps=np.empty((6, 0)),
+                limiting_idx=empty_int,
+                bottleneck_idx=empty_int,
+                stage_times_ms=np.empty((0, o_max)),
+                task_mb=empty,
+                data_mb=empty,
+                memory_budget_mb=empty,
+                max_total_executors=empty_int,
+                batch_timeout_ms=empty,
+            )
+
+        # Group rows by cell for the per-cell hint fast path.
+        groups: dict[int, list[int]] = {}
+        for i, m in enumerate(cell_indices):
+            groups.setdefault(int(m), []).append(i)
+
+        valid = pset._op_valid[cell]
+        raw_hints = np.zeros((n_rows, o_max), dtype=np.int64)
+        load = np.ones(n_rows, dtype=np.float64)
+        skew_factor = np.ones(n_rows, dtype=np.float64)
+        for m, idxs in groups.items():
+            pack = pset.cell(m)
+            sub = [configs[i] for i in idxs]
+            rows = np.asarray(idxs, dtype=np.intp)
+            raw_hints[np.ix_(rows, np.arange(pack.n_ops))] = pack.extract_hints(
+                sub
+            )
+            if pack.schedule is not None:
+                for i in idxs:
+                    t = 0.0 if workload_times_s is None else float(
+                        workload_times_s[i]
+                    )
+                    point = pack.schedule.at(t)
+                    load[i] = point.load
+                    if point.skew != 0.0:
+                        skew_factor[i] = 1.0 - point.skew
+
+        scalars = np.array(
+            [_CONFIG_SCALARS(c) for c in configs], dtype=np.int64
+        ).reshape(n_rows, 4)
+        batch_size = scalars[:, 0]
+        batch_parallelism = scalars[:, 1]
+        worker_threads = scalars[:, 2]
+        receiver_threads = scalars[:, 3]
+        raw_caps = [c.max_tasks for c in configs]
+        has_cap = np.array([cap is not None for cap in raw_caps], dtype=bool)
+        max_tasks = np.array(
+            [0 if cap is None else cap for cap in raw_caps], dtype=np.int64
+        )
+        n_ackers = np.fromiter(
+            (c.effective_ackers() for c in configs), dtype=np.int64, count=n_rows
+        )
+
+        # Hint normalization: padded columns scale to max(1, rint(0)) = 1,
+        # so mask them back to 0 — totals stay integer-exact either way.
+        totals = raw_hints.sum(axis=1)
+        need = has_cap & (totals > max_tasks)
+        hints = raw_hints
+        if bool(need.any()):
+            scale = max_tasks[need] / totals[need]
+            scaled = np.maximum(
+                1, np.rint(raw_hints[need] * scale[:, None])
+            ).astype(np.int64)
+            scaled = np.where(valid[need], scaled, 0)
+            hints = raw_hints.copy()
+            hints[need] = scaled
+
+        total_tasks = hints.sum(axis=1)
+        total_executors = total_tasks + n_ackers
+        failed_capacity = total_executors > pset._max_total_executors[cell]
+
+        n_machines = pset._n_machines[cell]
+        cores = pset._cores[cell]
+        core_speed = pset._core_speed[cell]
+        wpm = pset._wpm[cell]
+
+        per_worker = (
+            receiver_threads
+            + 2.0
+            + pset._pool_w[cell] * np.maximum(0, worker_threads - cores)
+        )
+        threads_per_machine = total_executors / n_machines + per_worker * wpm
+        excess = np.maximum(0.0, (threads_per_machine - cores) / cores)
+        cs_efficiency = 1.0 / (1.0 + pset._kappa[cell] * excess**2)
+        overhead_share = np.minimum(
+            0.95,
+            pset._pt_cpu[cell] * total_executors / pset._compute_rate[cell],
+        )
+        eta = cs_efficiency * (1.0 - overhead_share)
+
+        usable_cores = np.minimum(cores, worker_threads * wpm)
+        cluster_rate = usable_cores * n_machines * core_speed * eta
+
+        B = batch_size.astype(np.float64)
+        P = batch_parallelism.astype(np.float64)
+        n_max = int(hints.max()) if hints.size else 1
+        machine_cores_f = (usable_cores * n_machines).astype(np.float64)
+        hints_f = hints.astype(np.float64)
+
+        cost_rows = pset._cost[cell]
+        volume_rows = pset._volume[cell]
+        contentious_rows = pset._contentious[cell]
+        lid_rows = pset._lid[cell]
+        stage_overhead = pset._stage_overhead[cell]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cost_matrix = np.where(
+                contentious_rows, cost_rows * hints_f, cost_rows
+            )
+            cost_matrix = cost_matrix * load[:, None]
+            work = (B[:, None] * volume_rows) * cost_matrix
+            total_work = np.cumsum(work, axis=1)[:, -1]
+
+            # Fused parallelism gather: one fancy index against the
+            # shared (K, T) combo tables replaces the per-grouping
+            # gather-then-minimum loop of the single-cell model.
+            table = pset._ensure_tables(n_max)
+            parallelism = table[
+                pset._combo_idx[cell], np.maximum(hints, 1)
+            ]
+            skew_rows = np.where(
+                pset._grouped[cell], skew_factor[:, None], 1.0
+            )
+            parallelism = parallelism * skew_rows
+            np.minimum(parallelism, machine_cores_f[:, None], out=parallelism)
+
+            n_layer_count = pset._n_layer_count[cell]
+            if self._kernel is not None:
+                stage_rows = np.zeros((n_rows, o_max), dtype=np.float64)
+                t_max = np.empty(n_rows, dtype=np.float64)
+                sum_layer_times = np.empty(n_rows, dtype=np.float64)
+                bottleneck_idx = np.zeros(n_rows, dtype=np.int64)
+                self._kernel(
+                    np.ascontiguousarray(work),
+                    np.ascontiguousarray(parallelism),
+                    core_speed,
+                    eta,
+                    stage_overhead,
+                    np.ascontiguousarray(lid_rows),
+                    n_layer_count,
+                    pset._n_ops[cell],
+                    pset._L,
+                    stage_rows,
+                    t_max,
+                    sum_layer_times,
+                    bottleneck_idx,
+                )
+            else:
+                rate = (
+                    np.maximum(parallelism, 1e-12)
+                    * core_speed[:, None]
+                    * eta[:, None]
+                )
+                compute_time = np.where(work > 0, work / rate, 0.0)
+                stage_rows = compute_time + stage_overhead[:, None]
+                masked = np.where(valid, stage_rows, -np.inf)
+                t_max = masked.max(axis=1)
+                bottleneck_idx = np.argmax(masked, axis=1)
+                if pset._L:
+                    layer_time = np.zeros((n_rows, pset._L), dtype=np.float64)
+                    in_range = np.arange(pset._L) < n_layer_count[:, None]
+                    for layer in range(pset._L):
+                        layer_max = np.where(
+                            lid_rows == layer, masked, -np.inf
+                        ).max(axis=1)
+                        layer_time[:, layer] = np.where(
+                            in_range[:, layer], layer_max, 0.0
+                        )
+                    sum_layer_times = np.cumsum(layer_time, axis=1)[:, -1]
+                else:
+                    sum_layer_times = np.zeros(n_rows, dtype=np.float64)
+
+            ack_units = pset._ack_units[cell]
+            ack_work = B * ack_units
+            total_work = total_work + ack_work
+
+            latency = sum_layer_times + pset._batch_overhead[cell]
+            batch_timeout = pset._batch_timeout[cell]
+            failed_latency = ~failed_capacity & (latency > batch_timeout)
+
+            inf = np.inf
+            cap_pipeline = np.where(latency > 0, P / latency * B * 1000.0, inf)
+            cap_stage = np.where(t_max > 0, 1.0 / t_max * B * 1000.0, inf)
+            cap_cpu = np.where(
+                total_work > 0, cluster_rate / total_work * B * 1000.0, inf
+            )
+            acker_speed = core_speed * eta
+            cap_acker = np.where(
+                (ack_units <= 0) | (n_ackers == 0),
+                inf,
+                n_ackers * acker_speed * 1000.0 / ack_units,
+            )
+
+            wire = pset._wire[cell]
+            if pset._E:
+                emitted = (B[:, None] * pset._edge_vol[cell]) * pset._edge_sel[
+                    cell
+                ]
+                remote = emitted * pset._edge_frac[cell]
+                remote_tuples = np.cumsum(remote, axis=1)[:, -1]
+                remote_bytes = np.cumsum(
+                    (remote * pset._edge_bytes[cell]) * wire[:, None], axis=1
+                )[:, -1]
+            else:
+                remote_tuples = np.zeros(n_rows, dtype=np.float64)
+                remote_bytes = np.zeros(n_rows, dtype=np.float64)
+            if pset._S:
+                ingest_bytes = np.cumsum(
+                    ((B[:, None] * pset._ingest_vol[cell]) * pset._ingest_bytes[cell])
+                    * wire[:, None],
+                    axis=1,
+                )[:, -1]
+            else:
+                ingest_bytes = np.zeros(n_rows, dtype=np.float64)
+            remote_bytes = remote_bytes * load
+            ingest_bytes = ingest_bytes * load
+
+            total_workers = pset._total_workers[cell]
+            rec_per_worker = remote_tuples / total_workers
+            rec_capacity = receiver_threads * pset._rec_tpms[cell]
+            cap_receiver = np.where(
+                remote_tuples > 0,
+                rec_capacity / rec_per_worker * B * 1000.0,
+                inf,
+            )
+            bytes_per_batch = remote_bytes + ingest_bytes
+            nic_per_machine = bytes_per_batch / n_machines
+            cap_nic = np.where(
+                bytes_per_batch > 0,
+                pset._nic[cell] / nic_per_machine * B * 1000.0,
+                inf,
+            )
+
+            caps = np.stack(
+                [cap_pipeline, cap_stage, cap_cpu, cap_acker, cap_receiver, cap_nic]
+            )
+            limiting_idx = np.argmin(caps, axis=0)
+            throughput = caps[limiting_idx, np.arange(n_rows)]
+
+            executors_per_machine = total_executors / n_machines
+            task_mb = executors_per_machine * pset._per_task_mem[cell]
+            inflight_bytes = B * P * pset._inflight_unit[cell]
+            inflight_bytes = inflight_bytes * load
+            data_mb = inflight_bytes / n_machines / 1e6
+            budget = pset._budget[cell]
+            failed_memory = (
+                ~failed_capacity
+                & ~failed_latency
+                & (task_mb + data_mb > budget)
+            )
+
+            failed = failed_capacity | failed_latency | failed_memory
+            throughput = np.where(failed, 0.0, throughput)
+
+            batches_per_ms = np.where(B > 0, throughput / (B * 1000.0), 0.0)
+            network_bytes_per_ms = batches_per_ms * (remote_bytes + ingest_bytes)
+            network_mb = network_bytes_per_ms * 1000.0 / 1e6 / total_workers
+            network_mb = np.where(failed, 0.0, network_mb)
+            latency_out = np.where(failed, 0.0, latency)
+
+        return PackedEvaluation(
+            cells=pset,
+            cell_indices=cell,
+            throughput_tps=throughput,
+            failed_capacity=failed_capacity,
+            failed_latency=failed_latency,
+            failed_memory=failed_memory,
+            latency_ms=np.where(failed_latency, latency, latency_out),
+            network_mb_per_worker_s=network_mb,
+            total_tasks=total_tasks,
+            total_executors=total_executors,
+            total_work_ms=total_work,
+            eta=eta,
+            caps=caps,
+            limiting_idx=limiting_idx,
+            bottleneck_idx=bottleneck_idx.astype(np.int64),
+            stage_times_ms=stage_rows,
+            task_mb=task_mb,
+            data_mb=data_mb,
+            memory_budget_mb=pset._budget[cell],
+            max_total_executors=pset._max_total_executors[cell],
+            batch_timeout_ms=batch_timeout,
+        )

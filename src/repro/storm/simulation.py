@@ -371,10 +371,18 @@ class DiscreteEventSimulator:
         events: list[tuple[float, int, str, object]] = []
         seq = itertools.count()
         batches: dict[int, _BatchState] = {}
-        job_index: dict[int, tuple[int, str]] = {}  # job_id -> (batch, operator)
+        #: Job bookkeeping as parallel arrays indexed by job id: ids are
+        #: dense (``itertools.count`` consumed only in ``_spawn_jobs``),
+        #: so an append-only list replaces the dict the hot loop used to
+        #: hash into on every spawn and completion.
+        job_batch: list[int] = []
+        job_operator: list[str] = []
         next_batch = itertools.count()
-        #: (batch_id, completion time, batch latency)
-        completed: list[tuple[int, float, float]] = []
+        #: Completion records, also structure-of-arrays (batch ids were
+        #: never consumed downstream; the measurement pass only needs
+        #: the time and latency columns).
+        completed_times: list[float] = []
+        completed_latencies: list[float] = []
         n_operators = len(topo)
 
         #: Per-operator batch serialization: an operator processes one
@@ -405,7 +413,8 @@ class DiscreteEventSimulator:
             batch.pending_jobs[operator] = len(entries)
             for machine, work in entries:
                 job_id = next(job_ids)
-                job_index[job_id] = (batch_id, operator)
+                job_batch.append(batch_id)
+                job_operator.append(operator)
                 machine.add_work(job_id, work, now)
             for machine in distinct:
                 t = machine.next_completion_time(now)
@@ -462,7 +471,8 @@ class DiscreteEventSimulator:
                             (now + delay, next(seq), "spawn", (batch.batch_id, child)),
                         )
             if batch.operators_done == n_operators and batch.acker_done:
-                completed.append((batch.batch_id, now, now - batch.started_at))
+                completed_times.append(now)
+                completed_latencies.append(now - batch.started_at)
                 del batches[batch.batch_id]
                 # Commit overhead holds the pipeline slot before reuse.
                 heappush(events, (now + batch_overhead, next(seq), "admit", None))
@@ -476,7 +486,7 @@ class DiscreteEventSimulator:
             now, _, kind, payload = heappop(events)
             if now > self.max_sim_time_ms:
                 break
-            if len(completed) >= max_batches:
+            if len(completed_times) >= max_batches:
                 break
             if kind == "machine":
                 machine = payload
@@ -486,7 +496,8 @@ class DiscreteEventSimulator:
                 while active and active[0][0] <= threshold:
                     _, job_id = heappop(active)
                     machine.n_active -= 1
-                    batch_id, operator = job_index.pop(job_id)
+                    batch_id = job_batch[job_id]
+                    operator = job_operator[job_id]
                     batch = batches.get(batch_id)
                     if batch is None:
                         continue
@@ -518,26 +529,29 @@ class DiscreteEventSimulator:
             elif kind == "admit":
                 admit_batch(now)
 
-        return self._measure(config, assignment, completed, now, point0)
+        return self._measure(
+            config, assignment, completed_times, completed_latencies, now, point0
+        )
 
     # ------------------------------------------------------------------
     def _measure(
         self,
         config: TopologyConfig,
         assignment: Assignment,
-        completed: list[tuple[int, float, float]],
+        completed_times: list[float],
+        completed_latencies: list[float],
         end_time: float,
         point: WorkloadPoint | None = None,
     ) -> MeasuredRun:
         hints = config.normalized_hints(self.topology)
         total_tasks = sum(hints.values())
         warm = self.warmup_batches
-        if len(completed) <= warm + 1:
+        if len(completed_times) <= warm + 1:
             return MeasuredRun.failure(
                 "no steady-state batches completed within the window",
                 total_tasks=total_tasks,
             )
-        times = sorted(t for _, t, _ in completed)
+        times = sorted(completed_times)
         t0 = times[warm]
         t1 = times[-1]
         n_measured = len(times) - warm - 1
@@ -545,7 +559,7 @@ class DiscreteEventSimulator:
             return MeasuredRun.failure(
                 "degenerate measurement window", total_tasks=total_tasks
             )
-        worst_latency = max(lat for _, _, lat in completed)
+        worst_latency = max(completed_latencies)
         if worst_latency > self.calibration.batch_timeout_ms:
             return MeasuredRun.failure(
                 f"batch latency {worst_latency:.0f} ms exceeds the "
@@ -565,14 +579,17 @@ class DiscreteEventSimulator:
         network_mb_per_worker_s = (
             network_bytes_per_ms * 1000.0 / 1e6 / self.cluster.total_workers
         )
-        latencies = [lat for _, _, lat in completed]
         return MeasuredRun(
             throughput_tps=throughput,
             network_mb_per_worker_s=network_mb_per_worker_s,
-            batch_latency_ms=float(np.median(latencies)) if latencies else 0.0,
+            batch_latency_ms=(
+                float(np.median(completed_latencies))
+                if completed_latencies
+                else 0.0
+            ),
             total_tasks=total_tasks,
             details={
-                "completed_batches": len(completed),
+                "completed_batches": len(completed_times),
                 "sim_time_ms": end_time,
             },
         )

@@ -1,0 +1,706 @@
+"""Cross-cell packed evaluation: bit-compat, padding edges, broker, JIT.
+
+:class:`~repro.storm.packed.PackedBatchModel` is required to be
+*bit-compatible* per cell with each cell's own
+:class:`~repro.storm.analytic_batch.AnalyticBatchModel` — equal
+:class:`MeasuredRun` dataclasses and max absolute throughput deviation
+exactly 0 — no matter how heterogeneous the cells co-batched into one
+dispatch are.  These tests pin that contract (property-tested over all
+bundled topologies and conditions), the padded-mask edge cases
+(single-operator cells, no network edges, memory caps exactly at the
+boundary, mixed config-space dimensions), the
+:class:`~repro.core.executor.CrossCellBroker` runtime (equality with a
+serial executor, ticket attribution, non-packable fallback), the
+packed campaign mode, the optional numba kernel (parity when present,
+graceful fallback when absent), and the screener model-reuse
+regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.executor import CrossCellBroker, SerialExecutor
+from repro.experiments.presets import SYNTHETIC_BASE_CONFIG, default_cluster
+from repro.experiments.runner import make_synthetic_optimizer
+from repro.storm.analytic import CalibrationParams
+from repro.storm.analytic_batch import (
+    AnalyticBatchModel,
+    _screener_model,
+    make_analytic_screener,
+)
+from repro.storm.cluster import paper_cluster, small_test_cluster
+from repro.storm.config import TopologyConfig
+from repro.storm.noise import GaussianNoise
+from repro.storm.objective import StormObjective
+from repro.storm.packed import (
+    PACKED_ENGINES,
+    CellPack,
+    PackedBatchModel,
+    PackedTopologySet,
+    _stage_layer_core,
+    jit_available,
+    pack_cells,
+)
+from repro.storm.schedule import DiurnalSchedule
+from repro.storm.topology import TopologyBuilder
+from repro.sundog import sundog_topology
+from repro.topology_gen.suite import CONDITIONS, make_topology
+
+
+def random_config(topology, rng, *, n_workers: int, hint_max: int = 33):
+    """One rng-driven configuration spanning feasible and infeasible."""
+    return TopologyConfig(
+        parallelism_hints={
+            name: int(rng.integers(1, hint_max)) for name in topology
+        },
+        max_tasks=(
+            int(rng.integers(len(list(topology)), 400))
+            if rng.random() < 0.3
+            else None
+        ),
+        batch_size=int(rng.integers(10, 50_001)),
+        batch_parallelism=int(rng.integers(1, 65)),
+        worker_threads=int(rng.integers(1, 17)),
+        receiver_threads=int(rng.integers(1, 9)),
+        ackers=int(rng.integers(0, 17)),
+        num_workers=n_workers,
+    )
+
+
+def solo_topology():
+    """A single-operator topology: one spout, zero network edges."""
+    return TopologyBuilder("solo").spout("src", cost=3.0).build()
+
+
+#: Every bundled deployment shape as (label, topology, cluster,
+#: calibration): all sizes x conditions, Sundog, and a single-operator
+#: edgeless cell — all packed into ONE set in the bit-compat sweep.
+def _all_cells():
+    cells = []
+    for size in ("small", "medium", "large"):
+        for condition in CONDITIONS:
+            cells.append(
+                (
+                    f"{size}/{condition.label}",
+                    make_topology(size, condition),
+                    paper_cluster(),
+                    None,
+                )
+            )
+    cells.append(("sundog", sundog_topology(), paper_cluster(), None))
+    cells.append(("solo", solo_topology(), small_test_cluster(), None))
+    return cells
+
+
+ALL_CELLS = _all_cells()
+
+
+class TestPackedBitCompat:
+    """Tentpole contract: one dispatch == every cell's own engine."""
+
+    def test_whole_grid_single_dispatch_is_bit_identical(self):
+        """All bundled cells, interleaved rows, one evaluate_cells call."""
+        packed = PackedBatchModel(
+            pack_cells((t, cl, cal) for _, t, cl, cal in ALL_CELLS)
+        )
+        per_cell = [
+            AnalyticBatchModel(t, cl, cal) for _, t, cl, cal in ALL_CELLS
+        ]
+        rng = np.random.default_rng(42)
+        n_per_cell = 8
+        cell_indices: list[int] = []
+        configs: list[TopologyConfig] = []
+        # Interleave cells so consecutive rows mix dimensions.
+        for j in range(n_per_cell):
+            for m, (_, topology, cluster, _) in enumerate(ALL_CELLS):
+                cell_indices.append(m)
+                configs.append(
+                    random_config(topology, rng, n_workers=cluster.n_machines)
+                )
+        evaluation = packed.evaluate_cells(cell_indices, configs)
+        fused_runs = evaluation.runs()
+
+        max_dev = 0.0
+        mismatched = 0
+        for m in range(len(ALL_CELLS)):
+            rows = [i for i, c in enumerate(cell_indices) if c == m]
+            reference = per_cell[m].evaluate([configs[i] for i in rows])
+            for k, i in enumerate(rows):
+                if fused_runs[i] != reference.run(k):
+                    mismatched += 1
+                max_dev = max(
+                    max_dev,
+                    abs(
+                        float(evaluation.throughput_tps[i])
+                        - float(reference.throughput_tps[k])
+                    ),
+                )
+        assert mismatched == 0
+        assert max_dev == 0.0
+        # The sweep must exercise successes and several failure classes.
+        assert int((~evaluation.failed).sum()) > 0
+        reasons = {
+            evaluation.failure_reason(i).split(":")[0]
+            for i in range(len(fused_runs))
+            if evaluation.failed[i]
+        }
+        assert len(reasons) >= 2, reasons
+
+        # Random hints stay under the 4000-executor paper-cluster cap;
+        # pin the capacity-failure branch with an explicit oversize row.
+        big = next(
+            m for m, case in enumerate(ALL_CELLS) if case[0].startswith("large/")
+        )
+        oversize = TopologyConfig(
+            parallelism_hints={name: 500 for name in ALL_CELLS[big][1]},
+            num_workers=80,
+        )
+        capacity = packed.evaluate_cells([big], [oversize])
+        assert bool(capacity.failed_capacity[0])
+        assert capacity.runs() == per_cell[big].evaluate([oversize]).runs()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_rows_match_per_cell_engine(self, seed):
+        """Hypothesis sweep over a mixed-dimension three-cell pack."""
+        packed, per_cell, cases = _property_pack()
+        rng = np.random.default_rng(seed)
+        m = seed % len(cases)
+        topology, cluster = cases[m]
+        config = random_config(topology, rng, n_workers=cluster.n_machines)
+        evaluation = packed.evaluate_cells([m], [config])
+        (fused,) = evaluation.runs()
+        reference = per_cell[m].evaluate([config]).run(0)
+        assert fused == reference
+        assert float(evaluation.throughput_tps[0]) == reference.throughput_tps
+
+    def test_evaluate_cell_wrapper_matches_evaluate_cells(self):
+        packed, per_cell, cases = _property_pack()
+        rng = np.random.default_rng(7)
+        configs = [
+            random_config(cases[1][0], rng, n_workers=cases[1][1].n_machines)
+            for _ in range(5)
+        ]
+        wrapper = packed.evaluate_cell(1, configs)
+        direct = packed.evaluate_cells([1] * 5, configs)
+        assert wrapper.runs() == direct.runs()
+        assert wrapper.runs() == per_cell[1].evaluate(configs).runs()
+
+    def test_empty_batch(self):
+        packed, _, _ = _property_pack()
+        evaluation = packed.evaluate_cells([], [])
+        assert len(evaluation) == 0
+        assert evaluation.runs() == []
+
+    def test_length_mismatches_rejected(self):
+        packed, _, cases = _property_pack()
+        config = TopologyConfig()
+        with pytest.raises(ValueError, match="cell indices"):
+            packed.evaluate_cells([0, 1], [config])
+        with pytest.raises(ValueError, match="workload times"):
+            packed.evaluate_cells([0], [config], workload_times_s=[0.0, 1.0])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="packed engine"):
+            PackedBatchModel(PackedTopologySet(), engine="warp")
+        assert PACKED_ENGINES == ("packed", "packed-jit")
+
+    def test_env_var_selects_jit_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "1")
+        assert PackedBatchModel(PackedTopologySet()).engine == "packed-jit"
+        monkeypatch.delenv("REPRO_JIT")
+        assert PackedBatchModel(PackedTopologySet()).engine == "packed"
+
+
+_PROPERTY_STATE: list[tuple] = []
+
+
+def _property_pack():
+    """One shared mixed-dimension pack so hypothesis examples reuse it."""
+    if not _PROPERTY_STATE:
+        cases = [
+            (make_topology("medium", CONDITIONS[3]), paper_cluster()),
+            (make_topology("small"), paper_cluster()),
+            (solo_topology(), small_test_cluster()),
+        ]
+        packed = PackedBatchModel(pack_cells(cases))
+        per_cell = [AnalyticBatchModel(t, cl) for t, cl in cases]
+        _PROPERTY_STATE.append((packed, per_cell, cases))
+    return _PROPERTY_STATE[0]
+
+
+class TestPaddingEdgeCases:
+    """Satellite: masked padding stays exact at every awkward boundary."""
+
+    def test_single_operator_cell_alone_in_a_set(self):
+        """E_max == 0 and S_max == 1: the no-edges branches engage."""
+        topology = solo_topology()
+        cluster = small_test_cluster()
+        packed = PackedBatchModel(pack_cells([(topology, cluster)]))
+        reference = AnalyticBatchModel(topology, cluster)
+        rng = np.random.default_rng(3)
+        configs = [
+            random_config(topology, rng, n_workers=cluster.n_machines)
+            for _ in range(20)
+        ]
+        assert packed.evaluate_cell(0, configs).runs() == reference.evaluate(
+            configs
+        ).runs()
+
+    def test_single_operator_cell_padded_against_a_large_cell(self):
+        """The solo cell's operator/edge/source rows are mostly padding."""
+        solo = solo_topology()
+        large = make_topology("large", CONDITIONS[3])
+        cluster = paper_cluster()
+        packed = PackedBatchModel(
+            pack_cells([(solo, small_test_cluster()), (large, cluster)])
+        )
+        solo_ref = AnalyticBatchModel(solo, small_test_cluster())
+        large_ref = AnalyticBatchModel(large, cluster)
+        rng = np.random.default_rng(11)
+        solo_cfgs = [
+            random_config(solo, rng, n_workers=4) for _ in range(6)
+        ]
+        large_cfgs = [
+            random_config(large, rng, n_workers=80) for _ in range(6)
+        ]
+        rows = packed.evaluate_cells(
+            [0, 1] * 6,
+            [c for pair in zip(solo_cfgs, large_cfgs) for c in pair],
+        ).runs()
+        assert rows[0::2] == solo_ref.evaluate(solo_cfgs).runs()
+        assert rows[1::2] == large_ref.evaluate(large_cfgs).runs()
+
+    def test_memory_cap_exactly_at_the_boundary(self):
+        """budget == task_mb + data_mb: the strict `>` check must agree.
+
+        ``small_test_cluster`` machines carry 4096 MB (a power of two),
+        so ``usable_memory_fraction = usage / 4096`` makes the budget
+        *exactly* equal to the usage in IEEE-754 — the packed gather of
+        per-cell budgets must reproduce the same comparison bitwise.
+        """
+        topology = make_topology("small")
+        cluster = small_test_cluster()
+        config = TopologyConfig(
+            parallelism_hints={name: 4 for name in topology},
+            batch_size=5_000,
+            batch_parallelism=2,
+            worker_threads=4,
+            receiver_threads=2,
+            ackers=4,
+            num_workers=cluster.n_machines,
+        )
+        probe_cal = CalibrationParams(
+            batch_timeout_ms=1e12, per_task_memory_mb=64.0
+        )
+        probe = AnalyticBatchModel(topology, cluster, probe_cal).evaluate(
+            [config]
+        )
+        usage = float(probe._task_mb[0] + probe._data_mb[0])
+        assert 0.0 < usage <= 4096.0
+
+        at_boundary = CalibrationParams(
+            batch_timeout_ms=1e12,
+            per_task_memory_mb=64.0,
+            usable_memory_fraction=usage / 4096.0,
+        )
+        below = CalibrationParams(
+            batch_timeout_ms=1e12,
+            per_task_memory_mb=64.0,
+            usable_memory_fraction=float(np.nextafter(usage, 0.0)) / 4096.0,
+        )
+        for cal, expect_failed in ((at_boundary, False), (below, True)):
+            reference = AnalyticBatchModel(topology, cluster, cal)
+            packed = PackedBatchModel(
+                pack_cells(
+                    [(topology, cluster, cal), (make_topology("medium"), paper_cluster())]
+                )
+            )
+            evaluation = packed.evaluate_cell(0, [config])
+            assert bool(evaluation.failed_memory[0]) is expect_failed
+            assert evaluation.runs() == reference.evaluate([config]).runs()
+
+    def test_mixed_dimension_config_spaces_in_one_dispatch(self):
+        """Rows with different hint-dict shapes co-batch exactly."""
+        small = make_topology("small")
+        large = make_topology("large")
+        solo = solo_topology()
+        assert len(list(small)) != len(list(large)) != len(list(solo))
+        cluster = paper_cluster()
+        packed = PackedBatchModel(
+            pack_cells(
+                [(small, cluster), (large, cluster), (solo, small_test_cluster())]
+            )
+        )
+        rng = np.random.default_rng(23)
+        tuples = []
+        for m, topology in enumerate((small, large, solo)):
+            n_workers = 4 if topology is solo else 80
+            for _ in range(4):
+                tuples.append(
+                    (m, random_config(topology, rng, n_workers=n_workers))
+                )
+        rng.shuffle(tuples)
+        evaluation = packed.evaluate_cells(
+            [m for m, _ in tuples], [c for _, c in tuples]
+        )
+        references = [
+            AnalyticBatchModel(t, cl)
+            for t, cl in (
+                (small, cluster),
+                (large, cluster),
+                (solo, small_test_cluster()),
+            )
+        ]
+        for i, (m, config) in enumerate(tuples):
+            assert evaluation.run(i) == references[m].evaluate([config]).run(0)
+
+    def test_workload_schedules_are_per_row(self):
+        """Scheduled and unscheduled cells co-batch; times apply per row."""
+        scheduled_topo = make_topology("small", CONDITIONS[1])
+        plain_topo = make_topology("small")
+        cluster = paper_cluster()
+        schedule = DiurnalSchedule(amplitude=0.4, period_s=3600.0, skew=0.2)
+        packed = PackedBatchModel(
+            pack_cells(
+                [
+                    (scheduled_topo, cluster, None, schedule),
+                    (plain_topo, cluster),
+                ]
+            )
+        )
+        sched_ref = AnalyticBatchModel(scheduled_topo, cluster, None, schedule)
+        plain_ref = AnalyticBatchModel(plain_topo, cluster)
+        rng = np.random.default_rng(5)
+        configs = [
+            random_config(scheduled_topo, rng, n_workers=80),
+            random_config(plain_topo, rng, n_workers=80),
+            random_config(scheduled_topo, rng, n_workers=80),
+        ]
+        evaluation = packed.evaluate_cells(
+            [0, 1, 0], configs, workload_times_s=[600.0, 123.0, 2400.0]
+        )
+        assert evaluation.run(0) == sched_ref.evaluate(
+            [configs[0]], workload_time_s=600.0
+        ).run(0)
+        assert evaluation.run(1) == plain_ref.evaluate([configs[1]]).run(0)
+        assert evaluation.run(2) == sched_ref.evaluate(
+            [configs[2]], workload_time_s=2400.0
+        ).run(0)
+
+
+class TestGroupingTables:
+    """The fused combo table grows geometrically and is rebuilt rarely."""
+
+    def test_table_constructions_grow_logarithmically(self):
+        topology = make_topology("medium", CONDITIONS[3])
+        cluster = paper_cluster()
+        pset = pack_cells([(topology, cluster)])
+        packed = PackedBatchModel(pset)
+
+        def cfg(hint):
+            return TopologyConfig(
+                parallelism_hints={name: hint for name in topology},
+                num_workers=cluster.n_machines,
+            )
+
+        packed.evaluate_cell(0, [cfg(4)])
+        assert pset.table_constructions == 1
+        packed.evaluate_cell(0, [cfg(3)])  # within the built range
+        assert pset.table_constructions == 1
+        packed.evaluate_cell(0, [cfg(64)])  # grows, at least doubling
+        assert pset.table_constructions == 2
+        packed.evaluate_cell(0, [cfg(65)])  # one past: doubles to >= 128
+        assert pset.table_constructions == 3
+        packed.evaluate_cell(0, [cfg(120)])  # covered by the 2x growth
+        assert pset.table_constructions == 3
+
+    def test_adding_a_cell_reassembles_but_reuses_combos(self):
+        pset = pack_cells([(make_topology("small"), paper_cluster())])
+        packed = PackedBatchModel(pset)
+        cfgs = [TopologyConfig(num_workers=80)]
+        first = packed.evaluate_cell(0, cfgs).runs()
+        m = pset.add(CellPack(make_topology("small", CONDITIONS[2]), paper_cluster()))
+        again = packed.evaluate_cell(0, cfgs).runs()
+        assert first == again
+        reference = AnalyticBatchModel(
+            make_topology("small", CONDITIONS[2]), paper_cluster()
+        )
+        assert packed.evaluate_cell(m, cfgs).runs() == reference.evaluate(cfgs).runs()
+
+
+class TestJitKernel:
+    """The optional numba core and its plain-Python twin."""
+
+    def test_plain_python_kernel_matches_numpy_branch(self):
+        """The undecorated kernel is parity-tested even without numba."""
+        cases = [
+            (make_topology("medium", CONDITIONS[3]), paper_cluster()),
+            (solo_topology(), small_test_cluster()),
+        ]
+        vectorized = PackedBatchModel(pack_cells(cases), engine="packed")
+        kerneled = PackedBatchModel(pack_cells(cases), engine="packed")
+        kerneled._kernel = _stage_layer_core  # force the kernel branch
+        rng = np.random.default_rng(17)
+        cell_indices = []
+        configs = []
+        for m, (topology, cluster) in enumerate(cases):
+            for _ in range(10):
+                cell_indices.append(m)
+                configs.append(
+                    random_config(topology, rng, n_workers=cluster.n_machines)
+                )
+        a = vectorized.evaluate_cells(cell_indices, configs)
+        b = kerneled.evaluate_cells(cell_indices, configs)
+        assert a.runs() == b.runs()
+        assert np.max(np.abs(a.throughput_tps - b.throughput_tps)) == 0.0
+
+    @pytest.mark.skipif(not jit_available(), reason="numba not installed")
+    def test_compiled_kernel_parity(self):
+        cases = [
+            (make_topology(size, condition), paper_cluster())
+            for size in ("small", "medium")
+            for condition in CONDITIONS
+        ]
+        plain = PackedBatchModel(pack_cells(cases), engine="packed")
+        jitted = PackedBatchModel(pack_cells(cases), engine="packed-jit")
+        assert jitted.jit_active
+        rng = np.random.default_rng(29)
+        cell_indices = []
+        configs = []
+        for m, (topology, cluster) in enumerate(cases):
+            for _ in range(6):
+                cell_indices.append(m)
+                configs.append(
+                    random_config(topology, rng, n_workers=cluster.n_machines)
+                )
+        a = plain.evaluate_cells(cell_indices, configs)
+        b = jitted.evaluate_cells(cell_indices, configs)
+        assert a.runs() == b.runs()
+        assert np.max(np.abs(a.throughput_tps - b.throughput_tps)) == 0.0
+
+    @pytest.mark.skipif(jit_available(), reason="numba is installed")
+    def test_graceful_fallback_without_numba(self, tmp_path):
+        with obs.session(jsonl_path=tmp_path / "t.jsonl") as ctx:
+            packed = PackedBatchModel(
+                pack_cells([(make_topology("small"), paper_cluster())]),
+                engine="packed-jit",
+            )
+            assert not packed.jit_active
+            assert ctx.metrics.counter("pack.jit_fallbacks").value == 1
+        reference = AnalyticBatchModel(make_topology("small"), paper_cluster())
+        cfgs = [TopologyConfig(num_workers=80)]
+        assert packed.evaluate_cell(0, cfgs).runs() == reference.evaluate(cfgs).runs()
+
+
+def _packable_objective(topology_size="small", condition=None, **kwargs):
+    topology = (
+        make_topology(topology_size, condition)
+        if condition is not None
+        else make_topology(topology_size)
+    )
+    cluster = default_cluster()
+    _, codec = make_synthetic_optimizer(
+        "pla", topology, cluster, SYNTHETIC_BASE_CONFIG, 8, seed=0
+    )
+    return StormObjective(topology, cluster, codec, fidelity="analytic", **kwargs)
+
+
+class TestCrossCellBroker:
+    """The runtime that feeds the packed model from many tuning loops."""
+
+    def test_fused_outcomes_match_a_serial_executor(self, tmp_path):
+        params = [{"uniform_hint": h} for h in (2, 5, 9, 14)]
+        seeds = [101, 202, 303, 404]
+
+        def collect_serial(objective):
+            executor = SerialExecutor(objective)
+            for eid, (p, s) in enumerate(zip(params, seeds)):
+                executor.submit(eid, p, seed=s)
+            return [executor.wait_one() for _ in params]
+
+        serial_a = collect_serial(
+            _packable_objective("small", noise=GaussianNoise(0.1), seed=5)
+        )
+        serial_b = collect_serial(
+            _packable_objective("medium", CONDITIONS[3], noise=GaussianNoise(0.1), seed=5)
+        )
+
+        with obs.session(jsonl_path=tmp_path / "t.jsonl") as ctx:
+            broker = CrossCellBroker()
+            exec_a = broker.executor(
+                _packable_objective("small", noise=GaussianNoise(0.1), seed=5)
+            )
+            exec_b = broker.executor(
+                _packable_objective(
+                    "medium", CONDITIONS[3], noise=GaussianNoise(0.1), seed=5
+                )
+            )
+            for eid, (p, s) in enumerate(zip(params, seeds)):
+                exec_a.submit(eid, p, seed=s)
+                exec_b.submit(eid, p, seed=s)
+            fused_a = [exec_a.wait_one() for _ in params]
+            fused_b = [exec_b.wait_one() for _ in params]
+            exec_a.close()
+            exec_b.close()
+            # Both cells' rows went through fused packed dispatches.
+            assert ctx.metrics.counter("pack.dispatches").value >= 1
+            assert ctx.metrics.counter("dispatch.flushes").value >= 1
+            assert ctx.metrics.counter("dispatch.serial_replays").value == 0
+            assert ctx.metrics.histogram("dispatch.cells").max == 2.0
+
+        for fused, serial in ((fused_a, serial_a), (fused_b, serial_b)):
+            assert [(o.eval_id, o.value, o.run) for o in fused] == [
+                (o.eval_id, o.value, o.run) for o in serial
+            ]
+
+    def test_non_packable_objective_falls_back(self):
+        def objective(config):
+            return float(config["x"]) * 2.0
+
+        broker = CrossCellBroker(linger_s=0.0)
+        packable = broker.executor(_packable_objective("small"))
+        plain = broker.executor(objective)
+        plain.submit(0, {"x": 3.0})
+        packable.submit(0, {"uniform_hint": 4})
+        assert plain.wait_one().value == 6.0
+        reference = _packable_objective("small").measure({"uniform_hint": 4})
+        assert packable.wait_one().run == reference
+        plain.close()
+        packable.close()
+
+    def test_failures_carry_ticket_attribution(self):
+        def objective(config):
+            if config.get("boom"):
+                raise RuntimeError("boom")
+            return float(config["x"])
+
+        broker = CrossCellBroker(linger_s=0.0)
+        executor = broker.executor(objective)
+        executor.submit(7, {"x": 1.0})
+        executor.submit(8, {"x": 0.0, "boom": True})
+        outcomes = []
+        errors = []
+        for _ in range(2):
+            try:
+                outcomes.append(executor.wait_one())
+            except RuntimeError as exc:
+                errors.append(exc)
+        executor.close()
+        assert [o.eval_id for o in outcomes] == [7]
+        (error,) = errors
+        assert error._repro_ticket.eval_id == 8
+
+    def test_batch_failure_replays_serially_with_equal_values(self, tmp_path):
+        params = [{"uniform_hint": h} for h in (3, 6, 9)]
+        seeds = [1, 2, 3]
+        reference = _packable_objective("small", noise=GaussianNoise(0.1), seed=4)
+        expected = [
+            reference.measure(p, seed=s) for p, s in zip(params, seeds)
+        ]
+
+        broken = _packable_objective("small", noise=GaussianNoise(0.1), seed=4)
+
+        def exploding_batch(*args, **kwargs):
+            raise RuntimeError("batch path down")
+
+        broken.measure_batch = exploding_batch
+        with obs.session(jsonl_path=tmp_path / "t.jsonl") as ctx:
+            broker = CrossCellBroker(linger_s=0.0)
+            executor = broker.executor(broken)
+            for eid, (p, s) in enumerate(zip(params, seeds)):
+                executor.submit(eid, p, seed=s)
+            outcomes = [executor.wait_one() for _ in params]
+            executor.close()
+            assert ctx.metrics.counter("dispatch.serial_replays").value >= 1
+        assert [o.run for o in sorted(outcomes, key=lambda o: o.eval_id)] == expected
+
+    def test_closed_executor_rejects_submissions(self):
+        broker = CrossCellBroker()
+        executor = broker.executor(_packable_objective("small"))
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit(0, {"uniform_hint": 2})
+
+
+class TestPackedCampaignMode:
+    """CampaignSpec(mode='packed'): whole studies through the broker."""
+
+    def _spec(self, **kwargs):
+        from repro.experiments.presets import Budget
+        from repro.service.campaign import CampaignSpec
+
+        return CampaignSpec.synthetic(
+            budget=Budget(
+                steps=4, steps_extended=6, baseline_steps=8, passes=1,
+                repeat_best=2,
+            ),
+            conditions=CONDITIONS[:2],
+            sizes=("small",),
+            strategies=("pla", "bo"),
+            **kwargs,
+        )
+
+    def test_packed_requires_analytic_fidelity(self):
+        with pytest.raises(ValueError, match="analytic"):
+            self._spec(mode="packed", fidelity="des")
+
+    def test_mode_round_trips_and_runs_serial_loops(self):
+        from repro.service.campaign import CampaignSpec
+
+        spec = self._spec(mode="packed")
+        assert CampaignSpec.from_dict(spec.as_dict()) == spec
+        assert spec.worker_split() == (1, 1)
+
+    def test_packed_run_matches_a_seeded_pool_run(self, tmp_path):
+        from repro.core.checkpoint import canonical_history
+        from repro.service.campaign import CampaignRunner
+
+        packed = CampaignRunner(
+            self._spec(seed=2, store=str(tmp_path / "packed"), mode="packed")
+        ).run()
+        pool = CampaignRunner(
+            self._spec(seed=2, store=str(tmp_path / "pool"), mode="pool", n_jobs=1)
+        ).run()
+        assert packed.keys() == pool.keys()
+        for label in pool:
+            assert [
+                canonical_history(r.observations) for r in packed[label]
+            ] == [canonical_history(r.observations) for r in pool[label]]
+
+
+class TestScreenerModelReuse:
+    """Satellite regression: one AnalyticBatchModel per deployment."""
+
+    def test_screeners_share_one_model_and_its_tables(self):
+        topology = make_topology("small")
+        cluster = default_cluster()
+        _, codec = make_synthetic_optimizer(
+            "bo", topology, cluster, SYNTHETIC_BASE_CONFIG, 8, seed=0
+        )
+        model = _screener_model(topology, cluster, None)
+        assert _screener_model(topology, cluster, None) is model
+
+        screen_one = make_analytic_screener(codec, topology, cluster)
+        rng = np.random.default_rng(0)
+        candidates = rng.random((16, codec.space.dim))
+        screen_one(candidates)
+        constructions = model.table_constructions
+        assert constructions >= 1
+
+        # A second screener for the same deployment must not rebuild
+        # the grouping tables — same shared model, same table count.
+        screen_two = make_analytic_screener(codec, topology, cluster)
+        screen_two(candidates)
+        assert _screener_model(topology, cluster, None) is model
+        assert model.table_constructions == constructions
+
+    def test_distinct_deployments_get_distinct_models(self):
+        a = _screener_model(make_topology("small"), default_cluster(), None)
+        b = _screener_model(make_topology("small"), default_cluster(), None)
+        assert a is not b  # different objects are different cache keys
